@@ -1,0 +1,52 @@
+package sigsub
+
+import (
+	"repro/internal/montecarlo"
+)
+
+// Calibration is the simulated null distribution of the MSS statistic
+// X²max for a fixed string length and model.
+//
+// A single window's X² follows χ²(k−1), but the MSS maximizes over ~n²/2
+// windows, so judging an observed maximum against χ²(k−1) (the PValue field
+// of Result) overstates its significance. Calibrate corrects this: it
+// simulates null strings, scans each for its X²max, and returns the
+// empirical distribution, from which honest maximum-corrected p-values and
+// alert thresholds follow. The paper's empirical benchmark X²max ≈ 2·ln n
+// (§7.4) is the mean of this distribution.
+type Calibration struct {
+	c *montecarlo.Calibration
+}
+
+// Calibrate simulates `samples` null strings of length n under the model
+// and records each exact X²max. Cost is samples × O(k·n^{3/2}); simulation
+// runs on all CPUs and is deterministic in seed.
+func Calibrate(n int, m *Model, samples int, seed int64) (*Calibration, error) {
+	if m == nil {
+		return nil, errNilModel
+	}
+	c, err := montecarlo.Calibrate(n, m.m, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Calibration{c: c}, nil
+}
+
+// MaxPValue returns the empirical, multiple-testing-corrected p-value of an
+// observed X²max: the probability that a null string of the calibrated
+// length attains a maximum at least as large.
+func (c *Calibration) MaxPValue(x2 float64) float64 { return c.c.PValue(x2) }
+
+// CriticalValue returns the X²max threshold exceeded by a null string with
+// probability ≈ alpha — the honest alert threshold for "this string
+// contains a significant substring".
+func (c *Calibration) CriticalValue(alpha float64) (float64, error) {
+	return c.c.CriticalValue(alpha)
+}
+
+// MeanMax returns the simulated E[X²max] (≈ 2·ln n per the paper's
+// observation).
+func (c *Calibration) MeanMax() float64 { return c.c.Mean() }
+
+// Samples returns the number of simulated maxima.
+func (c *Calibration) Samples() int { return c.c.Samples() }

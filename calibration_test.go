@@ -1,0 +1,82 @@
+package sigsub
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrateAPI(t *testing.T) {
+	m := mustUniform(t, 2)
+	cal, err := Calibrate(400, m, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples() != 50 {
+		t.Errorf("Samples = %d", cal.Samples())
+	}
+	// MeanMax tracks the paper's 2·ln n benchmark.
+	want := 2 * math.Log(400)
+	if math.Abs(cal.MeanMax()-want) > 0.4*want {
+		t.Errorf("MeanMax = %.2f, want ≈ %.2f", cal.MeanMax(), want)
+	}
+	if _, err := Calibrate(400, nil, 50, 3); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Calibrate(0, m, 50, 3); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// End-to-end: the naive per-window p-value calls a null string's maximum
+// "significant", the calibrated maximum p-value does not; and a genuinely
+// anomalous string is flagged by both.
+func TestCalibratedSignificanceEndToEnd(t *testing.T) {
+	m := mustUniform(t, 2)
+	n := 600
+	cal, err := Calibrate(n, m, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A null string: naive p-value of the max is tiny (multiple testing),
+	// calibrated p-value is unremarkable.
+	rng := rand.New(rand.NewSource(17))
+	null := randString(rng, n, 2)
+	res, err := FindMSS(null, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.01 {
+		t.Fatalf("test premise broken: naive p-value %g not small", res.PValue)
+	}
+	if corrected := cal.MaxPValue(res.X2); corrected < 0.05 {
+		t.Errorf("null string flagged by calibrated p-value %g", corrected)
+	}
+
+	// An anomalous string: a planted 120-window of 90%% ones.
+	anom := randString(rng, n, 2)
+	for i := 200; i < 320; i++ {
+		if rng.Float64() < 0.9 {
+			anom[i] = 1
+		} else {
+			anom[i] = 0
+		}
+	}
+	res2, err := FindMSS(anom, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected := cal.MaxPValue(res2.X2); corrected > 0.05 {
+		t.Errorf("planted anomaly not flagged: calibrated p-value %g (X²=%.1f)", corrected, res2.X2)
+	}
+
+	// CriticalValue separates the two.
+	cv, err := cal.CriticalValue(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.X2 < cv && res2.X2 > cv) {
+		t.Errorf("critical value %.2f does not separate null max %.2f from anomalous max %.2f", cv, res.X2, res2.X2)
+	}
+}

@@ -1,0 +1,190 @@
+// Command mss finds statistically significant substrings of a text string
+// using the chi-square statistic.
+//
+// The input is read from -text or from a file (-file); every distinct
+// character becomes an alphabet symbol (sorted order). By default the
+// uniform model is assumed; -probs overrides it with comma-separated
+// probabilities (in sorted character order), and -mle estimates the model
+// from the input itself.
+//
+// Modes:
+//
+//	mss -text 0001101000000111 -mode mss
+//	mss -file games.txt -mle -mode topt -t 5
+//	mss -text ... -mode threshold -alpha 10
+//	mss -text ... -mode minlen -gamma 20
+//	mss -text ... -mode disjoint -t 5 -minlen 10
+//
+// -alg selects the algorithm for mss mode: exact (default), trivial,
+// trivial-incremental, heap-pruned, arlm, agmm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mss", flag.ContinueOnError)
+	var (
+		text    = fs.String("text", "", "input string (e.g. 01101000)")
+		file    = fs.String("file", "", "read the input string from a file (whitespace is stripped)")
+		probsCS = fs.String("probs", "", "comma-separated model probabilities in sorted character order")
+		mle     = fs.Bool("mle", false, "estimate the model from the input (overrides -probs)")
+		mode    = fs.String("mode", "mss", "mss | topt | disjoint | threshold | minlen")
+		algName = fs.String("alg", "exact", "algorithm for mss mode: exact|trivial|trivial-incremental|heap-pruned|arlm|agmm")
+		tFlag   = fs.Int("t", 5, "number of results for topt/disjoint modes")
+		alpha   = fs.Float64("alpha", 10, "chi-square threshold for threshold mode")
+		gamma   = fs.Int("gamma", 0, "minimum length bound for minlen mode (strictly greater)")
+		minLen  = fs.Int("minlen", 1, "minimum substring length for disjoint mode")
+		stats   = fs.Bool("stats", false, "print evaluated/skipped substring counts")
+		calib   = fs.Int("calibrate", 0, "mss mode: simulate this many null strings and report the multiple-testing-corrected p-value of X²max")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	raw := *text
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		raw = strings.Join(strings.Fields(string(data)), "")
+	}
+	if raw == "" {
+		return fmt.Errorf("no input: use -text or -file")
+	}
+
+	codec, err := sigsub.NewTextCodecSorted(raw)
+	if err != nil {
+		return err
+	}
+	symbols, err := codec.Encode(raw)
+	if err != nil {
+		return err
+	}
+
+	var model *sigsub.Model
+	switch {
+	case *mle:
+		model, err = sigsub.ModelFromSample(symbols, codec.K())
+	case *probsCS != "":
+		var probs []float64
+		for _, f := range strings.Split(*probsCS, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if perr != nil {
+				return fmt.Errorf("bad probability %q: %v", f, perr)
+			}
+			probs = append(probs, v)
+		}
+		if len(probs) != codec.K() {
+			return fmt.Errorf("-probs has %d entries but the input uses %d distinct characters", len(probs), codec.K())
+		}
+		model, err = sigsub.NewModel(probs)
+	default:
+		model, err = codec.UniformModel()
+	}
+	if err != nil {
+		return err
+	}
+
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), codec.K(), model)
+
+	var st sigsub.Stats
+	opts := []sigsub.Option{sigsub.WithStats(&st)}
+
+	printResult := func(r sigsub.Result) {
+		content := ""
+		if r.Length <= 60 {
+			if txt, derr := codec.Decode(symbols[r.Start:r.End]); derr == nil {
+				content = " " + txt
+			}
+		}
+		fmt.Fprintf(out, "%s%s\n", r, content)
+	}
+
+	switch *mode {
+	case "mss":
+		alg, aerr := sigsub.ParseAlgorithm(*algName)
+		if aerr != nil {
+			return aerr
+		}
+		res, merr := sc.MSS(append(opts, sigsub.WithAlgorithm(alg))...)
+		if merr != nil {
+			return merr
+		}
+		printResult(res)
+		if *calib > 0 {
+			cal, cerr := sigsub.Calibrate(len(symbols), model, *calib, 1)
+			if cerr != nil {
+				return cerr
+			}
+			fmt.Fprintf(out, "calibrated max p-value: %.4f (null E[X²max] = %.2f over %d simulations)\n",
+				cal.MaxPValue(res.X2), cal.MeanMax(), cal.Samples())
+		}
+	case "topt":
+		res, terr := sc.TopT(*tFlag, opts...)
+		if terr != nil {
+			return terr
+		}
+		for _, r := range res {
+			printResult(r)
+		}
+	case "disjoint":
+		res, derr := sc.DisjointTopT(*tFlag, *minLen, opts...)
+		if derr != nil {
+			return derr
+		}
+		for _, r := range res {
+			printResult(r)
+		}
+	case "threshold":
+		res, herr := sc.Threshold(*alpha, opts...)
+		if herr != nil {
+			return herr
+		}
+		fmt.Fprintf(out, "%d substrings with X² > %g\n", len(res), *alpha)
+		max := len(res)
+		if max > 20 {
+			max = 20
+		}
+		for _, r := range res[:max] {
+			printResult(r)
+		}
+		if len(res) > max {
+			fmt.Fprintf(out, "... and %d more\n", len(res)-max)
+		}
+	case "minlen":
+		res, gerr := sc.MSSMinLength(*gamma, opts...)
+		if gerr != nil {
+			return gerr
+		}
+		printResult(res)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if *stats {
+		fmt.Fprintf(out, "evaluated %d substrings, skipped %d\n", st.Evaluated, st.Skipped)
+	}
+	return nil
+}

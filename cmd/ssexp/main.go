@@ -1,0 +1,83 @@
+// Command ssexp regenerates the tables and figures of the paper's
+// evaluation (§7). Each experiment prints the same rows or series the paper
+// reports; see EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Examples:
+//
+//	ssexp -list
+//	ssexp -exp fig1a
+//	ssexp -exp all -scale 1 -seed 1          # full paper scale
+//	ssexp -exp table1 -scale 0.25 -runs 3
+//	ssexp -exp fig2 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssexp", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment id (fig1a..fig7, table1..table6) or 'all'")
+		scale  = fs.Float64("scale", 0.25, "string-length scale relative to the paper (1 = full scale)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		runs   = fs.Int("runs", 3, "averaging runs where the paper averages (table1)")
+		format = fs.String("format", "text", "text | csv")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		desc := experiments.Describe()
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(out, "%-8s %s\n", id, desc[id])
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("no experiment selected: use -exp <id> or -list")
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Runs: *runs}
+
+	var tables []*experiments.Table
+	if *exp == "all" {
+		tables = experiments.RunAll(cfg)
+	} else {
+		fn, err := experiments.Lookup(*exp)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{fn(cfg)}
+	}
+
+	for _, t := range tables {
+		var err error
+		switch *format {
+		case "text":
+			err = t.Render(out)
+		case "csv":
+			err = t.RenderCSV(out)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func expOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestList(t *testing.T) {
+	out := expOK(t, "-list")
+	for _, id := range []string{"fig1a", "fig7", "table1", "table6"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperimentText(t *testing.T) {
+	out := expOK(t, "-exp", "fig2", "-scale", "0.02", "-seed", "1")
+	if !strings.Contains(out, "X²max") || !strings.Contains(out, "note:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := expOK(t, "-exp", "fig1b", "-scale", "0.02", "-format", "csv")
+	if !strings.Contains(out, "n,k=2,k=3,k=5,k=10") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Errorf("csv output contains text decorations:\n%s", out)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := expOK(t, "-exp", "fig3", "-scale", "0.02", "-seed", "5")
+	b := expOK(t, "-exp", "fig3", "-scale", "0.02", "-seed", "5")
+	if a != b {
+		t.Error("same seed produced different experiment output")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no -exp: expected error")
+	}
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Error("unknown experiment: expected error")
+	}
+	if err := run([]string{"-exp", "fig2", "-format", "xml"}, &buf); err == nil {
+		t.Error("unknown format: expected error")
+	}
+}

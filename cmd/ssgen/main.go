@@ -1,0 +1,134 @@
+// Command ssgen generates synthetic symbol strings from the sources used in
+// the paper's experiments and writes them as text (one character per
+// symbol: 0-9 then a-z then A-Z).
+//
+// Examples:
+//
+//	ssgen -type null -n 20000 -k 2 -seed 1
+//	ssgen -type geometric -n 10000 -k 5
+//	ssgen -type markov -n 50000 -k 5
+//	ssgen -type correlated -n 20000 -p 0.8
+//	ssgen -type planted -n 10000 -k 2 -window 4000:500:0.9
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/strgen"
+)
+
+// symbolChars maps symbol indices to output characters.
+const symbolChars = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ssgen", flag.ContinueOnError)
+	var (
+		typ    = fs.String("type", "null", "null | geometric | harmonic | markov | correlated | planted")
+		n      = fs.Int("n", 10000, "string length")
+		k      = fs.Int("k", 2, "alphabet size")
+		p      = fs.Float64("p", 0.5, "repeat probability for -type correlated")
+		seed   = fs.Int64("seed", 1, "random seed")
+		window = fs.String("window", "", "planted window start:len:p0 (repeatable via comma) for -type planted")
+		outF   = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 0 {
+		return fmt.Errorf("negative length %d", *n)
+	}
+	if *k > len(symbolChars) {
+		return fmt.Errorf("alphabet size %d exceeds the %d printable symbols", *k, len(symbolChars))
+	}
+
+	var g strgen.Generator
+	var err error
+	switch *typ {
+	case "null":
+		g, err = strgen.NewNull(*k)
+	case "geometric":
+		g, err = strgen.NewGeometric(*k)
+	case "harmonic":
+		g, err = strgen.NewHarmonic(*k)
+	case "markov":
+		g, err = strgen.NewMarkov(*k)
+	case "correlated":
+		g, err = strgen.NewCorrelatedBinary(*p)
+	case "planted":
+		g, err = plantedGenerator(*k, *window)
+	default:
+		return fmt.Errorf("unknown generator type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	s := g.Generate(*n, rng)
+
+	out := stdout
+	if *outF != "" {
+		f, ferr := os.Create(*outF)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, sym := range s {
+		if err := w.WriteByte(symbolChars[sym]); err != nil {
+			return err
+		}
+	}
+	return w.WriteByte('\n')
+}
+
+// plantedGenerator parses "start:len:p0[,start:len:p0...]" into a planted
+// source over a uniform background: inside each window symbol 0 has
+// probability p0 and the rest share 1−p0 evenly.
+func plantedGenerator(k int, spec string) (strgen.Generator, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-type planted requires -window start:len:p0")
+	}
+	base, err := alphabet.Uniform(k)
+	if err != nil {
+		return nil, err
+	}
+	var windows []strgen.Window
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad window spec %q, want start:len:p0", part)
+		}
+		start, err1 := strconv.Atoi(fields[0])
+		length, err2 := strconv.Atoi(fields[1])
+		p0, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad window spec %q", part)
+		}
+		probs := make([]float64, k)
+		probs[0] = p0
+		for i := 1; i < k; i++ {
+			probs[i] = (1 - p0) / float64(k-1)
+		}
+		windows = append(windows, strgen.Window{Start: start, Len: length, Probs: probs})
+	}
+	return strgen.NewPlanted(base, windows)
+}

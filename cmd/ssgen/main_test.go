@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func genErr(t *testing.T, args ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err == nil {
+		t.Fatalf("run(%v): expected error", args)
+	}
+}
+
+func TestNullOutput(t *testing.T) {
+	out := genOK(t, "-type", "null", "-n", "100", "-k", "3", "-seed", "1")
+	s := strings.TrimSpace(out)
+	if len(s) != 100 {
+		t.Fatalf("got %d characters, want 100", len(s))
+	}
+	for _, c := range s {
+		if c != '0' && c != '1' && c != '2' {
+			t.Fatalf("unexpected character %q", c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := genOK(t, "-type", "markov", "-n", "200", "-k", "4", "-seed", "9")
+	b := genOK(t, "-type", "markov", "-n", "200", "-k", "4", "-seed", "9")
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+	c := genOK(t, "-type", "markov", "-n", "200", "-k", "4", "-seed", "10")
+	if a == c {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestAllGeneratorTypes(t *testing.T) {
+	for _, typ := range []string{"null", "geometric", "harmonic", "markov"} {
+		out := genOK(t, "-type", typ, "-n", "50", "-k", "3")
+		if len(strings.TrimSpace(out)) != 50 {
+			t.Errorf("%s: wrong length", typ)
+		}
+	}
+	out := genOK(t, "-type", "correlated", "-n", "50", "-p", "0.8")
+	if len(strings.TrimSpace(out)) != 50 {
+		t.Error("correlated: wrong length")
+	}
+}
+
+func TestPlantedWindows(t *testing.T) {
+	out := genOK(t, "-type", "planted", "-n", "300", "-k", "2", "-window", "100:100:0.95", "-seed", "3")
+	s := strings.TrimSpace(out)
+	zeros := strings.Count(s[100:200], "0")
+	if zeros < 80 {
+		t.Errorf("planted window has only %d zeros of 100", zeros)
+	}
+	// Multiple windows parse.
+	genOK(t, "-type", "planted", "-n", "300", "-k", "2", "-window", "10:20:0.9,50:20:0.1")
+}
+
+func TestOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	genOK(t, "-type", "null", "-n", "64", "-k", "2", "-o", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.TrimSpace(string(data))) != 64 {
+		t.Errorf("file has %d characters", len(data))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	genErr(t, "-type", "bogus")
+	genErr(t, "-type", "null", "-n", "-5")
+	genErr(t, "-type", "null", "-k", "999")
+	genErr(t, "-type", "correlated", "-p", "1.5")
+	genErr(t, "-type", "planted") // missing -window
+	genErr(t, "-type", "planted", "-window", "bad-spec")
+	genErr(t, "-type", "planted", "-window", "1:2")
+	genErr(t, "-type", "planted", "-window", "x:2:0.5")
+	genErr(t, "-type", "planted", "-window", "10:5:0.5,12:5:0.5") // overlap
+}

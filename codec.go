@@ -1,0 +1,49 @@
+package sigsub
+
+import (
+	"repro/internal/alphabet"
+)
+
+// TextCodec maps text characters to symbol indices and back, so textual
+// strings ("WLWWL", "0110", "ACGT…") can be scanned directly.
+type TextCodec struct {
+	enc *alphabet.Encoder
+}
+
+// NewTextCodec builds a codec whose alphabet is the set of distinct
+// characters of sample in first-appearance order (at least two required).
+func NewTextCodec(sample string) (*TextCodec, error) {
+	enc, err := alphabet.NewEncoder(sample)
+	if err != nil {
+		return nil, err
+	}
+	return &TextCodec{enc: enc}, nil
+}
+
+// NewTextCodecSorted is NewTextCodec with the alphabet in sorted character
+// order, making symbol numbering independent of first appearance.
+func NewTextCodecSorted(sample string) (*TextCodec, error) {
+	enc, err := alphabet.NewEncoderSorted(sample)
+	if err != nil {
+		return nil, err
+	}
+	return &TextCodec{enc: enc}, nil
+}
+
+// K returns the codec's alphabet size.
+func (c *TextCodec) K() int { return c.enc.K() }
+
+// Encode converts text to symbol indices; characters outside the codec's
+// alphabet are an error.
+func (c *TextCodec) Encode(text string) ([]byte, error) { return c.enc.Encode(text) }
+
+// Decode converts symbol indices back to text.
+func (c *TextCodec) Decode(s []byte) (string, error) { return c.enc.Decode(s) }
+
+// Symbol returns the character assigned to symbol index i.
+func (c *TextCodec) Symbol(i int) rune { return c.enc.Rune(i) }
+
+// UniformModelFor returns the uniform model matching the codec's alphabet.
+func (c *TextCodec) UniformModel() (*Model, error) {
+	return UniformModel(c.enc.K())
+}

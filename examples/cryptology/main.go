@@ -1,0 +1,78 @@
+// Cryptology: audit random number generators for hidden correlation, in the
+// style of the paper's §7.4 (Table 2).
+//
+// An ideal binary generator repeats its previous output with probability
+// exactly 0.5. The example builds generators with repeat probabilities 0.50
+// through 0.80, scans their output for the most significant substring under
+// the fair null model, and compares each X²max against the ≈2·ln n benchmark
+// the paper derives for truly random strings. A generator whose X²max blows
+// past the benchmark harbours hidden correlation — even when only part of
+// its stream is biased.
+//
+// Run with: go run ./examples/cryptology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+// correlated emits n bits, repeating the previous bit with probability p.
+func correlated(n int, p float64, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	cur := byte(rng.Intn(2))
+	out[0] = cur
+	for i := 1; i < n; i++ {
+		if rng.Float64() >= p {
+			cur = 1 - cur
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+func main() {
+	model, err := sigsub.UniformModel(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	const n = 20000
+	benchmark := 2 * math.Log(n) // the paper's empirical X²max growth for null strings
+
+	fmt.Printf("auditing binary generators (n = %d, benchmark X²max ≈ 2·ln n = %.1f)\n\n", n, benchmark)
+	fmt.Printf("%-10s %10s %12s %s\n", "repeat p", "X²max", "p-value", "verdict")
+	for _, p := range []float64{0.50, 0.55, 0.60, 0.80} {
+		bits := correlated(n, p, rng)
+		res, err := sigsub.FindMSS(bits, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "looks random"
+		if res.X2 > 2.5*benchmark {
+			verdict = "BIASED — hidden correlation detected"
+		} else if res.X2 > 1.5*benchmark {
+			verdict = "suspicious"
+		}
+		fmt.Printf("%-10.2f %10.2f %12.2e %s\n", p, res.X2, res.PValue, verdict)
+	}
+
+	// A partially-broken generator: random except for a biased stretch.
+	fmt.Println("\npartially-broken generator (bias only in a 2000-bit stretch):")
+	bits := make([]byte, n)
+	fair := correlated(n, 0.5, rng)
+	copy(bits, fair)
+	biased := correlated(2000, 0.9, rng)
+	copy(bits[8000:], biased)
+	res, err := sigsub.FindMSS(bits, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MSS at [%d, %d): X² = %.1f (benchmark %.1f) — the biased stretch is localized\n",
+		res.Start, res.End, res.X2, benchmark)
+}

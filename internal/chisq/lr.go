@@ -1,0 +1,34 @@
+package chisq
+
+import "math"
+
+// LikelihoodRatio computes the likelihood-ratio statistic −2·ln(LR) of the
+// paper's Eq. 3 for the count vector yv under probability model probs:
+//
+//	−2 ln(LR) = 2 Σ_i Y_i · ln( π_i / p_i ),  π_i = Y_i / l.
+//
+// (The paper writes the statistic with the maximum-likelihood alternative
+// π_i; terms with Y_i = 0 contribute 0 in the limit.) Under the null model
+// it converges to the same χ²(k−1) law as Pearson's X², but from above,
+// whereas X² converges from below (paper §1) — making X² the conservative
+// choice the paper adopts. The statistic is provided for comparison and for
+// tests of that convergence claim.
+func LikelihoodRatio(yv []int, probs []float64) float64 {
+	l := 0
+	for _, y := range yv {
+		l += y
+	}
+	if l == 0 {
+		return 0
+	}
+	fl := float64(l)
+	sum := 0.0
+	for i, y := range yv {
+		if y == 0 {
+			continue
+		}
+		fy := float64(y)
+		sum += fy * math.Log(fy/(fl*probs[i]))
+	}
+	return 2 * sum
+}

@@ -1,0 +1,121 @@
+package chisq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestLikelihoodRatioBasics(t *testing.T) {
+	half := []float64{0.5, 0.5}
+	if v := LikelihoodRatio([]int{0, 0}, half); v != 0 {
+		t.Errorf("empty LR = %g", v)
+	}
+	// Perfectly expected counts score 0.
+	if v := LikelihoodRatio([]int{5, 5}, half); math.Abs(v) > 1e-12 {
+		t.Errorf("balanced LR = %g", v)
+	}
+	// A pure run of one symbol: −2 ln( (1/2)^l ) = 2 l ln 2.
+	if v := LikelihoodRatio([]int{8, 0}, half); math.Abs(v-16*math.Ln2) > 1e-12 {
+		t.Errorf("pure-run LR = %g, want %g", v, 16*math.Ln2)
+	}
+}
+
+func TestLikelihoodRatioNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(5)
+		probs := randProbs(rng, k)
+		yv := randCounts(rng, k, 100)
+		if v := LikelihoodRatio(yv, probs); v < -1e-10 {
+			t.Fatalf("negative LR %g for %v under %v", v, yv, probs)
+		}
+	}
+}
+
+// The paper's §1 claim: both X² and −2 ln LR converge to χ²(k−1), with X²
+// from below and LR from above — so on near-null windows LR ≥ X²
+// approximately, and the two agree to first order.
+func TestLRAndX2AgreeNearNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agree := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.Intn(3)
+		probs := randProbs(rng, k)
+		// Draw a window from the model itself (near-null counts).
+		yv := make([]int, k)
+		l := 200 + rng.Intn(200)
+		for i := 0; i < l; i++ {
+			u := rng.Float64()
+			acc := 0.0
+			for c, p := range probs {
+				acc += p
+				if u < acc {
+					yv[c]++
+					break
+				}
+			}
+		}
+		x2 := Value(yv, probs)
+		lr := LikelihoodRatio(yv, probs)
+		// First-order agreement: within 25% of each other (both are small).
+		if math.Abs(lr-x2) <= 0.25*math.Max(1, math.Max(lr, x2)) {
+			agree++
+		}
+	}
+	if agree < trials*8/10 {
+		t.Errorf("LR and X² agreed on only %d of %d near-null windows", agree, trials)
+	}
+}
+
+// Mean of each statistic over null draws approximates the χ²(k−1) mean k−1.
+func TestStatisticsMatchChiSquareMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 3
+	probs := []float64{0.2, 0.3, 0.5}
+	// Short windows: the O(1/l) gap between the statistics' convergence
+	// directions (X² from below, LR from above) is statistically visible.
+	const draws = 2000
+	const l = 40
+	var sumX2, sumLR float64
+	for d := 0; d < draws; d++ {
+		yv := make([]int, k)
+		for i := 0; i < l; i++ {
+			u := rng.Float64()
+			acc := 0.0
+			for c, p := range probs {
+				acc += p
+				if u < acc {
+					yv[c]++
+					break
+				}
+			}
+		}
+		sumX2 += Value(yv, probs)
+		sumLR += LikelihoodRatio(yv, probs)
+	}
+	meanX2 := sumX2 / draws
+	meanLR := sumLR / draws
+	want := float64(k - 1)
+	if math.Abs(meanX2-want) > 0.2 {
+		t.Errorf("mean X² = %.3f, want ≈ %g", meanX2, want)
+	}
+	if math.Abs(meanLR-want) > 0.25 {
+		t.Errorf("mean LR = %.3f, want ≈ %g", meanLR, want)
+	}
+	// Convergence directions (paper §1): X² from below, LR from above, so
+	// the LR mean should exceed the X² mean.
+	if meanLR <= meanX2 {
+		t.Errorf("expected mean LR (%.4f) above mean X² (%.4f)", meanLR, meanX2)
+	}
+	// And consequently X²'s p-values are the conservative ones w.r.t. the
+	// χ²(k−1) reference — fewer type-I errors, the paper's reason to adopt
+	// X². Sanity-check via the survival function at the common mean.
+	c := dist.ChiSquare{Nu: want}
+	if c.Survival(meanX2) < c.Survival(meanLR) {
+		t.Error("survival ordering inconsistent with mean ordering")
+	}
+}

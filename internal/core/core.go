@@ -1,0 +1,108 @@
+// Package core implements every substring-mining algorithm the paper
+// discusses:
+//
+//   - the trivial O(n²) scans (direct and with O(1) incremental X² updates),
+//   - the paper's contribution — the chain-cover skip algorithms for the
+//     MSS (Algorithm 1), Top-t (Algorithm 2), Threshold (Algorithm 3), and
+//     Min-length (§6.3) problems, which run in O(k·n^{3/2}) with high
+//     probability,
+//   - the best-first "heap strategy" baseline attributed to [2], and
+//   - the ARLM and AGMM walk-extrema heuristics of Dutta & Bhattacharya [9].
+//
+// All scanners operate on symbol strings ([]byte of indices < k) under a
+// fixed multinomial model, report results as half-open intervals, and count
+// the number of substrings evaluated so experiments can reproduce the
+// paper's iteration plots exactly, independent of machine speed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/chisq"
+	"repro/internal/counts"
+)
+
+// Interval is a half-open substring [Start, End) of the scanned string.
+type Interval struct {
+	Start int
+	End   int
+}
+
+// Len returns the substring length.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// String renders the interval as [start, end).
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d)", iv.Start, iv.End) }
+
+// Scored is an interval with its chi-square value.
+type Scored struct {
+	Interval
+	X2 float64
+}
+
+// Stats counts the work a scan performed. Evaluated is the paper's
+// "number of iterations": how many substrings had their X² computed.
+type Stats struct {
+	Evaluated int64 // substrings whose X² was computed
+	Skipped   int64 // substrings proven irrelevant by the chain-cover bound
+	Starts    int64 // start positions visited
+}
+
+// Total returns Evaluated + Skipped — the number of substrings accounted
+// for, equal to n(n+1)/2 for complete scans.
+func (st Stats) Total() int64 { return st.Evaluated + st.Skipped }
+
+// Scanner binds a symbol string to a model and owns the prefix count arrays
+// and scratch space shared by all algorithms. A Scanner is cheap to build
+// (O(nk)) and may be reused for any number of scans; it is not safe for
+// concurrent use because scans share scratch buffers.
+type Scanner struct {
+	s     []byte
+	model *alphabet.Model
+	probs []float64
+	k     int
+	pre   *counts.Prefix
+	vec   []int // scratch count vector
+}
+
+// NewScanner validates s against the model and precomputes the count arrays.
+func NewScanner(s []byte, m *alphabet.Model) (*Scanner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	pre, err := counts.New(s, m.K())
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{
+		s:     s,
+		model: m,
+		probs: m.Probs(),
+		k:     m.K(),
+		pre:   pre,
+		vec:   make([]int, m.K()),
+	}, nil
+}
+
+// Len returns the string length.
+func (sc *Scanner) Len() int { return len(sc.s) }
+
+// Model returns the scanning model.
+func (sc *Scanner) Model() *alphabet.Model { return sc.model }
+
+// String returns the scanned symbol string (shared storage; do not modify).
+func (sc *Scanner) Symbols() []byte { return sc.s }
+
+// X2 returns the chi-square value of the window s[i:j). It panics if the
+// indices are out of range, matching slice semantics.
+func (sc *Scanner) X2(i, j int) float64 {
+	return chisq.WindowValue(sc.pre, i, j, sc.probs, sc.vec)
+}
+
+// TotalSubstrings returns n(n+1)/2, the number of non-empty substrings — the
+// iteration count of the trivial algorithm.
+func (sc *Scanner) TotalSubstrings() int64 {
+	n := int64(len(sc.s))
+	return n * (n + 1) / 2
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/strgen"
+)
+
+const valueTol = 1e-7
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= valueTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func mustScanner(t *testing.T, s []byte, m *alphabet.Model) *Scanner {
+	t.Helper()
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		t.Fatalf("NewScanner: %v", err)
+	}
+	return sc
+}
+
+func randomString(rng *rand.Rand, n, k int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(k))
+	}
+	return s
+}
+
+func TestNewScannerValidation(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	if _, err := NewScanner([]byte{0, 2}, m); err == nil {
+		t.Error("out-of-range symbol: expected error")
+	}
+	if _, err := NewScanner([]byte{0, 1}, nil); err == nil {
+		t.Error("nil model: expected error")
+	}
+	sc, err := NewScanner(nil, m)
+	if err != nil {
+		t.Fatalf("empty string: %v", err)
+	}
+	if sc.Len() != 0 || sc.TotalSubstrings() != 0 {
+		t.Error("empty scanner misreports sizes")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{3, 8}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if iv.String() != "[3, 8)" {
+		t.Errorf("String = %q", iv.String())
+	}
+	st := Stats{Evaluated: 10, Skipped: 5}
+	if st.Total() != 15 {
+		t.Errorf("Total = %d", st.Total())
+	}
+}
+
+func TestMSSEmptyAndSingle(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	sc := mustScanner(t, nil, m)
+	got, st := sc.MSS()
+	if got.X2 != 0 || st.Evaluated != 0 {
+		t.Errorf("empty MSS = %+v stats %+v", got, st)
+	}
+	sc = mustScanner(t, []byte{1}, m)
+	got, st = sc.MSS()
+	// Single character: X² = (1−.5)²/.5 + (0−.5)²/.5 = 1.
+	if !almostEqual(got.X2, 1) || got.Start != 0 || got.End != 1 {
+		t.Errorf("single-char MSS = %+v", got)
+	}
+	if st.Evaluated != 1 {
+		t.Errorf("single-char evaluated %d substrings", st.Evaluated)
+	}
+}
+
+func TestMSSHandComputed(t *testing.T) {
+	// s = "0001": the all-zeros prefix "000" has X² = 3; the full string has
+	// X² = (3−2)²/2 + (1−2)²/2 = 1; "0001"'s suffix "1" has 1; best is "000"
+	// with 3... but "0001" substring "00" has 2, "0" has 1. MSS = [0,3).
+	m := alphabet.MustUniform(2)
+	sc := mustScanner(t, []byte{0, 0, 0, 1}, m)
+	got, _ := sc.MSS()
+	if got.Start != 0 || got.End != 3 || !almostEqual(got.X2, 3) {
+		t.Errorf("MSS(0001) = %+v, want [0,3) X²=3", got)
+	}
+}
+
+func TestMSSMatchesTrivialUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(5)
+		n := 1 + rng.Intn(400)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		exact, _ := sc.MSS()
+		ref, _ := sc.Trivial()
+		if !almostEqual(exact.X2, ref.X2) {
+			t.Fatalf("trial %d (n=%d k=%d): MSS X²=%.10g at %v, trivial %.10g at %v",
+				trial, n, k, exact.X2, exact.Interval, ref.X2, ref.Interval)
+		}
+	}
+}
+
+func TestMSSMatchesTrivialSkewedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	models := []*alphabet.Model{
+		alphabet.MustModel([]float64{0.1, 0.9}),
+		alphabet.MustModel([]float64{0.05, 0.15, 0.8}),
+		alphabet.MustModel([]float64{0.4, 0.3, 0.2, 0.1}),
+		alphabet.MustModel([]float64{0.02, 0.08, 0.1, 0.2, 0.6}),
+	}
+	for trial := 0; trial < 40; trial++ {
+		m := models[trial%len(models)]
+		n := 1 + rng.Intn(300)
+		s := randomString(rng, n, m.K())
+		sc := mustScanner(t, s, m)
+		exact, _ := sc.MSS()
+		ref, _ := sc.Trivial()
+		if !almostEqual(exact.X2, ref.X2) {
+			t.Fatalf("trial %d (n=%d model=%v): MSS %.10g vs trivial %.10g",
+				trial, n, m, exact.X2, ref.X2)
+		}
+	}
+}
+
+// Strings whose model badly mismatches the data (the scanning model says
+// uniform but the data is skewed) exercise large X² values and long skips.
+func TestMSSMatchesTrivialMismatchedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	gens := []strgen.Generator{
+		mustGen(strgen.NewGeometric(4)),
+		mustGen(strgen.NewHarmonic(4)),
+		strgen.MustMarkov(4),
+		mustCorr(0.9),
+	}
+	for trial := 0; trial < 24; trial++ {
+		g := gens[trial%len(gens)]
+		n := 50 + rng.Intn(300)
+		s := g.Generate(n, rng)
+		// Deliberately scan under the uniform model even for skewed sources.
+		m := alphabet.MustUniform(g.Model().K())
+		sc := mustScanner(t, s, m)
+		exact, _ := sc.MSS()
+		ref, _ := sc.Trivial()
+		if !almostEqual(exact.X2, ref.X2) {
+			t.Fatalf("trial %d (%s n=%d): MSS %.10g vs trivial %.10g", trial, g.Name(), n, exact.X2, ref.X2)
+		}
+	}
+}
+
+func mustGen(g *strgen.Multinomial, err error) strgen.Generator {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustCorr(p float64) strgen.Generator {
+	g, err := strgen.NewCorrelatedBinary(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestMSSSkipsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	m := alphabet.MustUniform(2)
+	s := randomString(rng, 2000, 2)
+	sc := mustScanner(t, s, m)
+	_, st := sc.MSS()
+	if st.Total() != sc.TotalSubstrings() {
+		t.Errorf("Evaluated+Skipped = %d, want %d", st.Total(), sc.TotalSubstrings())
+	}
+	if st.Evaluated >= sc.TotalSubstrings()/2 {
+		t.Errorf("skip algorithm evaluated %d of %d substrings — no speedup", st.Evaluated, sc.TotalSubstrings())
+	}
+}
+
+func TestTrivialVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(250)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		a, stA := sc.Trivial()
+		b, stB := sc.TrivialIncremental()
+		if !almostEqual(a.X2, b.X2) {
+			t.Fatalf("trial %d: direct %.10g vs incremental %.10g", trial, a.X2, b.X2)
+		}
+		if stA.Evaluated != stB.Evaluated || stA.Evaluated != sc.TotalSubstrings() {
+			t.Fatalf("trial %d: trivial evaluated %d / %d, want %d", trial, stA.Evaluated, stB.Evaluated, sc.TotalSubstrings())
+		}
+	}
+}
+
+func TestHeapPrunedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(250)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		a, _ := sc.HeapPruned()
+		b, _ := sc.Trivial()
+		if !almostEqual(a.X2, b.X2) {
+			t.Fatalf("trial %d: heap-pruned %.10g vs trivial %.10g", trial, a.X2, b.X2)
+		}
+	}
+}
+
+// A planted anomaly makes the heap baseline prune aggressively; it must stay
+// exact while doing less work than the full trivial scan.
+func TestHeapPrunedPrunesOnAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	base := alphabet.MustUniform(2)
+	g, err := strgen.NewPlanted(base, []strgen.Window{{Start: 400, Len: 200, Probs: []float64{0.95, 0.05}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Generate(1000, rng)
+	sc := mustScanner(t, s, base)
+	a, st := sc.HeapPruned()
+	b, _ := sc.Trivial()
+	if !almostEqual(a.X2, b.X2) {
+		t.Fatalf("heap-pruned %.10g vs trivial %.10g", a.X2, b.X2)
+	}
+	if st.Starts >= int64(len(s)) {
+		t.Errorf("heap-pruned expanded all %d starts; expected pruning on planted anomaly", st.Starts)
+	}
+}
+
+func TestMSSMinLengthMatchesTrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(200)
+		gamma := rng.Intn(n + 2) // sometimes larger than n
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		a, _ := sc.MSSMinLength(gamma)
+		b, _ := sc.TrivialMinLength(gamma)
+		if !almostEqual(a.X2, b.X2) {
+			t.Fatalf("trial %d (n=%d Γ=%d): minlen %.10g vs trivial %.10g", trial, n, gamma, a.X2, b.X2)
+		}
+		if a.X2 > 0 && a.Len() <= gamma {
+			t.Fatalf("trial %d: result length %d not greater than Γ=%d", trial, a.Len(), gamma)
+		}
+	}
+}
+
+func TestMSSMinLengthEdges(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	sc := mustScanner(t, []byte{0, 1, 0}, m)
+	// Γ ≥ n: no qualifying substring.
+	got, st := sc.MSSMinLength(3)
+	if got.X2 != 0 || st.Evaluated != 0 {
+		t.Errorf("Γ=n: got %+v stats %+v", got, st)
+	}
+	// Γ negative behaves like plain MSS.
+	a, _ := sc.MSSMinLength(-5)
+	b, _ := sc.MSS()
+	if a != b {
+		t.Errorf("negative Γ: %+v vs %+v", a, b)
+	}
+}
+
+func sortedX2s(rs []Scored) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.X2
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+func TestTopTMatchesTrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(150)
+		tt := 1 + rng.Intn(20)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		a, _, err := sc.TopT(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := sc.TrivialTopT(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av, bv := sortedX2s(a), sortedX2s(b)
+		if len(av) != len(bv) {
+			t.Fatalf("trial %d: got %d results, trivial %d", trial, len(av), len(bv))
+		}
+		for i := range av {
+			if !almostEqual(av[i], bv[i]) {
+				t.Fatalf("trial %d (n=%d t=%d): rank %d: %.10g vs %.10g", trial, n, tt, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+func TestTopTDescendingAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	m := alphabet.MustUniform(2)
+	s := randomString(rng, 100, 2)
+	sc := mustScanner(t, s, m)
+	res, _, err := sc.TopT(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 25 {
+		t.Fatalf("got %d results, want 25", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].X2 > res[i-1].X2+1e-12 {
+			t.Fatalf("results not descending at %d: %g > %g", i, res[i].X2, res[i-1].X2)
+		}
+	}
+	// t=1 must agree with MSS.
+	one, _, err := sc.TopT(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mss, _ := sc.MSS()
+	if !almostEqual(one[0].X2, mss.X2) {
+		t.Errorf("TopT(1) %.10g vs MSS %.10g", one[0].X2, mss.X2)
+	}
+}
+
+func TestTopTLargerThanSubstringCount(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	s := []byte{0, 1, 0}
+	sc := mustScanner(t, s, m)
+	res, _, err := sc.TopT(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != int(sc.TotalSubstrings()) {
+		t.Errorf("got %d results, want %d", len(res), sc.TotalSubstrings())
+	}
+}
+
+func TestTopTErrors(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	sc := mustScanner(t, []byte{0, 1}, m)
+	if _, _, err := sc.TopT(0); err == nil {
+		t.Error("TopT(0): expected error")
+	}
+	if _, _, err := sc.TrivialTopT(-1); err == nil {
+		t.Error("TrivialTopT(-1): expected error")
+	}
+}
+
+func collectSet(rs []Scored) map[Interval]float64 {
+	m := make(map[Interval]float64, len(rs))
+	for _, r := range rs {
+		m[r.Interval] = r.X2
+	}
+	return m
+}
+
+func TestThresholdMatchesTrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(150)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		// Pick alpha between median and max X² so the output is non-trivial.
+		mss, _ := sc.MSS()
+		alpha := mss.X2 * (0.3 + 0.6*rng.Float64())
+		var ours, ref []Scored
+		sc.Threshold(alpha, func(r Scored) { ours = append(ours, r) })
+		sc.TrivialThreshold(alpha, func(r Scored) { ref = append(ref, r) })
+		if len(ours) != len(ref) {
+			t.Fatalf("trial %d (n=%d α=%.4g): %d vs %d results", trial, n, alpha, len(ours), len(ref))
+		}
+		refSet := collectSet(ref)
+		for _, r := range ours {
+			want, ok := refSet[r.Interval]
+			if !ok {
+				t.Fatalf("trial %d: spurious interval %v", trial, r.Interval)
+			}
+			if !almostEqual(r.X2, want) {
+				t.Fatalf("trial %d: interval %v X² %.10g vs %.10g", trial, r.Interval, r.X2, want)
+			}
+		}
+	}
+}
+
+func TestThresholdAllAboveAreReported(t *testing.T) {
+	// alpha = 0 keeps every substring with X² > 0 — compare counts exactly.
+	m := alphabet.MustUniform(2)
+	s := []byte{0, 0, 1, 0, 1, 1, 1, 0}
+	sc := mustScanner(t, s, m)
+	count, st := sc.ThresholdCount(0)
+	var refCount int64
+	sc.TrivialThreshold(0, func(Scored) { refCount++ })
+	if count != refCount {
+		t.Errorf("threshold count %d vs trivial %d", count, refCount)
+	}
+	if st.Total() != sc.TotalSubstrings() {
+		t.Errorf("accounted %d substrings, want %d", st.Total(), sc.TotalSubstrings())
+	}
+}
+
+func TestThresholdCollectLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	m := alphabet.MustUniform(2)
+	s := randomString(rng, 200, 2)
+	sc := mustScanner(t, s, m)
+	if _, _, err := sc.ThresholdCollect(0, 5); err == nil {
+		t.Error("expected overflow error with tiny limit")
+	}
+	res, _, err := sc.ThresholdCollect(1e18, 5)
+	if err != nil || len(res) != 0 {
+		t.Errorf("huge alpha: res=%d err=%v", len(res), err)
+	}
+}
+
+func TestThresholdSkipsWhenAlphaHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	m := alphabet.MustUniform(2)
+	s := randomString(rng, 3000, 2)
+	sc := mustScanner(t, s, m)
+	mss, _ := sc.MSS()
+	_, stHigh := sc.ThresholdCount(mss.X2 + 10)
+	if stHigh.Evaluated >= sc.TotalSubstrings()/2 {
+		t.Errorf("high threshold evaluated %d of %d substrings", stHigh.Evaluated, sc.TotalSubstrings())
+	}
+	// Lower thresholds cost at least as many iterations (paper Fig. 6).
+	_, stLow := sc.ThresholdCount(mss.X2 / 2)
+	if stLow.Evaluated < stHigh.Evaluated {
+		t.Errorf("low threshold %d evaluated fewer than high %d", stLow.Evaluated, stHigh.Evaluated)
+	}
+}
+
+func TestARLMExactOnRandomStrings(t *testing.T) {
+	// The paper reports ARLM finding the MSS on synthetic data; our
+	// reconstruction matches the trivial answer on random strings.
+	rng := rand.New(rand.NewSource(167))
+	misses := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 10 + rng.Intn(200)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		a, _ := sc.ARLM()
+		b, _ := sc.Trivial()
+		if !almostEqual(a.X2, b.X2) {
+			misses++
+		}
+	}
+	// Allow the occasional miss (ARLM is a conjecture, not a theorem) but
+	// the reconstruction should be near-exact like the paper's Table 1.
+	if misses > trials/10 {
+		t.Errorf("ARLM missed the MSS on %d of %d random strings", misses, trials)
+	}
+}
+
+func TestAGMMFastButApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	m := alphabet.MustUniform(2)
+	var evalAGMM, evalTrivial int64
+	low := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		n := 100 + rng.Intn(400)
+		s := randomString(rng, n, 2)
+		sc := mustScanner(t, s, m)
+		a, stA := sc.AGMM()
+		b, _ := sc.Trivial()
+		evalAGMM += stA.Evaluated
+		evalTrivial += sc.TotalSubstrings()
+		if a.X2 > b.X2+valueTol {
+			t.Fatalf("AGMM exceeded the true optimum: %g > %g", a.X2, b.X2)
+		}
+		if a.X2 < 0.8*b.X2 {
+			low++
+		}
+	}
+	if evalAGMM*100 > evalTrivial {
+		t.Errorf("AGMM evaluated %d substrings vs trivial %d — not O(n)-ish", evalAGMM, evalTrivial)
+	}
+	// AGMM should usually land in the right ballpark (paper Table 1 shows
+	// ~80% of the optimum on average) — require no catastrophic collapse.
+	if low == trials {
+		t.Errorf("AGMM was below 80%% of the optimum on every trial")
+	}
+}
+
+func TestHeuristicsNeverBeatMSS(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 20 + rng.Intn(200)
+		m := alphabet.MustUniform(k)
+		s := randomString(rng, n, k)
+		sc := mustScanner(t, s, m)
+		mss, _ := sc.MSS()
+		arlm, _ := sc.ARLM()
+		agmm, _ := sc.AGMM()
+		if arlm.X2 > mss.X2+valueTol {
+			t.Fatalf("ARLM %g beat MSS %g", arlm.X2, mss.X2)
+		}
+		if agmm.X2 > mss.X2+valueTol {
+			t.Fatalf("AGMM %g beat MSS %g", agmm.X2, mss.X2)
+		}
+	}
+}
+
+// Planted anomalies must be found: the MSS should overlap a strongly planted
+// window.
+func TestMSSFindsPlantedAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	base := alphabet.MustUniform(2)
+	for trial := 0; trial < 10; trial++ {
+		start := 200 + rng.Intn(400)
+		width := 100 + rng.Intn(100)
+		g, err := strgen.NewPlanted(base, []strgen.Window{
+			{Start: start, Len: width, Probs: []float64{0.92, 0.08}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Generate(1000, rng)
+		sc := mustScanner(t, s, base)
+		mss, _ := sc.MSS()
+		// Overlap check: the found interval must intersect the planted one.
+		if mss.End <= start || mss.Start >= start+width {
+			t.Errorf("trial %d: MSS %v misses planted window [%d,%d)", trial, mss.Interval, start, start+width)
+		}
+	}
+}

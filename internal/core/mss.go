@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chisq"
+)
+
+// MSS finds the Most Significant Substring — the substring with the maximum
+// chi-square value — using the paper's Algorithm 1. Start positions are
+// visited right-to-left; for each start, ending positions are scanned
+// left-to-right, and after each evaluated substring the chain-cover bound
+// (Theorem 1, quadratic Eq. 21) yields the longest extension that provably
+// cannot beat the best value seen so far, which the scan skips wholesale.
+// Under the null model the expected skip is ω(√l), giving O(k·n^{3/2}) total
+// work with high probability; on strings that deviate from the null model
+// the skips only grow (paper §5.1).
+//
+// For an empty string MSS returns the zero Scored value.
+func (sc *Scanner) MSS() (Scored, Stats) {
+	return sc.mssFrom(0)
+}
+
+// MSSMinLength solves Problem 4: the maximum-X² substring among substrings
+// of length strictly greater than gamma (paper §6.3). gamma < 0 is treated
+// as 0; if no substring is long enough the zero Scored value is returned.
+func (sc *Scanner) MSSMinLength(gamma int) (Scored, Stats) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return sc.mssFrom(gamma)
+}
+
+// mssFrom scans substrings of length ≥ gamma+1.
+func (sc *Scanner) mssFrom(gamma int) (Scored, Stats) {
+	return sc.mssRange(0, len(sc.s), gamma+1)
+}
+
+// mssRange finds the maximum-X² substring confined to s[lo:hi) with length
+// ≥ minLen. It is the MSS scan of Algorithm 1 restricted to a segment; the
+// chain-cover skip applies unchanged because the bound is independent of
+// what lies beyond the segment.
+func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
+	best := Scored{X2: -1}
+	var st Stats
+	if minLen < 1 {
+		minLen = 1
+	}
+	for i := hi - minLen; i >= lo; i-- {
+		st.Starts++
+		for j := i + minLen; j <= hi; j++ {
+			vec := sc.pre.Vector(i, j, sc.vec)
+			x2 := chisq.Value(vec, sc.probs)
+			st.Evaluated++
+			if x2 > best.X2 {
+				best = Scored{Interval{i, j}, x2}
+			}
+			if j == hi {
+				break
+			}
+			if skip := chisq.MaxSkip(vec, j-i, x2, best.X2, sc.probs); skip > 0 {
+				if j+skip > hi {
+					skip = hi - j
+				}
+				st.Skipped += int64(skip)
+				j += skip
+			}
+		}
+	}
+	if best.X2 < 0 {
+		return Scored{}, st
+	}
+	return best, st
+}
+
+// DisjointTopT returns up to t pairwise non-overlapping substrings in
+// decreasing X² order, greedily: the MSS is taken first, its interval is
+// removed, and the two remaining segments are searched recursively. This is
+// how the experiment harness reports "top patches" as humans expect them
+// (the paper's Tables 3 and 5 list disjoint periods, whereas the raw top-t
+// set of Problem 2 is dominated by overlapping variants of the strongest
+// window). minLen ≥ 1 restricts candidate lengths.
+func (sc *Scanner) DisjointTopT(t, minLen int) ([]Scored, Stats, error) {
+	if t < 1 {
+		return nil, Stats{}, fmt.Errorf("core: disjoint top-t requires t >= 1, got %d", t)
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	type segment struct {
+		lo, hi int
+		best   Scored
+		ok     bool
+	}
+	var st Stats
+	eval := func(lo, hi int) segment {
+		if hi-lo < minLen {
+			return segment{lo: lo, hi: hi}
+		}
+		best, s := sc.mssRange(lo, hi, minLen)
+		st.Evaluated += s.Evaluated
+		st.Skipped += s.Skipped
+		st.Starts += s.Starts
+		return segment{lo: lo, hi: hi, best: best, ok: best.End > best.Start}
+	}
+	segs := []segment{eval(0, len(sc.s))}
+	var out []Scored
+	for len(out) < t {
+		bi := -1
+		for i, sg := range segs {
+			if !sg.ok {
+				continue
+			}
+			if bi < 0 || sg.best.X2 > segs[bi].best.X2 {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		chosen := segs[bi]
+		out = append(out, chosen.best)
+		segs[bi] = eval(chosen.lo, chosen.best.Start)
+		segs = append(segs, eval(chosen.best.End, chosen.hi))
+	}
+	return out, st, nil
+}

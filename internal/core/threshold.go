@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chisq"
+)
+
+// Threshold solves Problem 3 with the paper's Algorithm 3: report every
+// substring whose X² strictly exceeds alpha. The skip budget is the constant
+// alpha itself; substrings bounded below alpha by the chain cover are
+// excluded wholesale. When the current substring's X² already exceeds alpha
+// no skip is possible (the chain-cover bound dominates the current value),
+// so the scan advances one position, matching the paper's O(k·n²) worst case
+// for small alpha and O(k·n·√(n/alpha)) behaviour for large alpha.
+//
+// visit is invoked once per qualifying substring, in (start desc, end asc)
+// order. The visitor must not retain the Scored value's interval beyond the
+// call if it mutates it.
+func (sc *Scanner) Threshold(alpha float64, visit func(Scored)) Stats {
+	n := len(sc.s)
+	var st Stats
+	for i := n - 1; i >= 0; i-- {
+		st.Starts++
+		for j := i + 1; j <= n; j++ {
+			vec := sc.pre.Vector(i, j, sc.vec)
+			x2 := chisq.Value(vec, sc.probs)
+			st.Evaluated++
+			if x2 > alpha {
+				visit(Scored{Interval{i, j}, x2})
+			}
+			if j == n {
+				break
+			}
+			if skip := chisq.MaxSkip(vec, j-i, x2, alpha, sc.probs); skip > 0 {
+				if j+skip > n {
+					skip = n - j
+				}
+				st.Skipped += int64(skip)
+				j += skip
+			}
+		}
+	}
+	return st
+}
+
+// ThresholdCollect runs Threshold and collects up to limit qualifying
+// substrings (limit ≤ 0 means no limit). It returns an error if the limit is
+// exceeded, protecting callers against the O(n²)-sized outputs low
+// thresholds can produce.
+func (sc *Scanner) ThresholdCollect(alpha float64, limit int) ([]Scored, Stats, error) {
+	var out []Scored
+	overflow := false
+	st := sc.Threshold(alpha, func(s Scored) {
+		if limit > 0 && len(out) >= limit {
+			overflow = true
+			return
+		}
+		out = append(out, s)
+	})
+	if overflow {
+		return out, st, fmt.Errorf("core: more than %d substrings exceed threshold %g", limit, alpha)
+	}
+	return out, st, nil
+}
+
+// ThresholdCount runs Threshold counting matches only.
+func (sc *Scanner) ThresholdCount(alpha float64) (int64, Stats) {
+	var count int64
+	st := sc.Threshold(alpha, func(Scored) { count++ })
+	return count, st
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chisq"
+	"repro/internal/topheap"
+)
+
+// Trivial finds the MSS by evaluating all n(n+1)/2 substrings, computing
+// each X² from the prefix count arrays in O(k): the O(k·n²) baseline of
+// paper §2.
+func (sc *Scanner) Trivial() (Scored, Stats) {
+	n := len(sc.s)
+	best := Scored{X2: -1}
+	var st Stats
+	for i := 0; i < n; i++ {
+		st.Starts++
+		for j := i + 1; j <= n; j++ {
+			vec := sc.pre.Vector(i, j, sc.vec)
+			x2 := chisq.Value(vec, sc.probs)
+			st.Evaluated++
+			if x2 > best.X2 {
+				best = Scored{Interval{i, j}, x2}
+			}
+		}
+	}
+	if best.X2 < 0 {
+		return Scored{}, st
+	}
+	return best, st
+}
+
+// TrivialIncremental is the trivial scan with the O(1)-per-step incremental
+// X² update of chisq.Window instead of the O(k) count-vector evaluation — a
+// constant-factor improvement in the spirit of the blocking technique of
+// [2], which the paper notes yields "no asymptotic improvement".
+func (sc *Scanner) TrivialIncremental() (Scored, Stats) {
+	n := len(sc.s)
+	best := Scored{X2: -1}
+	var st Stats
+	w := chisq.NewWindow(sc.probs)
+	for i := 0; i < n; i++ {
+		st.Starts++
+		w.Reset()
+		for j := i + 1; j <= n; j++ {
+			w.Append(sc.s[j-1])
+			x2 := w.Value()
+			st.Evaluated++
+			if x2 > best.X2 {
+				best = Scored{Interval{i, j}, x2}
+			}
+		}
+	}
+	if best.X2 < 0 {
+		return Scored{}, st
+	}
+	return best, st
+}
+
+// TrivialMinLength is the exhaustive reference for Problem 4.
+func (sc *Scanner) TrivialMinLength(gamma int) (Scored, Stats) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	n := len(sc.s)
+	minLen := gamma + 1
+	best := Scored{X2: -1}
+	var st Stats
+	w := chisq.NewWindow(sc.probs)
+	for i := 0; i+minLen <= n; i++ {
+		st.Starts++
+		w.Reset()
+		for j := i + 1; j <= n; j++ {
+			w.Append(sc.s[j-1])
+			if j-i < minLen {
+				continue
+			}
+			x2 := w.Value()
+			st.Evaluated++
+			if x2 > best.X2 {
+				best = Scored{Interval{i, j}, x2}
+			}
+		}
+	}
+	if best.X2 < 0 {
+		return Scored{}, st
+	}
+	return best, st
+}
+
+// TrivialTopT is the exhaustive reference for Problem 2: it offers every
+// substring to a capacity-t min-heap.
+func (sc *Scanner) TrivialTopT(t int) ([]Scored, Stats, error) {
+	if t < 1 {
+		return nil, Stats{}, fmt.Errorf("core: top-t requires t >= 1, got %d", t)
+	}
+	n := len(sc.s)
+	h, err := topheap.New(t)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	w := chisq.NewWindow(sc.probs)
+	for i := 0; i < n; i++ {
+		st.Starts++
+		w.Reset()
+		for j := i + 1; j <= n; j++ {
+			w.Append(sc.s[j-1])
+			st.Evaluated++
+			h.Offer(topheap.Item{Start: i, End: j, Score: w.Value()})
+		}
+	}
+	return itemsToScored(h.Items()), st, nil
+}
+
+// TrivialThreshold is the exhaustive reference for Problem 3: it invokes
+// visit for every substring with X² strictly greater than alpha, in
+// (start asc, end asc) order.
+func (sc *Scanner) TrivialThreshold(alpha float64, visit func(Scored)) Stats {
+	n := len(sc.s)
+	var st Stats
+	w := chisq.NewWindow(sc.probs)
+	for i := 0; i < n; i++ {
+		st.Starts++
+		w.Reset()
+		for j := i + 1; j <= n; j++ {
+			w.Append(sc.s[j-1])
+			st.Evaluated++
+			if x2 := w.Value(); x2 > alpha {
+				visit(Scored{Interval{i, j}, x2})
+			}
+		}
+	}
+	return st
+}
+
+func itemsToScored(items []topheap.Item) []Scored {
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Interval{it.Start, it.End}, it.Score}
+	}
+	return out
+}

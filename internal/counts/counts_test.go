@@ -1,0 +1,187 @@
+package counts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New([]byte{0, 1, 5}, 3); err == nil {
+		t.Error("New with out-of-range symbol: expected error")
+	}
+	if _, err := New(nil, 1); err == nil {
+		t.Error("New with k=1: expected error")
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	p, err := New(nil, 2)
+	if err != nil {
+		t.Fatalf("New(empty): %v", err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if got := p.Count(0, 0, 0); got != 0 {
+		t.Errorf("Count on empty = %d", got)
+	}
+	tot := p.Total()
+	if tot[0] != 0 || tot[1] != 0 {
+		t.Errorf("Total = %v", tot)
+	}
+}
+
+func TestCountKnown(t *testing.T) {
+	// s = 0 1 1 2 0 1
+	s := []byte{0, 1, 1, 2, 0, 1}
+	p, err := New(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		c, i, j, want int
+	}{
+		{0, 0, 6, 2},
+		{1, 0, 6, 3},
+		{2, 0, 6, 1},
+		{1, 1, 3, 2},
+		{0, 1, 3, 0},
+		{2, 3, 4, 1},
+		{0, 4, 5, 1},
+		{1, 5, 6, 1},
+		{0, 2, 2, 0}, // empty window
+	}
+	for _, c := range cases {
+		if got := p.Count(c.c, c.i, c.j); got != c.want {
+			t.Errorf("Count(%d, %d, %d) = %d, want %d", c.c, c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestVector(t *testing.T) {
+	s := []byte{0, 1, 1, 2, 0, 1}
+	p, _ := New(s, 3)
+	dst := make([]int, 3)
+	got := p.Vector(1, 5, dst)
+	want := []int{1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vector(1,5) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVectorWrongLengthPanics(t *testing.T) {
+	p, _ := New([]byte{0, 1}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Vector with wrong dst length did not panic")
+		}
+	}()
+	p.Vector(0, 2, make([]int, 3))
+}
+
+func TestTotalMatchesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(8)
+		n := rng.Intn(500)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(k))
+		}
+		p, err := New(s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, c := range p.Total() {
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("Total sums to %d, want %d", sum, n)
+		}
+	}
+}
+
+// Property: Count agrees with a direct scan for random windows, and window
+// counts sum to the window length.
+func TestCountProperty(t *testing.T) {
+	f := func(raw []byte, kRaw, iRaw, jRaw uint16) bool {
+		k := int(kRaw%9) + 2
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b % byte(k)
+		}
+		p, err := New(s, k)
+		if err != nil {
+			return false
+		}
+		n := len(s)
+		i := 0
+		j := 0
+		if n > 0 {
+			i = int(iRaw) % (n + 1)
+			j = int(jRaw) % (n + 1)
+			if i > j {
+				i, j = j, i
+			}
+		}
+		dst := make([]int, k)
+		p.Vector(i, j, dst)
+		direct := make([]int, k)
+		for _, c := range s[i:j] {
+			direct[c]++
+		}
+		sum := 0
+		for c := 0; c < k; c++ {
+			if dst[c] != direct[c] {
+				return false
+			}
+			sum += dst[c]
+		}
+		return sum == j-i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counts are additive over adjacent windows.
+func TestCountAdditivity(t *testing.T) {
+	f := func(raw []byte, aRaw, bRaw, cRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := 3
+		s := make([]byte, len(raw))
+		for i, x := range raw {
+			s[i] = x % byte(k)
+		}
+		p, err := New(s, k)
+		if err != nil {
+			return false
+		}
+		n := len(s)
+		cuts := []int{int(aRaw) % (n + 1), int(bRaw) % (n + 1), int(cRaw) % (n + 1)}
+		// order the cuts
+		for x := 0; x < 3; x++ {
+			for y := x + 1; y < 3; y++ {
+				if cuts[x] > cuts[y] {
+					cuts[x], cuts[y] = cuts[y], cuts[x]
+				}
+			}
+		}
+		a, b, c := cuts[0], cuts[1], cuts[2]
+		for sym := 0; sym < k; sym++ {
+			if p.Count(sym, a, b)+p.Count(sym, b, c) != p.Count(sym, a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

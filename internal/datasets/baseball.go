@@ -1,0 +1,129 @@
+// Package datasets synthesizes the two real-world datasets of the paper's
+// §7.5 — the Yankees–Red Sox game log (baseball-reference.com) and the daily
+// closes of the Dow Jones, S&P 500, and IBM (finance.yahoo.com) — which are
+// not redistributable here. The generators are seeded and plant the same
+// statistical structure the paper's tables report: the same sequence
+// lengths, the same overall base rates, and high-deviation regimes at the
+// published dates with the published intensities. Because every scanner in
+// this repository consumes only the resulting binary strings, the planted
+// structure reproduces both the answers (which periods surface, roughly how
+// strong) and the runtime behaviour of the original experiments. See
+// DESIGN.md §4 for the substitution rationale.
+package datasets
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/encode"
+)
+
+// DateLayout is the dd-mm-yyyy format the paper's tables use.
+const DateLayout = "02-01-2006"
+
+// Era is a planted period with a deviant win probability.
+type Era struct {
+	Start       time.Time
+	End         time.Time
+	WinProb     float64 // probability that the reference team (Yankees) wins
+	Description string
+}
+
+// Baseball is a synthetic Yankees–Red Sox head-to-head game log.
+type Baseball struct {
+	// Series encodes one symbol per game: encode.Up = Yankees win.
+	Series encode.Series
+	// Dates holds the game dates (parallel to the series).
+	Dates []time.Time
+	// Eras is the planted ground truth in chronological order.
+	Eras []Era
+	// Wins is the total number of Yankees wins.
+	Wins int
+}
+
+// baseballEras mirrors the periods of the paper's Table 3 (dates and win
+// rates as published; probabilities chosen to reproduce the observed win
+// fractions).
+func baseballEras() []Era {
+	return []Era{
+		{date(1902, 5, 2), date(1903, 7, 27), 0.17, "early Boston dominance"},
+		{date(1911, 9, 5), date(1913, 9, 1), 0.18, "Red Sox glory period"},
+		{date(1924, 4, 17), date(1933, 6, 6), 0.78, "Yankees dominance era"},
+		{date(1960, 7, 10), date(1962, 9, 7), 0.80, "Yankees early-60s run"},
+		{date(1972, 2, 8), date(1974, 7, 28), 0.25, "Red Sox mid-70s stretch"},
+	}
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// baseballBaseWinProb is tuned so the overall Yankees win rate lands near
+// the paper's 54.27% once the planted eras (three of which favour Boston)
+// are mixed in.
+const baseballBaseWinProb = 0.555
+
+// NewBaseball generates the rivalry log: roughly 20 head-to-head games per
+// season from 1901 through 2004 (≈2080 games, matching the paper's "over
+// two thousand games ... over a period of 100 years").
+func NewBaseball(seed int64) *Baseball {
+	rng := rand.New(rand.NewSource(seed))
+	eras := baseballEras()
+
+	var dates []time.Time
+	for year := 1901; year <= 2004; year++ {
+		// ~20 games between mid-April and late September, at quasi-regular
+		// intervals with small jitter.
+		games := 20
+		seasonStart := date(year, 4, 14)
+		for g := 0; g < games; g++ {
+			offset := g*8 + rng.Intn(5) // ~160-day season span
+			dates = append(dates, seasonStart.AddDate(0, 0, offset))
+		}
+	}
+
+	wins := make([]bool, len(dates))
+	labels := make([]string, len(dates))
+	total := 0
+	for i, d := range dates {
+		p := baseballBaseWinProb
+		for _, e := range eras {
+			if !d.Before(e.Start) && !d.After(e.End) {
+				p = e.WinProb
+				break
+			}
+		}
+		wins[i] = rng.Float64() < p
+		if wins[i] {
+			total++
+		}
+		labels[i] = d.Format(DateLayout)
+	}
+	series, err := encode.WinLoss(wins, labels)
+	if err != nil {
+		// The constructed slices are always nonempty and parallel.
+		panic(err)
+	}
+	return &Baseball{Series: series, Dates: dates, Eras: eras, Wins: total}
+}
+
+// IndexRange returns the half-open index range of games falling inside
+// [start, end] (inclusive dates).
+func (b *Baseball) IndexRange(start, end time.Time) (int, int) {
+	lo := len(b.Dates)
+	hi := 0
+	for i, d := range b.Dates {
+		if !d.Before(start) && !d.After(end) {
+			if i < lo {
+				lo = i
+			}
+			if i+1 > hi {
+				hi = i + 1
+			}
+		}
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}

@@ -1,0 +1,208 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/encode"
+)
+
+// Regime is a planted market episode with a deviant probability of an
+// up-day and a target cumulative price change.
+type Regime struct {
+	Start        time.Time
+	End          time.Time
+	UpProb       float64 // probability a day inside the regime closes up
+	TargetChange float64 // intended fractional price change over the regime (e.g. 0.68 = +68%)
+	Description  string
+}
+
+// Stock is a synthetic daily close series with planted regimes.
+type Stock struct {
+	Name string
+	// Dates holds one entry per trading day (weekdays only).
+	Dates []time.Time
+	// Prices holds the daily closes (parallel to Dates).
+	Prices []float64
+	// Series is the up/down encoding (one symbol per day after the first).
+	Series encode.Series
+	// Regimes is the planted ground truth.
+	Regimes []Regime
+}
+
+const (
+	// stockBaseUpProb reflects the historical slight upward drift of equity
+	// markets: a little over half of trading days close up.
+	stockBaseUpProb = 0.52
+	// stockBaseSigma is the background daily log-return scale.
+	stockBaseSigma = 0.008
+)
+
+// stockSpecs mirrors the securities and episodes of the paper's Table 5:
+// the same series lengths and start years, and regimes at the published
+// dates whose up-day probabilities and magnitudes are tuned to the published
+// changes.
+func stockSpecs() []struct {
+	name  string
+	start time.Time
+	days  int
+	regs  []Regime
+} {
+	return []struct {
+		name  string
+		start time.Time
+		days  int
+		regs  []Regime
+	}{
+		{
+			name:  "Dow Jones",
+			start: date(1928, 10, 1),
+			days:  20906,
+			regs: []Regime{
+				{date(1929, 9, 19), date(1929, 11, 14), 0.25, -0.41, "1929 crash"},
+				{date(1931, 2, 27), date(1932, 5, 4), 0.36, -0.71, "Great Depression slide"},
+				{date(1954, 2, 24), date(1955, 12, 6), 0.70, 0.68, "1950s boom"},
+				{date(1958, 6, 25), date(1959, 8, 4), 0.67, 0.435, "late-1950s rally"},
+			},
+		},
+		{
+			name:  "S&P 500",
+			start: date(1950, 1, 3),
+			days:  15600,
+			regs: []Regime{
+				{date(1953, 9, 15), date(1955, 9, 20), 0.66, 0.97, "post-war expansion"},
+				{date(1973, 10, 26), date(1974, 11, 21), 0.32, -0.40, "1973–74 bear market"},
+				{date(1994, 12, 9), date(1995, 5, 17), 0.72, 0.18, "1995 rally"},
+				{date(2000, 9, 5), date(2003, 3, 12), 0.43, -0.46, "dot-com bust"},
+			},
+		},
+		{
+			name:  "IBM",
+			start: date(1962, 1, 2),
+			days:  12517,
+			regs: []Regime{
+				{date(1962, 10, 26), date(1968, 1, 26), 0.58, 2.52, "1960s growth run"},
+				{date(1970, 8, 13), date(1970, 10, 6), 0.78, 0.376, "1970 rebound"},
+				{date(1973, 2, 22), date(1975, 8, 13), 0.40, -0.47, "1970s decline"},
+				{date(2005, 3, 31), date(2005, 4, 20), 0.15, -0.212, "2005 earnings slide"},
+			},
+		},
+	}
+}
+
+// NewStocks generates the three synthetic securities with seeds derived from
+// seed (one stream per security, so regenerating one does not disturb the
+// others).
+func NewStocks(seed int64) []*Stock {
+	specs := stockSpecs()
+	out := make([]*Stock, 0, len(specs))
+	for i, spec := range specs {
+		out = append(out, newStock(spec.name, spec.start, spec.days, spec.regs, seed+int64(i)*1_000_003))
+	}
+	return out
+}
+
+// NewStock generates a single named security; name must be one of the
+// paper's three ("Dow Jones", "S&P 500", "IBM"). Unknown names return nil.
+func NewStock(name string, seed int64) *Stock {
+	for i, spec := range stockSpecs() {
+		if spec.name == name {
+			return newStock(spec.name, spec.start, spec.days, spec.regs, seed+int64(i)*1_000_003)
+		}
+	}
+	return nil
+}
+
+func newStock(name string, start time.Time, days int, regs []Regime, seed int64) *Stock {
+	rng := rand.New(rand.NewSource(seed))
+
+	dates := make([]time.Time, 0, days)
+	d := start
+	for len(dates) < days {
+		if wd := d.Weekday(); wd != time.Saturday && wd != time.Sunday {
+			dates = append(dates, d)
+		}
+		d = d.AddDate(0, 0, 1)
+	}
+
+	// Count trading days per regime to derive per-regime magnitudes.
+	regDays := make([]int, len(regs))
+	regimeOf := make([]int, days)
+	for i := range regimeOf {
+		regimeOf[i] = -1
+	}
+	for ri, r := range regs {
+		for i, dt := range dates {
+			if !dt.Before(r.Start) && !dt.After(r.End) {
+				regimeOf[i] = ri
+				regDays[ri]++
+			}
+		}
+	}
+	// Per-regime half-normal magnitude scale: with up-probability p and mean
+	// absolute log-return m, the expected daily drift is (2p−1)·m; choosing
+	// m = ln(1+target) / ((2p−1)·days) lands the cumulative change near the
+	// published figure. The scale is clamped to a realistic range.
+	regSigma := make([]float64, len(regs))
+	for ri, r := range regs {
+		if regDays[ri] == 0 {
+			regSigma[ri] = stockBaseSigma
+			continue
+		}
+		driftPerDay := math.Log(1+r.TargetChange) / float64(regDays[ri])
+		meanAbs := driftPerDay / (2*r.UpProb - 1)
+		sigma := meanAbs * math.Sqrt(math.Pi/2)
+		if sigma < 0.002 {
+			sigma = 0.002
+		}
+		if sigma > 0.05 {
+			sigma = 0.05
+		}
+		regSigma[ri] = sigma
+	}
+
+	prices := make([]float64, days)
+	labels := make([]string, days)
+	logP := math.Log(100.0)
+	for i := 0; i < days; i++ {
+		labels[i] = dates[i].Format(DateLayout)
+		if i == 0 {
+			prices[i] = math.Exp(logP)
+			continue
+		}
+		p := stockBaseUpProb
+		sigma := stockBaseSigma
+		if ri := regimeOf[i]; ri >= 0 {
+			p = regs[ri].UpProb
+			sigma = regSigma[ri]
+		}
+		mag := math.Abs(rng.NormFloat64()) * sigma
+		if mag == 0 {
+			mag = sigma / 2 // avoid flat days so up/down is well defined
+		}
+		if rng.Float64() < p {
+			logP += mag
+		} else {
+			logP -= mag
+		}
+		prices[i] = math.Exp(logP)
+	}
+
+	series, err := encode.UpDown(prices, labels)
+	if err != nil {
+		panic(err) // inputs are parallel and longer than 1 by construction
+	}
+	return &Stock{Name: name, Dates: dates, Prices: prices, Series: series, Regimes: regs}
+}
+
+// Change returns the fractional price change over the series interval
+// [start, end) of the up/down encoding (i.e. between the closes bracketing
+// those movement days).
+func (s *Stock) Change(start, end int) float64 {
+	// Movement symbol i covers prices[i] → prices[i+1].
+	if start < 0 || end <= start || end >= len(s.Prices) {
+		return 0
+	}
+	return s.Prices[end]/s.Prices[start] - 1
+}

@@ -1,0 +1,109 @@
+// Package encode turns labelled temporal observations into the binary symbol
+// strings the paper's real-data studies scan (§7.5): win/loss sequences for
+// sports rivalries and up/down sequences for security prices. Each symbol
+// keeps a human-readable label (typically a date) so results can be reported
+// as periods rather than as raw indices.
+package encode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Binary symbol values used by the encoders.
+const (
+	Down byte = 0 // or loss
+	Up   byte = 1 // or win
+)
+
+// Series is a symbol string whose positions carry labels.
+type Series struct {
+	Symbols []byte
+	Labels  []string
+}
+
+// Len returns the series length.
+func (s Series) Len() int { return len(s.Symbols) }
+
+// Span formats the half-open interval [start, end) of the series as its
+// first and last labels.
+func (s Series) Span(start, end int) (first, last string, err error) {
+	if start < 0 || end > len(s.Symbols) || start >= end {
+		return "", "", fmt.Errorf("encode: invalid span [%d, %d) of series with %d points", start, end, len(s.Symbols))
+	}
+	return s.Labels[start], s.Labels[end-1], nil
+}
+
+// CountOnes returns the number of Up/win symbols in [start, end).
+func (s Series) CountOnes(start, end int) int {
+	c := 0
+	for _, x := range s.Symbols[start:end] {
+		if x == Up {
+			c++
+		}
+	}
+	return c
+}
+
+// WinLoss encodes game outcomes (true = win) with one label per game.
+func WinLoss(wins []bool, labels []string) (Series, error) {
+	if len(wins) != len(labels) {
+		return Series{}, fmt.Errorf("encode: %d outcomes but %d labels", len(wins), len(labels))
+	}
+	if len(wins) == 0 {
+		return Series{}, errors.New("encode: empty outcome sequence")
+	}
+	syms := make([]byte, len(wins))
+	for i, w := range wins {
+		if w {
+			syms[i] = Up
+		}
+	}
+	cp := make([]string, len(labels))
+	copy(cp, labels)
+	return Series{Symbols: syms, Labels: cp}, nil
+}
+
+// UpDown encodes a value series as daily movements: symbol i (for i ≥ 1 in
+// the input) is Up when values[i] > values[i−1] and Down otherwise, labelled
+// with labels[i] (the day the move completed). The output is one symbol
+// shorter than the input. This is the paper's encoding of security prices:
+// "1 for the day if the price of the security went up and 0 otherwise".
+func UpDown(values []float64, labels []string) (Series, error) {
+	if len(values) != len(labels) {
+		return Series{}, fmt.Errorf("encode: %d values but %d labels", len(values), len(labels))
+	}
+	if len(values) < 2 {
+		return Series{}, errors.New("encode: need at least 2 values to encode movements")
+	}
+	syms := make([]byte, len(values)-1)
+	lab := make([]string, len(values)-1)
+	for i := 1; i < len(values); i++ {
+		if values[i] > values[i-1] {
+			syms[i-1] = Up
+		}
+		lab[i-1] = labels[i]
+	}
+	return Series{Symbols: syms, Labels: lab}, nil
+}
+
+// RunLength summarises a binary series as alternating run lengths — a small
+// inspection helper used by examples and tests.
+func RunLength(s []byte) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	var runs []int
+	cur := s[0]
+	n := 0
+	for _, x := range s {
+		if x == cur {
+			n++
+			continue
+		}
+		runs = append(runs, n)
+		cur = x
+		n = 1
+	}
+	return append(runs, n)
+}

@@ -1,0 +1,113 @@
+package encode
+
+import (
+	"testing"
+)
+
+func TestWinLoss(t *testing.T) {
+	s, err := WinLoss([]bool{true, false, true, true}, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{Up, Down, Up, Up}
+	for i := range want {
+		if s.Symbols[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", s.Symbols, want)
+		}
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.CountOnes(0, 4) != 3 || s.CountOnes(1, 2) != 0 {
+		t.Error("CountOnes wrong")
+	}
+}
+
+func TestWinLossErrors(t *testing.T) {
+	if _, err := WinLoss([]bool{true}, []string{"a", "b"}); err == nil {
+		t.Error("mismatched lengths: expected error")
+	}
+	if _, err := WinLoss(nil, nil); err == nil {
+		t.Error("empty input: expected error")
+	}
+}
+
+func TestWinLossCopiesLabels(t *testing.T) {
+	labels := []string{"a", "b"}
+	s, _ := WinLoss([]bool{true, false}, labels)
+	labels[0] = "mutated"
+	if s.Labels[0] != "a" {
+		t.Error("WinLoss shares label storage with the caller")
+	}
+}
+
+func TestUpDown(t *testing.T) {
+	values := []float64{100, 101, 99, 99.5, 99.5}
+	labels := []string{"d0", "d1", "d2", "d3", "d4"}
+	s, err := UpDown(values, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moves: up, down, up, flat(=down).
+	want := []byte{Up, Down, Up, Down}
+	for i := range want {
+		if s.Symbols[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", s.Symbols, want)
+		}
+	}
+	// Labels are the completion days d1..d4.
+	if s.Labels[0] != "d1" || s.Labels[3] != "d4" {
+		t.Errorf("Labels = %v", s.Labels)
+	}
+}
+
+func TestUpDownErrors(t *testing.T) {
+	if _, err := UpDown([]float64{1}, []string{"a"}); err == nil {
+		t.Error("too short: expected error")
+	}
+	if _, err := UpDown([]float64{1, 2}, []string{"a"}); err == nil {
+		t.Error("mismatched lengths: expected error")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s, _ := WinLoss([]bool{true, false, true}, []string{"jan", "feb", "mar"})
+	first, last, err := s.Span(0, 3)
+	if err != nil || first != "jan" || last != "mar" {
+		t.Errorf("Span(0,3) = %q %q %v", first, last, err)
+	}
+	first, last, err = s.Span(1, 2)
+	if err != nil || first != "feb" || last != "feb" {
+		t.Errorf("Span(1,2) = %q %q %v", first, last, err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 4}, {2, 2}, {3, 1}} {
+		if _, _, err := s.Span(bad[0], bad[1]); err == nil {
+			t.Errorf("Span(%d,%d): expected error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestRunLength(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []int
+	}{
+		{nil, nil},
+		{[]byte{0}, []int{1}},
+		{[]byte{0, 0, 1, 1, 1, 0}, []int{2, 3, 1}},
+		{[]byte{1, 0, 1, 0}, []int{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := RunLength(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("RunLength(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("RunLength(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

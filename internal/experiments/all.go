@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is an experiment entry point.
+type Runner func(Config) *Table
+
+// registry maps experiment ids to their runners, in paper order.
+var registry = []struct {
+	id  string
+	fn  Runner
+	doc string
+}{
+	{"fig1a", Fig1a, "MSS iterations vs n, ours vs trivial (k=2)"},
+	{"fig1b", Fig1b, "MSS iterations vs n for k in {2,3,5,10}"},
+	{"fig2", Fig2, "X²max growth with ln n"},
+	{"fig3", Fig3, "X²max and iterations vs p0 for multinomial strings"},
+	{"fig4a", Fig4a, "iterations for Null/Geometric/Zipfian/Markov vs n"},
+	{"fig4b", Fig4b, "iterations for Null/Geometric/Zipfian/Markov vs k"},
+	{"fig5a", Fig5a, "top-t iterations vs n"},
+	{"fig5b", Fig5b, "top-t iterations vs t"},
+	{"fig6", Fig6, "threshold-scan iterations vs alpha0"},
+	{"fig7", Fig7, "min-length MSS iterations vs Gamma0"},
+	{"table1", Table1, "algorithm comparison on synthetic strings"},
+	{"table2", Table2, "X²max of biased random generators"},
+	{"table3", Table3, "top patches of the Yankees–Red Sox rivalry"},
+	{"table4", Table4, "algorithm comparison on sports data"},
+	{"table5", Table5, "significant periods of the securities"},
+	{"table6", Table6, "algorithm comparison on stock returns"},
+	{"ablation1", Ablation1, "exact vs paper-literal skip rule (beyond the paper)"},
+	{"ablation2", Ablation2, "Pearson X² vs likelihood-ratio statistic (beyond the paper)"},
+}
+
+// IDs returns the known experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns a one-line description per experiment id.
+func Describe() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, e := range registry {
+		out[e.id] = e.doc
+	}
+	return out
+}
+
+// Lookup resolves an experiment id.
+func Lookup(id string) (Runner, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.fn, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(cfg Config) []*Table {
+	out := make([]*Table, len(registry))
+	for i, e := range registry {
+		out[i] = e.fn(cfg)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment is a function from a Config to a Table —
+// the same rows or series the paper reports — so the whole evaluation can be
+// reproduced from the command line (cmd/ssexp), from benchmarks
+// (bench_test.go), or from tests.
+//
+// Sizes scale with Config.Scale so the suite is usable both as a quick smoke
+// run and as a full paper-scale reproduction; iteration counts (the paper's
+// machine-independent cost metric) are always reported alongside wall-clock
+// times.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/strgen"
+)
+
+// Config controls experiment sizes and randomness.
+type Config struct {
+	// Seed drives all generators; equal seeds give identical tables.
+	Seed int64
+	// Scale multiplies the paper's string lengths. 1.0 reproduces the
+	// published sizes; the default used by tests and benches is smaller.
+	// Values ≤ 0 are treated as 1.0.
+	Scale float64
+	// Runs is the number of random strings averaged where the paper
+	// averages over runs (Table 1). Values ≤ 0 default to 3.
+	Runs int
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+func (c Config) runs() int {
+	if c.Runs <= 0 {
+		return 3
+	}
+	return c.Runs
+}
+
+// scaledN multiplies n by the scale and clamps below at lo.
+func (c Config) scaledN(n, lo int) int {
+	v := int(float64(n) * c.scale())
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// rng returns a fresh deterministic stream; the offset decouples the streams
+// of different experiments under one seed.
+func (c Config) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + offset))
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note line (fit slopes, caveats, …).
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (without notes).
+func (t *Table) RenderCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fitSlope returns the least-squares slope of ys against xs.
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// fmtI formats an integer.
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }
+
+// fmtF formats a float with 2 decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtF4 formats a float with 4 decimals.
+func fmtF4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// fmtDur formats a duration in seconds with millisecond resolution.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+// timed measures the wall-clock time of fn.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// mustScanner builds a scanner; generation code guarantees validity, so a
+// failure is a programming error.
+func mustScanner(s []byte, m *alphabet.Model) *core.Scanner {
+	sc, err := core.NewScanner(s, m)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: scanner construction failed: %v", err))
+	}
+	return sc
+}
+
+// nullString draws a null-model string of length n over k symbols.
+func nullString(n, k int, rng *rand.Rand) ([]byte, *alphabet.Model) {
+	g := strgen.MustNull(k)
+	return g.Generate(n, rng), g.Model()
+}

@@ -1,0 +1,459 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment sizes small enough for unit tests.
+var quickCfg = Config{Seed: 1, Scale: 0.02, Runs: 1}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "s")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float: %v", s, err)
+	}
+	return v
+}
+
+func parseI(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as int: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "333", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a,bb") {
+		t.Errorf("csv missing header: %s", buf.String())
+	}
+}
+
+func TestRenderCSVEscaping(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"c"}}
+	tab.AddRow(`va"l,ue`)
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"va""l,ue"`) {
+		t.Errorf("csv escaping wrong: %s", buf.String())
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // slope 2
+	if s := fitSlope(xs, ys); math.Abs(s-2) > 1e-12 {
+		t.Errorf("slope = %g, want 2", s)
+	}
+	if !math.IsNaN(fitSlope([]float64{1}, []float64{2})) {
+		t.Error("slope of one point should be NaN")
+	}
+	if !math.IsNaN(fitSlope([]float64{2, 2}, []float64{1, 5})) {
+		t.Error("slope of vertical data should be NaN")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.scale() != 1 || c.runs() != 3 {
+		t.Errorf("defaults: scale=%g runs=%d", c.scale(), c.runs())
+	}
+	if c.scaledN(1000, 64) != 1000 {
+		t.Error("scale 1 should keep n")
+	}
+	c = Config{Scale: 0.01}
+	if c.scaledN(1000, 64) != 64 {
+		t.Errorf("clamping failed: %d", c.scaledN(1000, 64))
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	tab := Fig1a(Config{Seed: 1, Scale: 0.05})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Ours must always be below trivial, and grow with n (allowing the
+	// sampling wiggle of adjacent sizes at small scale).
+	var prevOurs int64 = 0
+	for _, row := range tab.Rows {
+		ours := parseI(t, row[2])
+		triv := parseI(t, row[4])
+		if ours > triv {
+			t.Errorf("ours %d > trivial %d", ours, triv)
+		}
+		if float64(ours) < 0.8*float64(prevOurs) {
+			t.Errorf("iterations dropped sharply: %d after %d", ours, prevOurs)
+		}
+		prevOurs = ours
+	}
+	first := parseI(t, tab.Rows[0][2])
+	last := parseI(t, tab.Rows[len(tab.Rows)-1][2])
+	if last <= first {
+		t.Errorf("iterations did not grow overall: %d -> %d", first, last)
+	}
+	// The fitted slope should be clearly below 2 (the trivial exponent).
+	note := tab.Notes[0]
+	fields := strings.Fields(note)
+	slope := parseF(t, fields[4])
+	if slope > 1.85 || slope < 1.0 {
+		t.Errorf("ours slope %.3f outside (1.0, 1.85): %s", slope, note)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	tab := Fig1b(Config{Seed: 1, Scale: 0.03})
+	if len(tab.Columns) != 5 {
+		t.Fatalf("columns %v", tab.Columns)
+	}
+	// Alphabet size must not change iteration counts by more than ~3x
+	// (paper: "no significant effect").
+	for _, row := range tab.Rows {
+		lo, hi := int64(math.MaxInt64), int64(0)
+		for _, cell := range row[1:] {
+			v := parseI(t, cell)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > 3*lo {
+			t.Errorf("n=%s: iteration spread %d..%d too wide", row[0], lo, hi)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab := Fig2(Config{Seed: 1, Scale: 0.05})
+	// X²max exceeds ln n at every size (Lemma 4) and grows overall with n
+	// (per-row monotonicity is too strict for the max of a random sample).
+	for _, row := range tab.Rows {
+		lnN := parseF(t, row[1])
+		x2 := parseF(t, row[2])
+		if x2 <= lnN {
+			t.Errorf("X²max %.2f ≤ ln n %.2f", x2, lnN)
+		}
+	}
+	first := parseF(t, tab.Rows[0][2])
+	last := parseF(t, tab.Rows[len(tab.Rows)-1][2])
+	if last <= first {
+		t.Errorf("X²max did not grow overall: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := Fig3(quickCfg)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if parseF(t, row[1]) <= 0 || parseF(t, row[3]) <= 0 {
+			t.Errorf("non-positive X²max in row %v", row)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := Fig4a(Config{Seed: 1, Scale: 0.15})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The paper's claim — the null string needs the most iterations — holds
+	// reliably once n is out of the noise floor; assert it on the largest
+	// size with 10% slack.
+	last := tab.Rows[len(tab.Rows)-1]
+	null := parseI(t, last[1])
+	for i, cell := range last[2:] {
+		v := parseI(t, cell)
+		if float64(v) > 1.1*float64(null) {
+			t.Errorf("source %d (%d iters) above null (%d) at n=%s", i, v, null, last[0])
+		}
+	}
+	tab = Fig4b(Config{Seed: 1, Scale: 0.02})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fig4b: %d rows", len(tab.Rows))
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab := Fig5a(Config{Seed: 1, Scale: 0.03})
+	for _, row := range tab.Rows {
+		// More results demanded ⇒ at least as many iterations.
+		mss := parseI(t, row[1])
+		t2000 := parseI(t, row[4])
+		if t2000 < mss {
+			t.Errorf("top-2000 (%d) cheaper than MSS (%d) at n=%s", t2000, mss, row[0])
+		}
+	}
+	tab = Fig5b(Config{Seed: 1, Scale: 0.1})
+	// Iterations are nondecreasing in t for each n.
+	for col := 1; col <= 3; col++ {
+		prev := int64(0)
+		for _, row := range tab.Rows {
+			v := parseI(t, row[col])
+			if v < prev {
+				t.Errorf("col %d: iterations decreased from %d to %d at t=%s", col, prev, v, row[0])
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(Config{Seed: 1, Scale: 0.02})
+	// Iterations decrease as alpha grows; matches decrease too.
+	prevIter := int64(math.MaxInt64)
+	prevMatches := int64(math.MaxInt64)
+	for _, row := range tab.Rows {
+		it := parseI(t, row[1])
+		matches := parseI(t, row[3])
+		if it > prevIter {
+			t.Errorf("iterations increased with alpha: %d after %d", it, prevIter)
+		}
+		if matches > prevMatches {
+			t.Errorf("matches increased with alpha: %d after %d", matches, prevMatches)
+		}
+		prevIter, prevMatches = it, matches
+	}
+	// At alpha=0 the scan is the trivial one.
+	first := tab.Rows[0]
+	if parseI(t, first[1]) != parseI(t, first[4]) {
+		t.Errorf("alpha=0 should cost the trivial scan: %s vs %s", first[1], first[4])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := Fig7(Config{Seed: 1, Scale: 0.02})
+	prev := int64(math.MaxInt64)
+	for _, row := range tab.Rows {
+		it := parseI(t, row[2])
+		triv := parseI(t, row[3])
+		if it > triv {
+			t.Errorf("ours (%d) above trivial (%d) at Γ=%s", it, triv, row[0])
+		}
+		if it > prev {
+			t.Errorf("iterations increased with Γ: %d after %d", it, prev)
+		}
+		prev = it
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := Table1(Config{Seed: 1, Scale: 0.02, Runs: 1})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Group rows per size: Trivial, Our, ARLM, AGMM.
+	for g := 0; g < 2; g++ {
+		rows := tab.Rows[4*g : 4*g+4]
+		triv := parseF(t, rows[0][2])
+		our := parseF(t, rows[1][2])
+		arlm := parseF(t, rows[2][2])
+		agmm := parseF(t, rows[3][2])
+		if math.Abs(triv-our) > 1e-6 {
+			t.Errorf("size group %d: Our X² %.4f ≠ Trivial %.4f", g, our, triv)
+		}
+		if arlm > triv+1e-6 {
+			t.Errorf("size group %d: ARLM X² %.4f above optimal %.4f", g, arlm, triv)
+		}
+		if agmm > triv+1e-6 {
+			t.Errorf("size group %d: AGMM X² %.4f above optimal %.4f", g, agmm, triv)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := Table2(Config{Seed: 1, Scale: 0.1})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// X²max grows with p along each row (p=0.5 … 0.8).
+		base := parseF(t, row[1])
+		last := parseF(t, row[4])
+		if last <= base {
+			t.Errorf("row %s: X²max at p=0.8 (%.2f) not above p=0.5 (%.2f)", row[0], last, base)
+		}
+	}
+	// And grows with n down the strongest-bias column.
+	first := parseF(t, tab.Rows[0][4])
+	lastRow := parseF(t, tab.Rows[3][4])
+	if lastRow <= first {
+		t.Errorf("X²max at p=0.8 did not grow with n: %.2f -> %.2f", first, lastRow)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := Table3(Config{Seed: 1})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tab.Rows))
+	}
+	// Rows are in decreasing X² order, and the strongest patch must be a
+	// Yankees-dominant era in the 1920s–30s (win% well above base).
+	prev := math.Inf(1)
+	for _, row := range tab.Rows {
+		x2 := parseF(t, row[2])
+		if x2 > prev {
+			t.Errorf("rows not sorted by X²: %.2f after %.2f", x2, prev)
+		}
+		prev = x2
+	}
+	topWin := parseF(t, tab.Rows[0][5])
+	if math.Abs(topWin-76) > 8 {
+		t.Errorf("strongest patch win%% = %.1f, want ≈76 (planted era)", topWin)
+	}
+	if !strings.Contains(tab.Rows[0][0], "192") && !strings.Contains(tab.Rows[0][0], "193") {
+		t.Errorf("strongest patch starts %s, want within 1924–33", tab.Rows[0][0])
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4(Config{Seed: 1})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	triv := parseF(t, tab.Rows[0][1])
+	our := parseF(t, tab.Rows[1][1])
+	agmm := parseF(t, tab.Rows[3][1])
+	if math.Abs(triv-our) > 1e-6 {
+		t.Errorf("Our %.4f ≠ Trivial %.4f", our, triv)
+	}
+	if agmm > triv+1e-6 {
+		t.Errorf("AGMM %.4f beat the optimum %.4f", agmm, triv)
+	}
+}
+
+func TestTables5And6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size stock histories are slow; run without -short")
+	}
+	tab := Table5(Config{Seed: 1})
+	if len(tab.Rows) < 8 {
+		t.Fatalf("table5: %d rows, want ≥ 8 (2 good + 2 bad per up to 3 securities)", len(tab.Rows))
+	}
+	sawGood, sawBad := false, false
+	for _, row := range tab.Rows {
+		change := parseF(t, row[5])
+		if row[0] == "Good" {
+			sawGood = true
+		}
+		if row[0] == "Bad" {
+			sawBad = true
+		}
+		_ = change
+	}
+	if !sawGood || !sawBad {
+		t.Error("table5 missing Good or Bad section")
+	}
+
+	tab6 := Table6(Config{Seed: 1})
+	if len(tab6.Rows) != 12 {
+		t.Fatalf("table6: %d rows, want 12", len(tab6.Rows))
+	}
+	// Per security: Our == Trivial, AGMM ≤ optimum.
+	for g := 0; g < 3; g++ {
+		rows := tab6.Rows[4*g : 4*g+4]
+		triv := parseF(t, rows[0][2])
+		our := parseF(t, rows[1][2])
+		agmm := parseF(t, rows[3][2])
+		if math.Abs(triv-our) > 1e-6 {
+			t.Errorf("%s: Our %.4f ≠ Trivial %.4f", rows[0][1], our, triv)
+		}
+		if agmm > triv+1e-6 {
+			t.Errorf("%s: AGMM %.4f beat the optimum", rows[0][1], agmm)
+		}
+	}
+}
+
+func TestAblation1Shape(t *testing.T) {
+	tab := Ablation1(Config{Seed: 1, Scale: 0.2})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		exact := parseI(t, row[1])
+		paper := parseI(t, row[2])
+		// The paper-literal variant may only skip more.
+		if paper > exact {
+			t.Errorf("n=%s: paper variant evaluated more (%d) than exact (%d)", row[0], paper, exact)
+		}
+		worst := parseF(t, row[4])
+		if worst < 0.5 || worst > 1.0+1e-9 {
+			t.Errorf("n=%s: worst ratio %g out of range", row[0], worst)
+		}
+	}
+}
+
+func TestAblation2Shape(t *testing.T) {
+	tab := Ablation2(Config{Seed: 1})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		l := parseI(t, row[0])
+		x2 := parseF(t, row[1])
+		lr := parseF(t, row[2])
+		// Convergence directions: X² below LR on null windows. The gap is
+		// O(1/l), so it is only statistically visible for short windows;
+		// for long ones the two must be nearly equal.
+		if l <= 100 && x2 >= lr {
+			t.Errorf("len=%d: mean X² %.4f not below mean LR %.4f", l, x2, lr)
+		}
+		if l > 100 && math.Abs(x2-lr) > 0.05 {
+			t.Errorf("len=%d: means diverge: X² %.4f vs LR %.4f", l, x2, lr)
+		}
+	}
+	// Both converge toward k−1 = 2 as windows grow.
+	last := tab.Rows[len(tab.Rows)-1]
+	if math.Abs(parseF(t, last[1])-2) > 0.25 || math.Abs(parseF(t, last[2])-2) > 0.25 {
+		t.Errorf("statistics did not converge to 2: %v", last)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments registered, want 16 paper experiments + 2 ablations", len(ids))
+	}
+	if _, err := Lookup("fig1a"); err != nil {
+		t.Errorf("Lookup(fig1a): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope): expected error")
+	}
+	desc := Describe()
+	for _, id := range ids {
+		if desc[id] == "" {
+			t.Errorf("experiment %s lacks a description", id)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package grid2d
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/chisq"
+)
+
+func uniformGrid(t *testing.T, cells [][]byte, k int) *Grid {
+	t.Helper()
+	g, err := New(cells, alphabet.MustUniform(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	if _, err := New(nil, m); err == nil {
+		t.Error("empty grid: expected error")
+	}
+	if _, err := New([][]byte{{}}, m); err == nil {
+		t.Error("empty row: expected error")
+	}
+	if _, err := New([][]byte{{0, 1}, {0}}, m); err == nil {
+		t.Error("ragged grid: expected error")
+	}
+	if _, err := New([][]byte{{0, 5}}, m); err == nil {
+		t.Error("out-of-range symbol: expected error")
+	}
+	if _, err := New([][]byte{{0, 1}}, nil); err == nil {
+		t.Error("nil model: expected error")
+	}
+}
+
+func TestX2AgainstManualCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, cols, k := 12, 9, 3
+	cells := make([][]byte, rows)
+	for r := range cells {
+		cells[r] = make([]byte, cols)
+		for c := range cells[r] {
+			cells[r][c] = byte(rng.Intn(k))
+		}
+	}
+	g := uniformGrid(t, cells, k)
+	probs := alphabet.MustUniform(k).Probs()
+	for trial := 0; trial < 100; trial++ {
+		top := rng.Intn(rows)
+		bottom := top + 1 + rng.Intn(rows-top)
+		left := rng.Intn(cols)
+		right := left + 1 + rng.Intn(cols-left)
+		rc := Rect{Top: top, Bottom: bottom, Left: left, Right: right}
+		got, err := g.X2(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, k)
+		for r := top; r < bottom; r++ {
+			for c := left; c < right; c++ {
+				counts[cells[r][c]]++
+			}
+		}
+		want := chisq.Value(counts, probs)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("X2(%v) = %g, want %g", rc, got, want)
+		}
+	}
+}
+
+func TestX2Errors(t *testing.T) {
+	g := uniformGrid(t, [][]byte{{0, 1}, {1, 0}}, 2)
+	bad := []Rect{
+		{Top: -1, Bottom: 1, Left: 0, Right: 1},
+		{Top: 0, Bottom: 3, Left: 0, Right: 1},
+		{Top: 0, Bottom: 1, Left: 1, Right: 1},
+		{Top: 1, Bottom: 1, Left: 0, Right: 1},
+	}
+	for _, rc := range bad {
+		if _, err := g.X2(rc); err == nil {
+			t.Errorf("rect %v: expected error", rc)
+		}
+	}
+}
+
+func TestMSRFindsPlantedBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows, cols := 20, 20
+	cells := make([][]byte, rows)
+	for r := range cells {
+		cells[r] = make([]byte, cols)
+		for c := range cells[r] {
+			cells[r][c] = byte(rng.Intn(2))
+		}
+	}
+	// Plant an all-ones block at rows 5..10, cols 8..14.
+	for r := 5; r < 10; r++ {
+		for c := 8; c < 14; c++ {
+			cells[r][c] = 1
+		}
+	}
+	g := uniformGrid(t, cells, 2)
+	best, evaluated := g.MSR()
+	if evaluated == 0 {
+		t.Fatal("MSR evaluated nothing")
+	}
+	// The MSR must substantially overlap the planted block.
+	interTop := math.Max(float64(best.Top), 5)
+	interBottom := math.Min(float64(best.Bottom), 10)
+	interLeft := math.Max(float64(best.Left), 8)
+	interRight := math.Min(float64(best.Right), 14)
+	interArea := math.Max(0, interBottom-interTop) * math.Max(0, interRight-interLeft)
+	if interArea < 0.5*float64(best.Area()) {
+		t.Errorf("MSR %v overlaps planted block too little (inter %d of %d)", best.Rect, int(interArea), best.Area())
+	}
+	if pv := g.PValue(best.X2); pv > 1e-6 {
+		t.Errorf("planted block p-value %g", pv)
+	}
+}
+
+func TestMSRMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		rows := 3 + rng.Intn(4)
+		cols := 3 + rng.Intn(4)
+		k := 2 + rng.Intn(2)
+		cells := make([][]byte, rows)
+		for r := range cells {
+			cells[r] = make([]byte, cols)
+			for c := range cells[r] {
+				cells[r][c] = byte(rng.Intn(k))
+			}
+		}
+		g := uniformGrid(t, cells, k)
+		best, evaluated := g.MSR()
+		// Brute force via X2 on every rectangle.
+		wantBest := -1.0
+		var count int64
+		for top := 0; top < rows; top++ {
+			for bottom := top + 1; bottom <= rows; bottom++ {
+				for left := 0; left < cols; left++ {
+					for right := left + 1; right <= cols; right++ {
+						v, err := g.X2(Rect{Top: top, Bottom: bottom, Left: left, Right: right})
+						if err != nil {
+							t.Fatal(err)
+						}
+						count++
+						if v > wantBest {
+							wantBest = v
+						}
+					}
+				}
+			}
+		}
+		if evaluated != count {
+			t.Fatalf("evaluated %d rects, brute force %d", evaluated, count)
+		}
+		if math.Abs(best.X2-wantBest) > 1e-9*math.Max(1, wantBest) {
+			t.Fatalf("MSR X²=%g, brute force %g", best.X2, wantBest)
+		}
+	}
+}
+
+// MSRPruned is exact: it must match the exhaustive MSR on random grids and
+// evaluate no more rectangles.
+func TestMSRPrunedMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		rows := 4 + rng.Intn(10)
+		cols := 4 + rng.Intn(14)
+		k := 2 + rng.Intn(2)
+		cells := make([][]byte, rows)
+		for r := range cells {
+			cells[r] = make([]byte, cols)
+			for c := range cells[r] {
+				cells[r][c] = byte(rng.Intn(k))
+			}
+		}
+		g := uniformGrid(t, cells, k)
+		exact, evalExact := g.MSR()
+		pruned, evalPruned := g.MSRPruned()
+		if math.Abs(exact.X2-pruned.X2) > 1e-9*math.Max(1, exact.X2) {
+			t.Fatalf("trial %d: pruned %.9g (%v) vs exhaustive %.9g (%v)",
+				trial, pruned.X2, pruned.Rect, exact.X2, exact.Rect)
+		}
+		if evalPruned > evalExact {
+			t.Fatalf("trial %d: pruned evaluated more (%d) than exhaustive (%d)", trial, evalPruned, evalExact)
+		}
+	}
+}
+
+// On larger null grids the column skip must cut the work substantially.
+func TestMSRPrunedSavesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rows, cols := 12, 120
+	cells := make([][]byte, rows)
+	for r := range cells {
+		cells[r] = make([]byte, cols)
+		for c := range cells[r] {
+			cells[r][c] = byte(rng.Intn(2))
+		}
+	}
+	g := uniformGrid(t, cells, 2)
+	exact, evalExact := g.MSR()
+	pruned, evalPruned := g.MSRPruned()
+	if math.Abs(exact.X2-pruned.X2) > 1e-9*math.Max(1, exact.X2) {
+		t.Fatalf("pruned %.9g vs exhaustive %.9g", pruned.X2, exact.X2)
+	}
+	if float64(evalPruned) > 0.6*float64(evalExact) {
+		t.Errorf("pruned evaluated %d of %d rectangles — expected a substantial saving", evalPruned, evalExact)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	rc := Rect{Top: 1, Bottom: 4, Left: 2, Right: 5}
+	if rc.Area() != 9 {
+		t.Errorf("Area = %d", rc.Area())
+	}
+	if rc.String() != "[1,4)x[2,5)" {
+		t.Errorf("String = %q", rc.String())
+	}
+	g := uniformGrid(t, [][]byte{{0, 1}, {1, 0}}, 2)
+	if g.Rows() != 2 || g.Cols() != 2 {
+		t.Error("dims wrong")
+	}
+	if g.PValue(0) != 1 {
+		t.Error("PValue(0) should be 1")
+	}
+}

@@ -1,0 +1,196 @@
+// Package markovnull extends the paper's framework to a first-order Markov
+// null model — the extension named in the paper's future work (§8: "the
+// analysis can be further extended to strings generated from Markov models,
+// the most basic of which being the case when there is a correlation
+// between adjacent characters").
+//
+// Under a Markov null with transition matrix P(b|a), the expected number of
+// a→b transitions inside a window equals (#occurrences of a among the
+// window's first l−1 positions) · P(b|a), and the statistic is Pearson's
+// chi-square over the k² transition cells:
+//
+//	X²_M = Σ_{a,b} (O_ab − E_ab)² / E_ab ,  E_ab = C_a · P(b|a).
+//
+// Its asymptotic null law is χ²(k(k−1)) (k² cells minus k row-sum
+// constraints). The scan is exhaustive over windows using transition prefix
+// counts (O(k²) per window); the chain-cover skip of the i.i.d. case does
+// not transfer because the statistic is no longer a function of single-
+// character counts alone.
+package markovnull
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Chain is a validated first-order Markov transition model.
+type Chain struct {
+	k     int
+	trans [][]float64 // trans[a][b] = P(b | a), rows sum to 1
+}
+
+// NewChain validates the transition matrix: square, rows summing to 1, all
+// entries strictly inside (0, 1).
+func NewChain(trans [][]float64) (*Chain, error) {
+	k := len(trans)
+	if k < 2 {
+		return nil, fmt.Errorf("markovnull: need at least 2 states, got %d", k)
+	}
+	if k > alphabet.MaxK {
+		return nil, fmt.Errorf("markovnull: %d states exceeds maximum %d", k, alphabet.MaxK)
+	}
+	cp := make([][]float64, k)
+	for a, row := range trans {
+		if len(row) != k {
+			return nil, fmt.Errorf("markovnull: row %d has %d entries, want %d", a, len(row), k)
+		}
+		sum := 0.0
+		for b, p := range row {
+			if math.IsNaN(p) || p <= 0 || p >= 1 {
+				return nil, fmt.Errorf("markovnull: transition P(%d|%d)=%g outside (0,1)", b, a, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markovnull: row %d sums to %g, want 1", a, sum)
+		}
+		cp[a] = make([]float64, k)
+		for b, p := range row {
+			cp[a][b] = p / sum
+		}
+	}
+	return &Chain{k: k, trans: cp}, nil
+}
+
+// UniformChain returns the memoryless chain whose every row is uniform —
+// under it the Markov statistic reduces to a plain independence test.
+func UniformChain(k int) (*Chain, error) {
+	rows := make([][]float64, k)
+	for a := range rows {
+		rows[a] = make([]float64, k)
+		for b := range rows[a] {
+			rows[a][b] = 1 / float64(k)
+		}
+	}
+	return NewChain(rows)
+}
+
+// K returns the number of states.
+func (c *Chain) K() int { return c.k }
+
+// Prob returns P(b | a).
+func (c *Chain) Prob(a, b int) float64 { return c.trans[a][b] }
+
+// DegreesOfFreedom returns k(k−1), the degrees of freedom of the transition
+// chi-square.
+func (c *Chain) DegreesOfFreedom() int { return c.k * (c.k - 1) }
+
+// Scanner scans a symbol string for windows whose transition counts deviate
+// from the chain.
+type Scanner struct {
+	s     []byte
+	chain *Chain
+	k     int
+	// pre[a*k+b][i] = number of a→b transitions among s[0:i]'s first i−1
+	// adjacent pairs (i.e. pairs wholly inside s[0:i]).
+	pre [][]int32
+}
+
+// NewScanner validates s against the chain and precomputes transition
+// prefix counts in O(n·k²) space-efficient form.
+func NewScanner(s []byte, chain *Chain) (*Scanner, error) {
+	if chain == nil {
+		return nil, fmt.Errorf("markovnull: nil chain")
+	}
+	if err := alphabet.Validate(s, chain.k); err != nil {
+		return nil, err
+	}
+	k := chain.k
+	n := len(s)
+	backing := make([]int32, k*k*(n+1))
+	pre := make([][]int32, k*k)
+	for c := 0; c < k*k; c++ {
+		pre[c] = backing[c*(n+1) : (c+1)*(n+1)]
+	}
+	for i := 1; i <= n; i++ {
+		for c := 0; c < k*k; c++ {
+			pre[c][i] = pre[c][i-1]
+		}
+		if i >= 2 {
+			cell := int(s[i-2])*k + int(s[i-1])
+			pre[cell][i]++
+		}
+	}
+	return &Scanner{s: s, chain: chain, k: k, pre: pre}, nil
+}
+
+// Len returns the string length.
+func (sc *Scanner) Len() int { return len(sc.s) }
+
+// X2 returns the transition chi-square of the window s[i:j). Windows shorter
+// than 2 have no transitions and score 0. Cells whose expectation is zero
+// (the row symbol never occurs in the window) contribute nothing.
+func (sc *Scanner) X2(i, j int) float64 {
+	if j-i < 2 {
+		return 0
+	}
+	k := sc.k
+	sum := 0.0
+	for a := 0; a < k; a++ {
+		// C_a = occurrences of a in s[i:j-1] = row sum of observed
+		// transitions from a.
+		var rowTotal int32
+		base := a * k
+		for b := 0; b < k; b++ {
+			rowTotal += sc.pre[base+b][j] - sc.pre[base+b][i+1]
+		}
+		if rowTotal == 0 {
+			continue
+		}
+		ca := float64(rowTotal)
+		for b := 0; b < k; b++ {
+			obs := float64(sc.pre[base+b][j] - sc.pre[base+b][i+1])
+			exp := ca * sc.chain.trans[a][b]
+			d := obs - exp
+			sum += d * d / exp
+		}
+	}
+	return sum
+}
+
+// MSS finds the window with the maximum transition chi-square by exhaustive
+// scan: O(n²·k²). The paper leaves a sub-quadratic Markov scan as an open
+// problem; this provides the exact reference semantics.
+func (sc *Scanner) MSS() (core.Scored, core.Stats) {
+	n := len(sc.s)
+	best := core.Scored{X2: -1}
+	var st core.Stats
+	for i := 0; i < n-1; i++ {
+		st.Starts++
+		for j := i + 2; j <= n; j++ {
+			x2 := sc.X2(i, j)
+			st.Evaluated++
+			if x2 > best.X2 {
+				best = core.Scored{Interval: core.Interval{Start: i, End: j}, X2: x2}
+			}
+		}
+	}
+	if best.X2 < 0 {
+		return core.Scored{}, st
+	}
+	return best, st
+}
+
+// PValue converts a transition chi-square to its p-value under
+// χ²(k(k−1)).
+func (sc *Scanner) PValue(x2 float64) float64 {
+	if x2 <= 0 {
+		return 1
+	}
+	d := dist.ChiSquare{Nu: float64(sc.chain.DegreesOfFreedom())}
+	return d.Survival(x2)
+}

@@ -1,0 +1,148 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+func calibrate(t *testing.T, n, samples int, seed int64) *Calibration {
+	t.Helper()
+	m := alphabet.MustUniform(2)
+	c, err := Calibrate(n, m, samples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	if _, err := Calibrate(0, m, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Calibrate(10, m, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	if _, err := Calibrate(10, nil, 10, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := calibrate(t, 300, 40, 7)
+	b := calibrate(t, 300, 40, 7)
+	if a.Samples() != b.Samples() {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.samples {
+		if a.samples[i] != b.samples[i] {
+			t.Fatalf("sample %d differs: %g vs %g — parallel scheduling leaked into results", i, a.samples[i], b.samples[i])
+		}
+	}
+	c := calibrate(t, 300, 40, 8)
+	if a.Mean() == c.Mean() {
+		t.Error("different seeds produced identical calibrations")
+	}
+}
+
+// The paper's empirical law: E[X²max] ≈ 2·ln n for null binary strings.
+func TestMeanTracksTwoLogN(t *testing.T) {
+	for _, n := range []int{500, 2000} {
+		c := calibrate(t, n, 60, 3)
+		want := 2 * math.Log(float64(n))
+		if math.Abs(c.Mean()-want) > 0.35*want {
+			t.Errorf("n=%d: mean X²max %.2f, want ≈ %.2f", n, c.Mean(), want)
+		}
+	}
+}
+
+func TestPValueSemantics(t *testing.T) {
+	c := calibrate(t, 400, 99, 5)
+	// The p-value of a tiny statistic is ~1, of a huge one is 1/(m+1).
+	if p := c.PValue(0); p != 1 {
+		t.Errorf("PValue(0) = %g, want 1", p)
+	}
+	if p := c.PValue(1e9); p != 1.0/100 {
+		t.Errorf("PValue(huge) = %g, want 0.01", p)
+	}
+	// Monotone nonincreasing.
+	prev := 2.0
+	for x := 0.0; x < 40; x += 2 {
+		p := c.PValue(x)
+		if p > prev {
+			t.Fatalf("p-value increased at %g: %g after %g", x, p, prev)
+		}
+		prev = p
+	}
+	// The median sample has p-value near 0.5.
+	med, err := c.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.PValue(med); math.Abs(p-0.5) > 0.1 {
+		t.Errorf("PValue(median) = %g", p)
+	}
+}
+
+func TestQuantileAndCriticalValue(t *testing.T) {
+	c := calibrate(t, 400, 80, 5)
+	q05, err := c.Quantile(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q95, err := c.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q05 < q95) {
+		t.Errorf("quantiles not ordered: %g, %g", q05, q95)
+	}
+	cv, err := c.CriticalValue(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv != q95 {
+		t.Errorf("CriticalValue(0.05) = %g, want %g", cv, q95)
+	}
+	if _, err := c.Quantile(-0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := c.Quantile(1.1); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, err := c.CriticalValue(0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+// The corrected p-value must be far more conservative than the naive
+// χ²(k−1) p-value: a statistic that looks wildly significant for a single
+// window is unremarkable as a maximum over ~n²/2 windows.
+func TestMultipleTestingCorrection(t *testing.T) {
+	n := 1000
+	c := calibrate(t, n, 99, 11)
+	// The *median* null maximum: naive χ²(1) p-value of it is tiny, the
+	// calibrated p-value is ~0.5.
+	med, err := c.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive χ²(1) survival at med (med ≈ 2 ln 1000 ≈ 13.8).
+	naive := math.Erfc(math.Sqrt(med / 2))
+	if naive > 0.01 {
+		t.Fatalf("test premise broken: naive p-value %g not small at %g", naive, med)
+	}
+	corrected := c.PValue(med)
+	if corrected < 0.3 {
+		t.Errorf("corrected p-value %g should be ~0.5 at the null median", corrected)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := calibrate(t, 123, 10, 1)
+	if c.N() != 123 || c.Samples() != 10 {
+		t.Errorf("N=%d Samples=%d", c.N(), c.Samples())
+	}
+}

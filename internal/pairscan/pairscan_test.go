@@ -1,0 +1,217 @@
+package pairscan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// makePair builds two binary streams, independent except inside
+// [corrStart, corrEnd) where b copies a with probability match.
+func makePair(rng *rand.Rand, n, corrStart, corrEnd int, match float64) (a, b []byte) {
+	a = make([]byte, n)
+	b = make([]byte, n)
+	for i := 0; i < n; i++ {
+		a[i] = byte(rng.Intn(2))
+		if i >= corrStart && i < corrEnd && rng.Float64() < match {
+			b[i] = a[i]
+		} else {
+			b[i] = byte(rng.Intn(2))
+		}
+	}
+	return a, b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]byte{0, 1}, 2, []byte{0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New(nil, 2, nil, 2); err == nil {
+		t.Error("empty streams accepted")
+	}
+	if _, err := New([]byte{0, 1}, 1, []byte{0, 1}, 2); err == nil {
+		t.Error("ka=1 accepted")
+	}
+	if _, err := New([]byte{0, 5}, 2, []byte{0, 1}, 2); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := New([]byte{0, 1}, 20, []byte{0, 1}, 20); err == nil {
+		t.Error("oversized product alphabet accepted")
+	}
+}
+
+func TestFindsPlantedCorrelationWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 3000
+	a, b := makePair(rng, n, 1200, 1700, 0.95)
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != n {
+		t.Fatalf("Len = %d", sc.Len())
+	}
+	best, st := sc.MostCorrelatedPeriod()
+	if st.Evaluated == 0 {
+		t.Fatal("no work performed")
+	}
+	// The found window must substantially overlap the planted one.
+	lo := math.Max(float64(best.Start), 1200)
+	hi := math.Min(float64(best.End), 1700)
+	if hi-lo < 0.5*float64(best.Len()) {
+		t.Errorf("correlation window %v misses planted [1200, 1700)", best.Interval)
+	}
+	if pv := sc.PValue(best.X2); pv > 1e-6 {
+		t.Errorf("planted correlation p-value %g", pv)
+	}
+	// Agreement inside the window is far above the 50% independence level.
+	agr, err := sc.Agreement(best.Start, best.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr < 0.75 {
+		t.Errorf("agreement %.2f inside the planted window", agr)
+	}
+}
+
+func TestNoCorrelationNoFalseAlarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	a, b := makePair(rng, n, 0, 0, 0) // fully independent
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := sc.MostCorrelatedPeriod()
+	// The max over ~n²/2 windows of a null pair is ~2 ln n ≈ 15; a planted
+	// 95% window of length 500 scores in the hundreds. Assert we are in
+	// null territory.
+	if best.X2 > 40 {
+		t.Errorf("independent streams produced X²max = %.1f", best.X2)
+	}
+}
+
+func TestAntiCorrelationDetected(t *testing.T) {
+	// b = 1−a inside the window: opposite moves are dependence too.
+	rng := rand.New(rand.NewSource(7))
+	n := 2500
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a[i] = byte(rng.Intn(2))
+		if i >= 1000 && i < 1400 && rng.Float64() < 0.92 {
+			b[i] = 1 - a[i]
+		} else {
+			b[i] = byte(rng.Intn(2))
+		}
+	}
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := sc.MostCorrelatedPeriod()
+	lo := math.Max(float64(best.Start), 1000)
+	hi := math.Min(float64(best.End), 1400)
+	if hi-lo < 0.5*float64(best.Len()) {
+		t.Errorf("anti-correlation window %v misses planted [1000, 1400)", best.Interval)
+	}
+	// Agreement is *low* in an anti-correlated window.
+	agr, err := sc.Agreement(best.Start, best.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr > 0.3 {
+		t.Errorf("agreement %.2f should be low in an anti-correlated window", agr)
+	}
+}
+
+func TestTopPeriodsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 3000
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a[i] = byte(rng.Intn(2))
+		switch {
+		case i >= 500 && i < 800 && rng.Float64() < 0.95:
+			b[i] = a[i]
+		case i >= 2000 && i < 2300 && rng.Float64() < 0.95:
+			b[i] = 1 - a[i]
+		default:
+			b[i] = byte(rng.Intn(2))
+		}
+	}
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops, _, err := sc.TopPeriods(2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) != 2 {
+		t.Fatalf("%d periods", len(tops))
+	}
+	// One per planted window, non-overlapping.
+	if tops[0].Start < tops[1].End && tops[1].Start < tops[0].End {
+		t.Errorf("periods overlap: %v %v", tops[0].Interval, tops[1].Interval)
+	}
+	hitFirst, hitSecond := false, false
+	for _, w := range tops {
+		if w.Start < 800 && w.End > 500 {
+			hitFirst = true
+		}
+		if w.Start < 2300 && w.End > 2000 {
+			hitSecond = true
+		}
+	}
+	if !hitFirst || !hitSecond {
+		t.Errorf("planted windows not both found: %v", tops)
+	}
+}
+
+func TestPeriodsAboveAndX2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := makePair(rng, 800, 300, 500, 0.95)
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := sc.MostCorrelatedPeriod()
+	count := 0
+	sc.PeriodsAbove(best.X2*0.9, func(w core.Scored) {
+		count++
+		if w.X2 <= best.X2*0.9 {
+			t.Errorf("reported window below threshold: %+v", w)
+		}
+		if got := sc.X2(w.Start, w.End); math.Abs(got-w.X2) > 1e-9*math.Max(1, w.X2) {
+			t.Errorf("X2 accessor disagrees: %g vs %g", got, w.X2)
+		}
+	})
+	if count == 0 {
+		t.Error("no windows above 0.9×max")
+	}
+}
+
+func TestAgreementErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b := makePair(rng, 100, 0, 0, 0)
+	sc, err := New(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Agreement(-1, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := sc.Agreement(5, 200); err == nil {
+		t.Error("end beyond length accepted")
+	}
+	if _, err := sc.Agreement(5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+	if sc.PValue(0) != 1 || sc.PValue(-1) != 1 {
+		t.Error("degenerate p-values should be 1")
+	}
+}

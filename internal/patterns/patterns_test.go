@@ -1,0 +1,164 @@
+package patterns
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+)
+
+func TestOccurrencesKnown(t *testing.T) {
+	// s = 0 1 0 1 0 — pattern "0 1" occurs at 0 and 2.
+	s := []byte{0, 1, 0, 1, 0}
+	ix := New(s)
+	if ix.Len() != 5 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	occ, err := ix.Occurrences(core.Interval{Start: 0, End: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2}
+	if len(occ) != len(want) {
+		t.Fatalf("occurrences %v, want %v", occ, want)
+	}
+	for i := range want {
+		if occ[i] != want[i] {
+			t.Fatalf("occurrences %v, want %v", occ, want)
+		}
+	}
+}
+
+func TestOccurrencesUnique(t *testing.T) {
+	s := []byte{0, 0, 1, 2, 1, 0}
+	ix := New(s)
+	occ, err := ix.Occurrences(core.Interval{Start: 2, End: 5}) // "1 2 1"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 1 || occ[0] != 2 {
+		t.Errorf("occurrences %v, want [2]", occ)
+	}
+}
+
+func TestOccurrencesErrors(t *testing.T) {
+	ix := New([]byte{0, 1})
+	for _, iv := range []core.Interval{{Start: -1, End: 1}, {Start: 0, End: 3}, {Start: 1, End: 1}} {
+		if _, err := ix.Occurrences(iv); err == nil {
+			t.Errorf("interval %v: expected error", iv)
+		}
+	}
+}
+
+func TestOccurrencesMatchNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := make([]byte, 500)
+	for i := range s {
+		s[i] = byte(rng.Intn(2))
+	}
+	ix := New(s)
+	for trial := 0; trial < 50; trial++ {
+		start := rng.Intn(len(s) - 4)
+		end := start + 2 + rng.Intn(3)
+		occ, err := ix.Occurrences(core.Interval{Start: start, End: end})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive scan.
+		var want []int
+		pat := s[start:end]
+	outer:
+		for i := 0; i+len(pat) <= len(s); i++ {
+			for j := range pat {
+				if s[i+j] != pat[j] {
+					continue outer
+				}
+			}
+			want = append(want, i)
+		}
+		if len(occ) != len(want) {
+			t.Fatalf("trial %d: %v vs naive %v", trial, occ, want)
+		}
+		for i := range want {
+			if occ[i] != want[i] {
+				t.Fatalf("trial %d: %v vs naive %v", trial, occ, want)
+			}
+		}
+	}
+}
+
+func TestFindRecurring(t *testing.T) {
+	// Plant the same anomalous burst (eight 1s) twice in a background of
+	// alternating symbols.
+	var s []byte
+	background := func(n int) {
+		for i := 0; i < n; i++ {
+			s = append(s, byte(i%2))
+		}
+	}
+	burst := func() {
+		for i := 0; i < 8; i++ {
+			s = append(s, 1)
+		}
+	}
+	background(40)
+	burst()
+	background(40)
+	burst()
+	background(40)
+
+	m := alphabet.MustUniform(2)
+	sc, err := core.NewScanner(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := FindRecurring(sc, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recurring significant windows found")
+	}
+	top := recs[0]
+	if top.Count() < 2 {
+		t.Errorf("top window recurs %d times, want ≥ 2", top.Count())
+	}
+	// The top window must be one of the planted bursts (all-1 content).
+	for _, c := range sc.Symbols()[top.Window.Start:top.Window.End] {
+		if c != 1 {
+			t.Errorf("top recurring window %v is not the planted burst", top.Window.Interval)
+			break
+		}
+	}
+}
+
+func TestFindRecurringMinCountFilters(t *testing.T) {
+	// A single unique anomaly: with minCount=2 nothing qualifies.
+	var s []byte
+	for i := 0; i < 60; i++ {
+		s = append(s, byte(i%2))
+	}
+	for i := 0; i < 7; i++ {
+		s = append(s, 0)
+	}
+	for i := 0; i < 60; i++ {
+		s = append(s, byte(i%2))
+	}
+	m := alphabet.MustUniform(2)
+	sc, _ := core.NewScanner(s, m)
+	recs, err := FindRecurring(sc, 1, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("unique anomaly reported as recurring: %v", recs)
+	}
+	recs, err = FindRecurring(sc, 1, 5, 0) // minCount clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("expected the anomaly with minCount=1, got %d", len(recs))
+	}
+}

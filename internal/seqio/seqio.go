@@ -1,0 +1,198 @@
+// Package seqio reads and writes the sequence formats the applications in
+// the paper's introduction consume: plain symbol text, FASTA (for the
+// computational-biology motivation — oligonucleotide over-representation,
+// mutation-rate regions), and two-column CSV time series (date,value — the
+// §7.5.2 finance pipeline). All readers validate their input and report
+// positions in errors.
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DNAAlphabet is the symbol order used by ReadFASTA: A=0, C=1, G=2, T=3.
+const DNAAlphabet = "ACGT"
+
+// ReadText reads a plain text sequence: all whitespace is stripped, every
+// remaining rune must appear in alphabet, and symbols are the rune's index
+// in alphabet.
+func ReadText(r io.Reader, alphabet string) ([]byte, error) {
+	idx := make(map[rune]byte, len(alphabet))
+	for i, c := range alphabet {
+		if _, dup := idx[c]; dup {
+			return nil, fmt.Errorf("seqio: duplicate alphabet character %q", c)
+		}
+		idx[c] = byte(i)
+	}
+	if len(idx) < 2 {
+		return nil, fmt.Errorf("seqio: alphabet %q has fewer than 2 characters", alphabet)
+	}
+	var out []byte
+	br := bufio.NewReader(r)
+	pos := 0
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		pos++
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			continue
+		}
+		sym, ok := idx[c]
+		if !ok {
+			return nil, fmt.Errorf("seqio: character %q at position %d not in alphabet %q", c, pos, alphabet)
+		}
+		out = append(out, sym)
+	}
+	return out, nil
+}
+
+// WriteText writes symbols as their alphabet characters, wrapping lines at
+// width columns (width ≤ 0 disables wrapping).
+func WriteText(w io.Writer, s []byte, alphabet string, width int) error {
+	runes := []rune(alphabet)
+	bw := bufio.NewWriter(w)
+	col := 0
+	for i, sym := range s {
+		if int(sym) >= len(runes) {
+			return fmt.Errorf("seqio: symbol %d at position %d outside alphabet of size %d", sym, i, len(runes))
+		}
+		if _, err := bw.WriteRune(runes[sym]); err != nil {
+			return err
+		}
+		col++
+		if width > 0 && col == width {
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			col = 0
+		}
+	}
+	if col != 0 || len(s) == 0 {
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FASTARecord is one sequence of a FASTA file, encoded over DNAAlphabet.
+type FASTARecord struct {
+	Header  string
+	Symbols []byte
+}
+
+// ReadFASTA parses FASTA records. Sequence characters must be A/C/G/T
+// (case-insensitive); N and other ambiguity codes are rejected, since the
+// chi-square model has no probability for them.
+func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
+	var recs []FASTARecord
+	var cur *FASTARecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			recs = append(recs, FASTARecord{Header: strings.TrimSpace(line[1:])})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqio: line %d: sequence data before any FASTA header", lineNo)
+		}
+		for i, c := range line {
+			var sym byte
+			switch c {
+			case 'A', 'a':
+				sym = 0
+			case 'C', 'c':
+				sym = 1
+			case 'G', 'g':
+				sym = 2
+			case 'T', 't':
+				sym = 3
+			default:
+				return nil, fmt.Errorf("seqio: line %d, column %d: unsupported base %q", lineNo, i+1, c)
+			}
+			cur.Symbols = append(cur.Symbols, sym)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("seqio: no FASTA records found")
+	}
+	return recs, nil
+}
+
+// TimePoint is one row of a (label, value) series.
+type TimePoint struct {
+	Label string
+	Value float64
+}
+
+// ReadCSVSeries parses a two-column CSV of label,value rows (an optional
+// non-numeric first row is treated as a header). It is the loader for the
+// finance pipeline: labels are dates, values are closes.
+func ReadCSVSeries(r io.Reader) ([]TimePoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []TimePoint
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("seqio: line %d: want 2 comma-separated columns, got %d", lineNo, len(parts))
+		}
+		label := strings.TrimSpace(parts[0])
+		raw := strings.TrimSpace(parts[1])
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("seqio: line %d: bad value %q: %v", lineNo, raw, err)
+		}
+		out = append(out, TimePoint{Label: label, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seqio: no data rows found")
+	}
+	return out, nil
+}
+
+// WriteCSVSeries writes label,value rows.
+func WriteCSVSeries(w io.Writer, pts []TimePoint) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		if strings.Contains(p.Label, ",") {
+			return fmt.Errorf("seqio: label %q contains a comma", p.Label)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%g\n", p.Label, p.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,174 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTextBasic(t *testing.T) {
+	s, err := ReadText(strings.NewReader("010 1\n10"), "01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 0, 1, 1, 0}
+	if len(s) != len(want) {
+		t.Fatalf("got %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v, want %v", s, want)
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("012"), "01"); err == nil {
+		t.Error("out-of-alphabet character accepted")
+	}
+	if _, err := ReadText(strings.NewReader("0"), "0"); err == nil {
+		t.Error("1-character alphabet accepted")
+	}
+	if _, err := ReadText(strings.NewReader("0"), "00"); err == nil {
+		t.Error("duplicate alphabet characters accepted")
+	}
+}
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	s := []byte{0, 1, 2, 3, 0, 1, 2, 3, 0}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s, DNAAlphabet, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if out != "ACGT\nACGT\nA\n" {
+		t.Errorf("wrapped output = %q", out)
+	}
+	back, err := ReadText(strings.NewReader(out), DNAAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d", len(back))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestWriteTextNoWrap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, []byte{1, 0}, "01", 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "10\n" {
+		t.Errorf("got %q", buf.String())
+	}
+	if err := WriteText(&buf, []byte{5}, "01", 0); err == nil {
+		t.Error("symbol outside alphabet accepted")
+	}
+}
+
+func TestReadFASTA(t *testing.T) {
+	in := `>seq1 first record
+ACGT
+acgt
+
+>seq2
+TTTT`
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Header != "seq1 first record" {
+		t.Errorf("header %q", recs[0].Header)
+	}
+	want := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	if len(recs[0].Symbols) != len(want) {
+		t.Fatalf("seq1 = %v", recs[0].Symbols)
+	}
+	for i := range want {
+		if recs[0].Symbols[i] != want[i] {
+			t.Fatalf("seq1 = %v, want %v", recs[0].Symbols, want)
+		}
+	}
+	for _, sym := range recs[1].Symbols {
+		if sym != 3 {
+			t.Error("seq2 should be all T")
+		}
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("data before header accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nACGN\n")); err == nil {
+		t.Error("ambiguity code N accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadCSVSeries(t *testing.T) {
+	in := "date,close\n2020-01-01,100.5\n2020-01-02,101.25\n\n2020-01-03,99\n"
+	pts, err := ReadCSVSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Label != "2020-01-01" || pts[0].Value != 100.5 {
+		t.Errorf("first point %+v", pts[0])
+	}
+	if pts[2].Value != 99 {
+		t.Errorf("last point %+v", pts[2])
+	}
+}
+
+func TestReadCSVSeriesNoHeader(t *testing.T) {
+	pts, err := ReadCSVSeries(strings.NewReader("a,1\nb,2\n"))
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("pts=%v err=%v", pts, err)
+	}
+}
+
+func TestReadCSVSeriesErrors(t *testing.T) {
+	if _, err := ReadCSVSeries(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("3-column row accepted")
+	}
+	if _, err := ReadCSVSeries(strings.NewReader("h,v\nx,notanumber\n")); err == nil {
+		t.Error("bad value in data row accepted")
+	}
+	if _, err := ReadCSVSeries(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSVSeries(strings.NewReader("h,v\n")); err == nil {
+		t.Error("header-only input accepted")
+	}
+}
+
+func TestWriteCSVSeriesRoundTrip(t *testing.T) {
+	pts := []TimePoint{{"2020-01-01", 1.5}, {"2020-01-02", -3}}
+	var buf bytes.Buffer
+	if err := WriteCSVSeries(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Value != -3 {
+		t.Errorf("round trip %v", back)
+	}
+	if err := WriteCSVSeries(&buf, []TimePoint{{"a,b", 1}}); err == nil {
+		t.Error("comma label accepted")
+	}
+}

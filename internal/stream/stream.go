@@ -1,0 +1,189 @@
+// Package stream provides an online sliding-window chi-square monitor in
+// the style of the intrusion-detection and automated-monitoring
+// applications the paper's introduction cites (Ye & Chen 2001: chi-square
+// anomaly scores over audit-event windows). It maintains the symbol counts
+// of the last W events in O(1) per event and raises an alert whenever the
+// window's X² crosses a threshold, with hysteresis so one anomaly yields
+// one alert.
+//
+// The offline scanners in internal/core answer "where were the anomalies in
+// this recorded string?"; this monitor answers "is the stream anomalous
+// right now?".
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/chisq"
+	"repro/internal/dist"
+)
+
+// Alert reports one contiguous episode during which the window statistic
+// stayed above the threshold.
+type Alert struct {
+	// Start is the index of the event whose arrival first pushed the window
+	// statistic above the threshold.
+	Start int
+	// End is the index after the last event of the episode (the episode is
+	// [Start, End)); open episodes have End = -1 until the statistic drops
+	// back below the threshold.
+	End int
+	// PeakX2 is the largest window statistic observed during the episode.
+	PeakX2 float64
+	// PeakAt is the event index where PeakX2 occurred.
+	PeakAt int
+}
+
+// Monitor is the online detector. It is not safe for concurrent use.
+type Monitor struct {
+	model     *alphabet.Model
+	probs     []float64
+	window    int
+	threshold float64
+
+	buf    []byte // ring buffer of the last `window` symbols
+	counts []int
+	filled int
+	next   int
+	seen   int
+
+	sumYsqOverP float64
+
+	inAlert bool
+	current Alert
+	alerts  []Alert
+}
+
+// New builds a monitor over a window of `window` events that alerts when
+// the window's X² exceeds threshold. Typical thresholds come from
+// dist.ChiSquare{Nu: k-1}.Quantile(1-α) for a per-window false-positive
+// rate α, or from a Monte-Carlo calibration for stream-level rates.
+func New(m *alphabet.Model, window int, threshold float64) (*Monitor, error) {
+	if m == nil {
+		return nil, fmt.Errorf("stream: nil model")
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("stream: window must be >= 2, got %d", window)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("stream: threshold must be positive, got %g", threshold)
+	}
+	return &Monitor{
+		model:     m,
+		probs:     m.Probs(),
+		window:    window,
+		threshold: threshold,
+		buf:       make([]byte, window),
+		counts:    make([]int, m.K()),
+	}, nil
+}
+
+// Window returns the window size.
+func (mo *Monitor) Window() int { return mo.window }
+
+// Seen returns the number of events observed so far.
+func (mo *Monitor) Seen() int { return mo.seen }
+
+// X2 returns the current window's chi-square statistic (0 until at least
+// one event has arrived; computed over the partial window until it fills).
+func (mo *Monitor) X2() float64 {
+	if mo.filled == 0 {
+		return 0
+	}
+	fl := float64(mo.filled)
+	return mo.sumYsqOverP/fl - fl
+}
+
+// PValue returns the χ²(k−1) tail probability of the current window
+// statistic.
+func (mo *Monitor) PValue() float64 {
+	x2 := mo.X2()
+	if x2 <= 0 {
+		return 1
+	}
+	c := dist.ChiSquare{Nu: float64(mo.model.K() - 1)}
+	return c.Survival(x2)
+}
+
+// Observe feeds one event and reports whether the monitor is currently in
+// an alert episode after processing it. Symbols outside the model's
+// alphabet are an error.
+func (mo *Monitor) Observe(sym byte) (bool, error) {
+	if int(sym) >= mo.model.K() {
+		return false, fmt.Errorf("stream: symbol %d outside alphabet of size %d", sym, mo.model.K())
+	}
+	if mo.filled == mo.window {
+		// Evict the oldest symbol: Y_old → Y_old − 1 updates
+		// Σ Y²/p by −(2Y_old − 1)/p_old.
+		old := mo.buf[mo.next]
+		yOld := float64(mo.counts[old])
+		mo.sumYsqOverP -= (2*yOld - 1) / mo.probs[old]
+		mo.counts[old]--
+		mo.filled--
+	}
+	y := float64(mo.counts[sym])
+	mo.sumYsqOverP += (2*y + 1) / mo.probs[sym]
+	mo.counts[sym]++
+	mo.buf[mo.next] = sym
+	mo.next = (mo.next + 1) % mo.window
+	mo.filled++
+	idx := mo.seen
+	mo.seen++
+
+	x2 := mo.X2()
+	switch {
+	case !mo.inAlert && x2 > mo.threshold:
+		mo.inAlert = true
+		mo.current = Alert{Start: idx, End: -1, PeakX2: x2, PeakAt: idx}
+	case mo.inAlert && x2 > mo.threshold:
+		if x2 > mo.current.PeakX2 {
+			mo.current.PeakX2 = x2
+			mo.current.PeakAt = idx
+		}
+	case mo.inAlert:
+		mo.current.End = idx
+		mo.alerts = append(mo.alerts, mo.current)
+		mo.inAlert = false
+	}
+	return mo.inAlert, nil
+}
+
+// ObserveAll feeds a batch of events.
+func (mo *Monitor) ObserveAll(s []byte) error {
+	for _, sym := range s {
+		if _, err := mo.Observe(sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alerts returns the completed alert episodes, plus the open episode (with
+// End = -1) if the monitor is currently alerting.
+func (mo *Monitor) Alerts() []Alert {
+	out := make([]Alert, len(mo.alerts), len(mo.alerts)+1)
+	copy(out, mo.alerts)
+	if mo.inAlert {
+		out = append(out, mo.current)
+	}
+	return out
+}
+
+// Reset clears the window and alert state but keeps the configuration.
+func (mo *Monitor) Reset() {
+	for i := range mo.counts {
+		mo.counts[i] = 0
+	}
+	mo.filled = 0
+	mo.next = 0
+	mo.seen = 0
+	mo.sumYsqOverP = 0
+	mo.inAlert = false
+	mo.alerts = nil
+}
+
+// verify exposes an O(k) recomputation of the window statistic for tests.
+func (mo *Monitor) verify() float64 {
+	return chisq.Value(mo.counts, mo.probs)
+}

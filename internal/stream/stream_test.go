@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dist"
+)
+
+func newMonitor(t *testing.T, k, window int, threshold float64) *Monitor {
+	t.Helper()
+	mo, err := New(alphabet.MustUniform(k), window, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mo
+}
+
+func TestNewValidation(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	if _, err := New(nil, 10, 5); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(m, 1, 5); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := New(m, 10, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	mo := newMonitor(t, 2, 8, 100)
+	if _, err := mo.Observe(5); err == nil {
+		t.Error("out-of-alphabet symbol accepted")
+	}
+}
+
+// The incremental window statistic must always match the O(k)
+// recomputation, across fill-up, steady state, and wraparound.
+func TestIncrementalMatchesRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{2, 4} {
+		mo := newMonitor(t, k, 16, 1e9)
+		for i := 0; i < 500; i++ {
+			if _, err := mo.Observe(byte(rng.Intn(k))); err != nil {
+				t.Fatal(err)
+			}
+			got := mo.X2()
+			want := mo.verify()
+			if math.Abs(got-want) > 1e-7*math.Max(1, want) {
+				t.Fatalf("k=%d step %d: incremental %g vs direct %g", k, i, got, want)
+			}
+		}
+		if mo.Seen() != 500 {
+			t.Errorf("Seen = %d", mo.Seen())
+		}
+	}
+}
+
+func TestAlertOnPlantedBurst(t *testing.T) {
+	// Fair stream, then a burst of zeros, then fair again.
+	c := dist.ChiSquare{Nu: 1}
+	threshold, err := c.Quantile(1 - 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := newMonitor(t, 2, 50, threshold)
+	rng := rand.New(rand.NewSource(5))
+	feed := func(n int, zeroProb float64) {
+		for i := 0; i < n; i++ {
+			sym := byte(1)
+			if rng.Float64() < zeroProb {
+				sym = 0
+			}
+			if _, err := mo.Observe(sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(500, 0.5)
+	burstStart := mo.Seen()
+	feed(80, 0.98)
+	burstEnd := mo.Seen()
+	feed(500, 0.5)
+
+	alerts := mo.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts for a 98% burst")
+	}
+	// Exactly one episode should cover the burst (hysteresis: no flapping).
+	covering := 0
+	for _, a := range alerts {
+		if a.End == -1 {
+			t.Fatalf("alert still open after the stream returned to normal: %+v", a)
+		}
+		if a.Start < burstEnd+60 && a.End > burstStart {
+			covering++
+			if a.PeakX2 <= threshold {
+				t.Errorf("peak %g below threshold %g", a.PeakX2, threshold)
+			}
+			if a.PeakAt < a.Start || a.PeakAt >= a.End {
+				t.Errorf("peak index %d outside episode [%d, %d)", a.PeakAt, a.Start, a.End)
+			}
+		}
+	}
+	if covering != 1 {
+		t.Errorf("%d alert episodes cover the burst, want 1 (alerts: %+v)", covering, alerts)
+	}
+}
+
+func TestFalsePositiveRateBounded(t *testing.T) {
+	// With a 1e-9-level threshold, a fair stream of 20k events should
+	// essentially never alert.
+	c := dist.ChiSquare{Nu: 1}
+	threshold, err := c.Quantile(1 - 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := newMonitor(t, 2, 100, threshold)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		if _, err := mo.Observe(byte(rng.Intn(2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if alerts := mo.Alerts(); len(alerts) > 1 {
+		t.Errorf("%d false alerts on a fair stream", len(alerts))
+	}
+}
+
+func TestOpenAlertReported(t *testing.T) {
+	mo := newMonitor(t, 2, 10, 5)
+	// Flood with zeros; the alert should be open (End = -1).
+	for i := 0; i < 30; i++ {
+		if _, err := mo.Observe(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts := mo.Alerts()
+	if len(alerts) != 1 || alerts[0].End != -1 {
+		t.Fatalf("expected one open alert, got %+v", alerts)
+	}
+}
+
+func TestObserveAllAndReset(t *testing.T) {
+	mo := newMonitor(t, 2, 10, 5)
+	if err := mo.ObserveAll([]byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if mo.X2() == 0 {
+		t.Error("X2 should be positive after a run of zeros")
+	}
+	mo.Reset()
+	if mo.X2() != 0 || mo.Seen() != 0 || len(mo.Alerts()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if err := mo.ObserveAll([]byte{0, 9}); err == nil {
+		t.Error("ObserveAll accepted a bad symbol")
+	}
+}
+
+func TestPValueConsistency(t *testing.T) {
+	mo := newMonitor(t, 2, 10, 100)
+	if mo.PValue() != 1 {
+		t.Error("empty monitor p-value should be 1")
+	}
+	for i := 0; i < 10; i++ {
+		mo.Observe(0)
+	}
+	// Window of ten 0s: X² = 10, p = survival(10) for 1 df.
+	want := dist.ChiSquare{Nu: 1}.Survival(10)
+	if math.Abs(mo.PValue()-want) > 1e-10 {
+		t.Errorf("p-value %g, want %g", mo.PValue(), want)
+	}
+}
+
+func TestWindowEvictionExact(t *testing.T) {
+	// After the window passes a burst completely, the statistic must drop
+	// back to the all-ones window value.
+	mo := newMonitor(t, 2, 4, 1e9)
+	seq := []byte{0, 0, 0, 0, 1, 1, 1, 1}
+	for _, s := range seq {
+		mo.Observe(s)
+	}
+	// Window is now the last four 1s: X² = 4.
+	if math.Abs(mo.X2()-4) > 1e-9 {
+		t.Errorf("X2 after eviction = %g, want 4", mo.X2())
+	}
+}

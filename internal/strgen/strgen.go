@@ -1,0 +1,345 @@
+// Package strgen provides every synthetic string source used in the paper's
+// experiments (§7.1–§7.4): the memoryless null model with uniform or
+// arbitrary multinomial probabilities, the geometric and harmonic
+// ("Zipfian") skewed sources, the first-order Markov source, the correlated
+// binary source of the cryptology study, and planted-anomaly strings for
+// controlled ground-truth tests.
+//
+// Generators are deterministic given a *rand.Rand, so every experiment in
+// this repository is reproducible from a seed.
+package strgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/alphabet"
+)
+
+// Generator produces symbol strings over a fixed model. Model reports the
+// distribution a scanner should assume for the generated strings (for
+// non-memoryless sources this is the stationary distribution).
+type Generator interface {
+	// Name identifies the generator in experiment tables.
+	Name() string
+	// Model returns the scanning model associated with the source.
+	Model() *alphabet.Model
+	// Generate draws a string of n symbols using rng.
+	Generate(n int, rng *rand.Rand) []byte
+}
+
+// sampler draws symbols from a fixed distribution by inverse transform on
+// the cumulative vector. For the small alphabets of the paper (k ≤ 10) a
+// linear scan beats binary search; we use binary search only for k > 16.
+type sampler struct {
+	cum []float64
+}
+
+func newSampler(probs []float64) sampler {
+	cum := make([]float64, len(probs))
+	s := 0.0
+	for i, p := range probs {
+		s += p
+		cum[i] = s
+	}
+	cum[len(cum)-1] = 1 // exact top end regardless of rounding
+	return sampler{cum: cum}
+}
+
+func (sa sampler) draw(rng *rand.Rand) byte {
+	u := rng.Float64()
+	if len(sa.cum) <= 16 {
+		for i, c := range sa.cum {
+			if u < c {
+				return byte(i)
+			}
+		}
+		return byte(len(sa.cum) - 1)
+	}
+	i := sort.SearchFloat64s(sa.cum, u)
+	if i >= len(sa.cum) {
+		i = len(sa.cum) - 1
+	}
+	return byte(i)
+}
+
+// Multinomial generates i.i.d. symbols from an arbitrary model — the
+// memoryless Bernoulli source of the paper.
+type Multinomial struct {
+	name  string
+	model *alphabet.Model
+	s     sampler
+}
+
+// NewMultinomial builds a memoryless source with the given model.
+func NewMultinomial(m *alphabet.Model) *Multinomial {
+	return &Multinomial{name: "Multinomial", model: m, s: newSampler(m.Probs())}
+}
+
+// NewNull returns the paper's default null source: uniform probabilities
+// over k symbols.
+func NewNull(k int) (*Multinomial, error) {
+	m, err := alphabet.Uniform(k)
+	if err != nil {
+		return nil, err
+	}
+	g := NewMultinomial(m)
+	g.name = "Null"
+	return g, nil
+}
+
+// MustNull is NewNull that panics on error.
+func MustNull(k int) *Multinomial {
+	g, err := NewNull(k)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewGeometric returns the paper's geometric source: p_i ∝ 1/2^i
+// (§7.1.2(a)). The string is still memoryless; only the symbol probabilities
+// are skewed.
+func NewGeometric(k int) (*Multinomial, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("strgen: geometric source needs k >= 2, got %d", k)
+	}
+	probs := make([]float64, k)
+	w := 1.0
+	sum := 0.0
+	for i := range probs {
+		w /= 2
+		probs[i] = w
+		sum += w
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	m, err := alphabet.NewModel(probs)
+	if err != nil {
+		return nil, err
+	}
+	g := NewMultinomial(m)
+	g.name = "Geometric"
+	return g, nil
+}
+
+// NewHarmonic returns the paper's harmonic source: p_i ∝ 1/i (§7.1.2(b));
+// the figures label this source "Zapian" (Zipfian with exponent 1).
+func NewHarmonic(k int) (*Multinomial, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("strgen: harmonic source needs k >= 2, got %d", k)
+	}
+	probs := make([]float64, k)
+	sum := 0.0
+	for i := range probs {
+		probs[i] = 1 / float64(i+1)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	m, err := alphabet.NewModel(probs)
+	if err != nil {
+		return nil, err
+	}
+	g := NewMultinomial(m)
+	g.name = "Harmonic"
+	return g, nil
+}
+
+// Name implements Generator.
+func (g *Multinomial) Name() string { return g.name }
+
+// Model implements Generator.
+func (g *Multinomial) Model() *alphabet.Model { return g.model }
+
+// Generate implements Generator.
+func (g *Multinomial) Generate(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = g.s.draw(rng)
+	}
+	return out
+}
+
+// Markov generates a first-order Markov chain with transition probability
+// P(a_j | a_i) ∝ 1/2^((i−j) mod k) (paper §7.1.2(c)). The transition matrix
+// is doubly stochastic (each row and column is a permutation of the same
+// weight vector), so the stationary distribution — and the scanning model —
+// is uniform.
+type Markov struct {
+	k     int
+	model *alphabet.Model
+	rows  []sampler
+}
+
+// NewMarkov builds the paper's Markov source over k symbols.
+func NewMarkov(k int) (*Markov, error) {
+	m, err := alphabet.Uniform(k)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]sampler, k)
+	for i := 0; i < k; i++ {
+		row := make([]float64, k)
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			e := ((i-j)%k + k) % k
+			row[j] = 1 / float64(uint64(1)<<uint(e))
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		rows[i] = newSampler(row)
+	}
+	return &Markov{k: k, model: m, rows: rows}, nil
+}
+
+// MustMarkov is NewMarkov that panics on error.
+func MustMarkov(k int) *Markov {
+	g, err := NewMarkov(k)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Markov) Name() string { return "Markov" }
+
+// Model implements Generator.
+func (g *Markov) Model() *alphabet.Model { return g.model }
+
+// Generate implements Generator.
+func (g *Markov) Generate(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	if n == 0 {
+		return out
+	}
+	cur := byte(rng.Intn(g.k)) // start from the (uniform) stationary law
+	out[0] = cur
+	for i := 1; i < n; i++ {
+		cur = g.rows[cur].draw(rng)
+		out[i] = cur
+	}
+	return out
+}
+
+// CorrelatedBinary models the biased random number generator of the paper's
+// cryptology study (§7.4): a binary source that repeats the previous symbol
+// with probability P and flips it otherwise. P = 0.5 recovers the null
+// model; P > 0.5 introduces the hidden correlation the MSS detects. The
+// stationary distribution is {0.5, 0.5} regardless of P, so the scanning
+// model is uniform binary.
+type CorrelatedBinary struct {
+	P     float64
+	model *alphabet.Model
+}
+
+// NewCorrelatedBinary validates the repeat probability.
+func NewCorrelatedBinary(p float64) (*CorrelatedBinary, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("strgen: repeat probability must lie in (0,1), got %g", p)
+	}
+	return &CorrelatedBinary{P: p, model: alphabet.MustUniform(2)}, nil
+}
+
+// Name implements Generator.
+func (g *CorrelatedBinary) Name() string { return fmt.Sprintf("Correlated(p=%.2f)", g.P) }
+
+// Model implements Generator.
+func (g *CorrelatedBinary) Model() *alphabet.Model { return g.model }
+
+// Generate implements Generator.
+func (g *CorrelatedBinary) Generate(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	if n == 0 {
+		return out
+	}
+	cur := byte(rng.Intn(2))
+	out[0] = cur
+	for i := 1; i < n; i++ {
+		if rng.Float64() >= g.P {
+			cur = 1 - cur
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// Window plants an alternative distribution over a region of a base string.
+type Window struct {
+	Start int       // first position of the planted region
+	Len   int       // number of symbols in the region
+	Probs []float64 // distribution used inside the region (length k)
+}
+
+// Planted generates from a base model everywhere except inside the planted
+// windows, where the override distributions apply. It provides ground truth
+// for detection tests: the planted windows are exactly the regions whose
+// empirical distribution deviates from the scanning model.
+type Planted struct {
+	base    *alphabet.Model
+	baseS   sampler
+	windows []Window
+	ws      []sampler
+}
+
+// NewPlanted validates the windows against the base model's alphabet size.
+// Windows may not overlap.
+func NewPlanted(base *alphabet.Model, windows []Window) (*Planted, error) {
+	k := base.K()
+	sorted := make([]Window, len(windows))
+	copy(sorted, windows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	prevEnd := -1
+	ws := make([]sampler, len(sorted))
+	for i, w := range sorted {
+		if w.Start < 0 || w.Len <= 0 {
+			return nil, fmt.Errorf("strgen: planted window %d has invalid bounds start=%d len=%d", i, w.Start, w.Len)
+		}
+		if w.Start < prevEnd {
+			return nil, fmt.Errorf("strgen: planted windows overlap at position %d", w.Start)
+		}
+		prevEnd = w.Start + w.Len
+		m, err := alphabet.NewModel(w.Probs)
+		if err != nil {
+			return nil, fmt.Errorf("strgen: planted window %d: %v", i, err)
+		}
+		if m.K() != k {
+			return nil, fmt.Errorf("strgen: planted window %d has %d probabilities, want %d", i, m.K(), k)
+		}
+		ws[i] = newSampler(m.Probs())
+	}
+	return &Planted{base: base, baseS: newSampler(base.Probs()), windows: sorted, ws: ws}, nil
+}
+
+// Name implements Generator.
+func (g *Planted) Name() string { return "Planted" }
+
+// Model implements Generator. It returns the base (background) model, which
+// is the model a scanner hunting for the planted windows should assume.
+func (g *Planted) Model() *alphabet.Model { return g.base }
+
+// Windows returns the planted windows in start order.
+func (g *Planted) Windows() []Window { return g.windows }
+
+// Generate implements Generator.
+func (g *Planted) Generate(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	wi := 0
+	for i := 0; i < n; i++ {
+		for wi < len(g.windows) && i >= g.windows[wi].Start+g.windows[wi].Len {
+			wi++
+		}
+		if wi < len(g.windows) && i >= g.windows[wi].Start {
+			out[i] = g.ws[wi].draw(rng)
+		} else {
+			out[i] = g.baseS.draw(rng)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package strgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+func countSyms(s []byte, k int) []int {
+	c := make([]int, k)
+	for _, x := range s {
+		c[x]++
+	}
+	return c
+}
+
+// checkFrequencies verifies empirical frequencies are within 5 standard
+// deviations of the generator's model.
+func checkFrequencies(t *testing.T, name string, s []byte, m *alphabet.Model) {
+	t.Helper()
+	n := float64(len(s))
+	c := countSyms(s, m.K())
+	for i := 0; i < m.K(); i++ {
+		p := m.Prob(i)
+		sd := math.Sqrt(n * p * (1 - p))
+		if math.Abs(float64(c[i])-n*p) > 5*sd+1 {
+			t.Errorf("%s: symbol %d count %d, expected %.1f ± %.1f", name, i, c[i], n*p, 5*sd)
+		}
+	}
+}
+
+func TestNullGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 3, 5, 10} {
+		g, err := NewNull(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != "Null" {
+			t.Errorf("name = %q", g.Name())
+		}
+		s := g.Generate(20000, rng)
+		if len(s) != 20000 {
+			t.Fatalf("length %d", len(s))
+		}
+		for i, x := range s {
+			if int(x) >= k {
+				t.Fatalf("symbol %d at %d out of range", x, i)
+			}
+		}
+		checkFrequencies(t, "null", s, g.Model())
+	}
+	if _, err := NewNull(1); err == nil {
+		t.Error("NewNull(1): expected error")
+	}
+}
+
+func TestGeometricProbabilities(t *testing.T) {
+	g, err := NewGeometric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Model()
+	// Weights 1/2, 1/4, 1/8, 1/16 normalized by 15/16.
+	want := []float64{8.0 / 15, 4.0 / 15, 2.0 / 15, 1.0 / 15}
+	for i, w := range want {
+		if math.Abs(m.Prob(i)-w) > 1e-12 {
+			t.Errorf("geometric p_%d = %g, want %g", i, m.Prob(i), w)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	checkFrequencies(t, "geometric", g.Generate(30000, rng), m)
+	if _, err := NewGeometric(1); err == nil {
+		t.Error("NewGeometric(1): expected error")
+	}
+}
+
+func TestHarmonicProbabilities(t *testing.T) {
+	g, err := NewHarmonic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Model()
+	// Weights 1, 1/2, 1/3 normalized by 11/6.
+	want := []float64{6.0 / 11, 3.0 / 11, 2.0 / 11}
+	for i, w := range want {
+		if math.Abs(m.Prob(i)-w) > 1e-12 {
+			t.Errorf("harmonic p_%d = %g, want %g", i, m.Prob(i), w)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	checkFrequencies(t, "harmonic", g.Generate(30000, rng), m)
+	if _, err := NewHarmonic(0); err == nil {
+		t.Error("NewHarmonic(0): expected error")
+	}
+}
+
+func TestMarkovStationaryUniform(t *testing.T) {
+	g, err := NewMarkov(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "Markov" {
+		t.Errorf("name = %q", g.Name())
+	}
+	rng := rand.New(rand.NewSource(4))
+	s := g.Generate(50000, rng)
+	// Doubly stochastic transition matrix ⇒ uniform stationary distribution.
+	checkFrequencies(t, "markov", s, g.Model())
+}
+
+func TestMarkovTransitionBias(t *testing.T) {
+	// P(a_j | a_i) ∝ 2^{−((i−j) mod k)}: the most likely successor of i is i
+	// itself (exponent 0).
+	g := MustMarkov(4)
+	rng := rand.New(rand.NewSource(5))
+	s := g.Generate(60000, rng)
+	trans := make([][]int, 4)
+	for i := range trans {
+		trans[i] = make([]int, 4)
+	}
+	for i := 1; i < len(s); i++ {
+		trans[s[i-1]][s[i]]++
+	}
+	for i := 0; i < 4; i++ {
+		self := trans[i][i]
+		for j := 0; j < 4; j++ {
+			if j != i && trans[i][j] > self {
+				t.Errorf("transition %d->%d (%d) more frequent than self-loop (%d)", i, j, trans[i][j], self)
+			}
+		}
+	}
+}
+
+func TestCorrelatedBinary(t *testing.T) {
+	g, err := NewCorrelatedBinary(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	s := g.Generate(50000, rng)
+	repeats := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			repeats++
+		}
+	}
+	rate := float64(repeats) / float64(len(s)-1)
+	if math.Abs(rate-0.8) > 0.02 {
+		t.Errorf("repeat rate %.4f, want 0.8", rate)
+	}
+	checkFrequencies(t, "correlated", s, g.Model())
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewCorrelatedBinary(p); err == nil {
+			t.Errorf("NewCorrelatedBinary(%g): expected error", p)
+		}
+	}
+}
+
+func TestCorrelatedHalfIsNull(t *testing.T) {
+	g, _ := NewCorrelatedBinary(0.5)
+	rng := rand.New(rand.NewSource(7))
+	s := g.Generate(50000, rng)
+	repeats := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			repeats++
+		}
+	}
+	rate := float64(repeats) / float64(len(s)-1)
+	if math.Abs(rate-0.5) > 0.02 {
+		t.Errorf("p=0.5 repeat rate %.4f, want 0.5", rate)
+	}
+}
+
+func TestPlantedWindows(t *testing.T) {
+	base := alphabet.MustUniform(2)
+	g, err := NewPlanted(base, []Window{
+		{Start: 100, Len: 200, Probs: []float64{0.9, 0.1}},
+		{Start: 500, Len: 100, Probs: []float64{0.1, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	s := g.Generate(1000, rng)
+	// Inside the first window symbol 0 dominates.
+	c := countSyms(s[100:300], 2)
+	if c[0] < 150 {
+		t.Errorf("window 1: symbol 0 count %d, expected ~180", c[0])
+	}
+	// Inside the second window symbol 1 dominates.
+	c = countSyms(s[500:600], 2)
+	if c[1] < 70 {
+		t.Errorf("window 2: symbol 1 count %d, expected ~90", c[1])
+	}
+	// Background stays near uniform.
+	c = countSyms(s[650:1000], 2)
+	if math.Abs(float64(c[0])-175) > 60 {
+		t.Errorf("background: symbol 0 count %d, expected ~175", c[0])
+	}
+	if len(g.Windows()) != 2 || g.Model() != base {
+		t.Error("accessors broken")
+	}
+}
+
+func TestPlantedValidation(t *testing.T) {
+	base := alphabet.MustUniform(2)
+	cases := []struct {
+		name string
+		ws   []Window
+	}{
+		{"negative start", []Window{{Start: -1, Len: 5, Probs: []float64{0.5, 0.5}}}},
+		{"zero len", []Window{{Start: 0, Len: 0, Probs: []float64{0.5, 0.5}}}},
+		{"overlap", []Window{
+			{Start: 0, Len: 10, Probs: []float64{0.5, 0.5}},
+			{Start: 5, Len: 10, Probs: []float64{0.5, 0.5}},
+		}},
+		{"wrong k", []Window{{Start: 0, Len: 5, Probs: []float64{0.2, 0.3, 0.5}}}},
+		{"bad probs", []Window{{Start: 0, Len: 5, Probs: []float64{0.2, 0.2}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewPlanted(base, c.ws); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	g := MustNull(3)
+	a := g.Generate(1000, rand.New(rand.NewSource(99)))
+	b := g.Generate(1000, rand.New(rand.NewSource(99)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different strings")
+		}
+	}
+	c := g.Generate(1000, rand.New(rand.NewSource(100)))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical strings")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := []Generator{
+		MustNull(2), MustMarkov(3),
+		func() Generator { g, _ := NewCorrelatedBinary(0.7); return g }(),
+	}
+	for _, g := range gens {
+		if s := g.Generate(0, rng); len(s) != 0 {
+			t.Errorf("%s: Generate(0) returned %d symbols", g.Name(), len(s))
+		}
+	}
+}
+
+func TestSamplerLargeAlphabet(t *testing.T) {
+	// Exercise the binary-search path (k > 16).
+	k := 32
+	m := alphabet.MustUniform(k)
+	g := NewMultinomial(m)
+	rng := rand.New(rand.NewSource(13))
+	s := g.Generate(64000, rng)
+	checkFrequencies(t, "large alphabet", s, m)
+}

@@ -1,0 +1,133 @@
+// Package walk builds per-symbol cumulative deviation walks and locates
+// their local and global extrema. The walks are the substrate for the ARLM
+// and AGMM heuristics of Dutta & Bhattacharya (PAKDD 2010), the prior
+// techniques the paper compares against in §7.3 and §7.5.
+//
+// For symbol c with model probability p_c, the walk is
+//
+//	W_c[j] = (#occurrences of c in s[0:j]) − j·p_c ,  j = 0..n,
+//
+// i.e. the running surplus of c over its expectation. A substring s[u:v)
+// packed with (resp. starved of) symbol c shows up as a steep rise (resp.
+// fall) of W_c between the cut points u and v, so extrema of the walks are
+// natural candidate substring boundaries.
+package walk
+
+import (
+	"repro/internal/alphabet"
+)
+
+// Walks holds the deviation walk of every symbol plus the cut-point extrema
+// derived from them.
+type Walks struct {
+	k int
+	n int
+	// w[c][j] = W_c[j], j = 0..n.
+	w [][]float64
+}
+
+// New computes the deviation walks of s under model m in O(nk) time.
+func New(s []byte, m *alphabet.Model) (*Walks, error) {
+	k := m.K()
+	if err := alphabet.Validate(s, k); err != nil {
+		return nil, err
+	}
+	n := len(s)
+	backing := make([]float64, k*(n+1))
+	w := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		w[c] = backing[c*(n+1) : (c+1)*(n+1)]
+	}
+	probs := m.Probs()
+	for j := 1; j <= n; j++ {
+		for c := 0; c < k; c++ {
+			w[c][j] = w[c][j-1] - probs[c]
+		}
+		w[s[j-1]][j] += 1
+	}
+	return &Walks{k: k, n: n, w: w}, nil
+}
+
+// K returns the alphabet size.
+func (ws *Walks) K() int { return ws.k }
+
+// Len returns the string length n (walks have n+1 points).
+func (ws *Walks) Len() int { return ws.n }
+
+// At returns W_c[j].
+func (ws *Walks) At(c, j int) float64 { return ws.w[c][j] }
+
+// LocalExtrema returns the sorted cut points j ∈ {0..n} at which any
+// symbol's walk attains a local maximum or local minimum. Endpoints 0 and n
+// are always included (they are one-sided extrema and legal substring
+// boundaries). A point j is a local extremum of W_c when W_c[j] is ≥ (or ≤)
+// both neighbours.
+func (ws *Walks) LocalExtrema() []int {
+	n := ws.n
+	if n == 0 {
+		return []int{0}
+	}
+	mark := make([]bool, n+1)
+	mark[0] = true
+	mark[n] = true
+	for c := 0; c < ws.k; c++ {
+		w := ws.w[c]
+		for j := 1; j < n; j++ {
+			if (w[j] >= w[j-1] && w[j] >= w[j+1]) || (w[j] <= w[j-1] && w[j] <= w[j+1]) {
+				mark[j] = true
+			}
+		}
+	}
+	out := make([]int, 0, n/2)
+	for j := 0; j <= n; j++ {
+		if mark[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// GlobalExtrema returns the sorted, deduplicated cut points consisting of
+// each symbol walk's global maximum and global minimum positions plus the
+// two string endpoints. This is the AGMM candidate set: O(k) points found in
+// O(nk) time.
+func (ws *Walks) GlobalExtrema() []int {
+	n := ws.n
+	mark := make(map[int]bool, 2*ws.k+2)
+	mark[0] = true
+	mark[n] = true
+	for c := 0; c < ws.k; c++ {
+		w := ws.w[c]
+		maxJ, minJ := 0, 0
+		for j := 1; j <= n; j++ {
+			if w[j] > w[maxJ] {
+				maxJ = j
+			}
+			if w[j] < w[minJ] {
+				minJ = j
+			}
+		}
+		mark[maxJ] = true
+		mark[minJ] = true
+	}
+	out := make([]int, 0, len(mark))
+	for j := range mark {
+		out = append(out, j)
+	}
+	sortInts(out)
+	return out
+}
+
+// sortInts is a small insertion sort: the AGMM candidate sets have at most
+// 2k+2 elements, where k ≤ 256.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,190 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+)
+
+func TestNewValidates(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	if _, err := New([]byte{0, 5}, m); err == nil {
+		t.Error("out-of-range symbol: expected error")
+	}
+}
+
+func TestWalkValuesBinary(t *testing.T) {
+	// s = 1 1 0 under uniform binary: W_1 = 0, .5, 1, .5; W_0 = 0, −.5, −1, −.5.
+	m := alphabet.MustUniform(2)
+	ws, err := New([]byte{1, 1, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := []float64{0, 0.5, 1, 0.5}
+	want0 := []float64{0, -0.5, -1, -0.5}
+	for j := 0; j <= 3; j++ {
+		if math.Abs(ws.At(1, j)-want1[j]) > 1e-12 {
+			t.Errorf("W_1[%d] = %g, want %g", j, ws.At(1, j), want1[j])
+		}
+		if math.Abs(ws.At(0, j)-want0[j]) > 1e-12 {
+			t.Errorf("W_0[%d] = %g, want %g", j, ws.At(0, j), want0[j])
+		}
+	}
+	if ws.K() != 2 || ws.Len() != 3 {
+		t.Errorf("K=%d Len=%d", ws.K(), ws.Len())
+	}
+}
+
+// Property: walks start at 0, sum to 0 across symbols at every position, and
+// end at (count_c − n·p_c).
+func TestWalkInvariants(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		s := make([]byte, len(raw))
+		counts := make([]int, k)
+		for i, b := range raw {
+			s[i] = b % byte(k)
+			counts[s[i]]++
+		}
+		m := alphabet.MustUniform(k)
+		ws, err := New(s, m)
+		if err != nil {
+			return false
+		}
+		n := len(s)
+		for j := 0; j <= n; j++ {
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				sum += ws.At(c, j)
+			}
+			if math.Abs(sum) > 1e-9 {
+				return false
+			}
+		}
+		for c := 0; c < k; c++ {
+			if ws.At(c, 0) != 0 {
+				return false
+			}
+			want := float64(counts[c]) - float64(n)*m.Prob(c)
+			if math.Abs(ws.At(c, n)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalExtremaIncludeEndpoints(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	ws, _ := New([]byte{0, 1, 0, 1}, m)
+	ex := ws.LocalExtrema()
+	if ex[0] != 0 || ex[len(ex)-1] != 4 {
+		t.Errorf("extrema %v must include endpoints", ex)
+	}
+	// Alternating string: every interior point is an extremum of W_0.
+	if len(ex) != 5 {
+		t.Errorf("alternating string: extrema %v, want all 5 cut points", ex)
+	}
+}
+
+func TestLocalExtremaOnRun(t *testing.T) {
+	// s = 0 0 0 0: W_0 strictly increases, so only the endpoints qualify.
+	m := alphabet.MustUniform(2)
+	ws, _ := New([]byte{0, 0, 0, 0}, m)
+	ex := ws.LocalExtrema()
+	if len(ex) != 2 || ex[0] != 0 || ex[1] != 4 {
+		t.Errorf("monotone walk extrema = %v, want [0 4]", ex)
+	}
+}
+
+func TestLocalExtremaTurningPoint(t *testing.T) {
+	// s = 0 0 1 1: W_0 rises to a peak at j=2 then falls.
+	m := alphabet.MustUniform(2)
+	ws, _ := New([]byte{0, 0, 1, 1}, m)
+	ex := ws.LocalExtrema()
+	found := false
+	for _, j := range ex {
+		if j == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extrema %v missing the turning point 2", ex)
+	}
+}
+
+func TestGlobalExtrema(t *testing.T) {
+	// s = 0 0 1 1 under uniform binary: W_0 peaks at j=2 (value 1), troughs
+	// at j=0 and j=4 (0); W_1 mirrors. Candidates: {0, 2, 4}.
+	m := alphabet.MustUniform(2)
+	ws, _ := New([]byte{0, 0, 1, 1}, m)
+	got := ws.GlobalExtrema()
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("global extrema %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("global extrema %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGlobalExtremaSortedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(5)
+		n := rng.Intn(500)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(k))
+		}
+		m := alphabet.MustUniform(k)
+		ws, err := New(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge := ws.GlobalExtrema()
+		if len(ge) > 2*k+2 {
+			t.Fatalf("global extrema set too large: %d > %d", len(ge), 2*k+2)
+		}
+		for i := 1; i < len(ge); i++ {
+			if ge[i] <= ge[i-1] {
+				t.Fatalf("global extrema not strictly sorted: %v", ge)
+			}
+		}
+		le := ws.LocalExtrema()
+		// Every global extremum is also a local extremum candidate.
+		inLocal := make(map[int]bool, len(le))
+		for _, j := range le {
+			inLocal[j] = true
+		}
+		for _, j := range ge {
+			if !inLocal[j] {
+				t.Fatalf("global extremum %d not among local extrema %v", j, le)
+			}
+		}
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	m := alphabet.MustUniform(2)
+	ws, err := New(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := ws.LocalExtrema()
+	if len(le) != 1 || le[0] != 0 {
+		t.Errorf("empty-string local extrema = %v", le)
+	}
+	ge := ws.GlobalExtrema()
+	if len(ge) != 1 || ge[0] != 0 {
+		t.Errorf("empty-string global extrema = %v", ge)
+	}
+}

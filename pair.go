@@ -1,0 +1,68 @@
+package sigsub
+
+import (
+	"repro/internal/core"
+	"repro/internal/pairscan"
+)
+
+// PairScanner finds the periods during which two aligned symbol streams are
+// most correlated — the two-securities analysis sketched in the paper's
+// future work (§8). The streams are zipped over the product alphabet and
+// scanned against the independence product of their marginal distributions,
+// so a significant window is one where the joint behaviour deviates from
+// what independence explains (co-movement or anti-movement).
+type PairScanner struct {
+	sc *pairscan.Scanner
+}
+
+// NewPairScanner validates and zips the aligned streams a (over ka symbols)
+// and b (over kb symbols). Marginals are estimated from the streams.
+func NewPairScanner(a []byte, ka int, b []byte, kb int) (*PairScanner, error) {
+	sc, err := pairscan.New(a, ka, b, kb)
+	if err != nil {
+		return nil, err
+	}
+	return &PairScanner{sc: sc}, nil
+}
+
+// Len returns the stream length.
+func (p *PairScanner) Len() int { return p.sc.Len() }
+
+// pairResult converts an internal window to a public Result with the
+// pair-test p-value.
+func (p *PairScanner) pairResult(w core.Scored) Result {
+	return Result{
+		Start:  w.Start,
+		End:    w.End,
+		Length: w.Len(),
+		X2:     w.X2,
+		PValue: p.sc.PValue(w.X2),
+	}
+}
+
+// MostCorrelatedPeriod returns the window deviating most from independence.
+func (p *PairScanner) MostCorrelatedPeriod() (Result, error) {
+	best, _ := p.sc.MostCorrelatedPeriod()
+	return p.pairResult(best), nil
+}
+
+// TopPeriods returns up to t disjoint correlation windows of length ≥
+// minLen, strongest first.
+func (p *PairScanner) TopPeriods(t, minLen int) ([]Result, error) {
+	ws, _, err := p.sc.TopPeriods(t, minLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ws))
+	for i, w := range ws {
+		out[i] = p.pairResult(w)
+	}
+	return out, nil
+}
+
+// Agreement returns the fraction of positions in [i, j) where the streams
+// carry the same symbol (same-sized alphabets) — high in co-moving windows,
+// low in anti-moving ones, ≈ chance elsewhere.
+func (p *PairScanner) Agreement(i, j int) (float64, error) {
+	return p.sc.Agreement(i, j)
+}

@@ -1,0 +1,108 @@
+package sigsub
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairScannerEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 2000
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a[i] = byte(rng.Intn(2))
+		if i >= 700 && i < 1100 && rng.Float64() < 0.95 {
+			b[i] = a[i]
+		} else {
+			b[i] = byte(rng.Intn(2))
+		}
+	}
+	ps, err := NewPairScanner(a, 2, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != n {
+		t.Errorf("Len = %d", ps.Len())
+	}
+	best, err := ps.MostCorrelatedPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.End <= 700 || best.Start >= 1100 {
+		t.Errorf("correlation window %v misses planted [700, 1100)", best)
+	}
+	if best.PValue > 1e-6 {
+		t.Errorf("p-value %g not significant", best.PValue)
+	}
+	agr, err := ps.Agreement(best.Start, best.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr < 0.7 {
+		t.Errorf("agreement %.2f", agr)
+	}
+	tops, err := ps.TopPeriods(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) == 0 || tops[0].X2 != best.X2 {
+		t.Errorf("TopPeriods[0] %v disagrees with MostCorrelatedPeriod %v", tops, best)
+	}
+}
+
+func TestPairScannerErrors(t *testing.T) {
+	if _, err := NewPairScanner([]byte{0, 1}, 2, []byte{0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestScannerMinLengthVariantsAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := mustUniform(t, 2)
+	s := randString(rng, 300, 2)
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.TopTMinLength(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Length <= 20 {
+			t.Errorf("top-t-min-length result %v too short", r)
+		}
+	}
+	mss, err := sc.MSSMinLength(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].X2 != mss.X2 {
+		t.Errorf("TopTMinLength[0] %v disagrees with MSSMinLength %v", res[0], mss)
+	}
+
+	th, err := sc.ThresholdMinLength(mss.X2*0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range th {
+		if r.Length <= 20 || r.X2 <= mss.X2*0.8 {
+			t.Errorf("threshold-min-length result %v violates constraints", r)
+		}
+	}
+	if _, err := sc.ThresholdMinLength(0, 0, WithLimit(2)); err == nil {
+		t.Error("limit overflow not reported")
+	}
+
+	rr, err := sc.MSSRange(100, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Start < 100 || rr.End > 200 || rr.Length < 10 {
+		t.Errorf("MSSRange result %v out of bounds", rr)
+	}
+	if _, err := sc.TopTMinLength(0, 5); err == nil {
+		t.Error("t=0 accepted")
+	}
+}

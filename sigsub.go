@@ -1,0 +1,512 @@
+// Package sigsub mines statistically significant substrings using the
+// Pearson chi-square statistic, implementing Sachan & Bhattacharya,
+// "Mining Statistically Significant Substrings using the Chi-Square
+// Statistic", PVLDB 5(10), 2012.
+//
+// Given a string over a finite alphabet whose characters are assumed drawn
+// i.i.d. from a fixed multinomial distribution (the null model), the package
+// finds the substrings whose empirical character distribution deviates most
+// from that model:
+//
+//   - the Most Significant Substring (MSS — Problem 1),
+//   - the top-t substrings by chi-square value (Problem 2),
+//   - all substrings above a chi-square threshold (Problem 3),
+//   - the MSS among substrings longer than a minimum length (Problem 4).
+//
+// The default algorithm is the paper's chain-cover skip scan, which runs in
+// O(k·n^{3/2}) time with high probability while remaining exact; the trivial
+// O(k·n²) scan and the ARLM/AGMM heuristics of prior work are available for
+// comparison via WithAlgorithm.
+//
+// Quick start:
+//
+//	model, _ := sigsub.UniformModel(2)
+//	s := []byte{0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 1}
+//	res, _ := sigsub.FindMSS(s, model)
+//	fmt.Printf("most deviant window [%d, %d) X²=%.2f p=%.4f\n",
+//		res.Start, res.End, res.X2, res.PValue)
+package sigsub
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// errNilModel is the shared nil-model validation error.
+var errNilModel = errors.New("sigsub: nil model")
+
+// Model is a multinomial null model over an alphabet of k symbols: symbol i
+// occurs with probability Probs()[i] under the null hypothesis.
+type Model struct {
+	m *alphabet.Model
+}
+
+// NewModel builds a model from symbol probabilities. The probabilities must
+// be strictly inside (0, 1) and sum to 1; at least two symbols are required.
+func NewModel(probs []float64) (*Model, error) {
+	m, err := alphabet.NewModel(probs)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// UniformModel returns the uniform null model over k symbols.
+func UniformModel(k int) (*Model, error) {
+	m, err := alphabet.Uniform(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// ModelFromSample estimates the model from observed data by maximum
+// likelihood (with Laplace smoothing if some symbol never occurs). This is
+// how the paper derives models for real datasets, e.g. the probability of an
+// up-day as the fraction of up-days.
+func ModelFromSample(s []byte, k int) (*Model, error) {
+	m, err := alphabet.MLE(s, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// K returns the alphabet size.
+func (m *Model) K() int { return m.m.K() }
+
+// Probs returns a copy of the probability vector.
+func (m *Model) Probs() []float64 { return m.m.CopyProbs() }
+
+// String renders the model's probabilities.
+func (m *Model) String() string { return m.m.String() }
+
+// Result is a scored substring: the half-open window [Start, End) of the
+// scanned string, its chi-square value, and the p-value of that value under
+// the asymptotic χ²(k−1) law (paper Theorem 3). Smaller p-values are more
+// significant.
+type Result struct {
+	Start  int
+	End    int
+	Length int
+	X2     float64
+	PValue float64
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("[%d, %d) len=%d X²=%.4f p=%.3g", r.Start, r.End, r.Length, r.X2, r.PValue)
+}
+
+// Stats reports how much work a scan performed. Evaluated counts substrings
+// whose X² was computed (the paper's "iterations"); Skipped counts
+// substrings excluded wholesale by the chain-cover bound.
+type Stats struct {
+	Evaluated int64
+	Skipped   int64
+}
+
+// Algorithm selects the scanning strategy.
+type Algorithm int
+
+const (
+	// AlgoExact is the paper's chain-cover skip algorithm: exact,
+	// O(k·n^{3/2}) with high probability. The default.
+	AlgoExact Algorithm = iota
+	// AlgoTrivial is the exhaustive O(k·n²) scan.
+	AlgoTrivial
+	// AlgoTrivialIncremental is the exhaustive scan with O(1) incremental
+	// X² updates (the constant-factor baseline attributed to prior work).
+	AlgoTrivialIncremental
+	// AlgoHeapPruned is the exact best-first baseline: starts are processed
+	// in decreasing upper-bound order and pruned against the best answer.
+	AlgoHeapPruned
+	// AlgoARLM is the all-local-extrema heuristic of Dutta & Bhattacharya
+	// (PAKDD 2010): near-exact in practice, no guarantee, O(n²) worst case.
+	AlgoARLM
+	// AlgoAGMM is the global-extrema heuristic of the same work: O(n·k)
+	// time, no approximation guarantee.
+	AlgoAGMM
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoExact:
+		return "exact"
+	case AlgoTrivial:
+		return "trivial"
+	case AlgoTrivialIncremental:
+		return "trivial-incremental"
+	case AlgoHeapPruned:
+		return "heap-pruned"
+	case AlgoARLM:
+		return "arlm"
+	case AlgoAGMM:
+		return "agmm"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves an algorithm name as printed by String.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{AlgoExact, AlgoTrivial, AlgoTrivialIncremental, AlgoHeapPruned, AlgoARLM, AlgoAGMM} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sigsub: unknown algorithm %q", name)
+}
+
+// options collects the functional options of the Find functions.
+type options struct {
+	algo  Algorithm
+	stats *Stats
+	limit int
+}
+
+// Option configures a scan.
+type Option func(*options)
+
+// WithAlgorithm selects the scanning strategy (default AlgoExact). The
+// heuristic algorithms apply only to MSS-style scans; top-t, threshold, and
+// min-length scans always use the exact machinery.
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *options) { o.algo = a }
+}
+
+// WithStats records work counters into st.
+func WithStats(st *Stats) Option {
+	return func(o *options) { o.stats = st }
+}
+
+// WithLimit caps the number of results a threshold scan may collect
+// (default 1,000,000). Exceeding the cap returns an error, since low
+// thresholds can produce O(n²) results.
+func WithLimit(n int) Option {
+	return func(o *options) { o.limit = n }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{algo: AlgoExact, limit: 1_000_000}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Scanner binds a symbol string to a model for repeated queries. Building a
+// Scanner costs O(n·k) time and memory for the prefix count arrays; every
+// scan then reuses them. A Scanner is not safe for concurrent use.
+type Scanner struct {
+	sc *core.Scanner
+	k  int
+}
+
+// NewScanner validates the string against the model (every symbol must be
+// < model.K()) and prepares the count arrays.
+func NewScanner(s []byte, m *Model) (*Scanner, error) {
+	if m == nil {
+		return nil, errNilModel
+	}
+	sc, err := core.NewScanner(s, m.m)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{sc: sc, k: m.K()}, nil
+}
+
+// Len returns the length of the scanned string.
+func (s *Scanner) Len() int { return s.sc.Len() }
+
+// X2 returns the chi-square value of the window [i, j). Indices must satisfy
+// 0 ≤ i < j ≤ Len().
+func (s *Scanner) X2(i, j int) (float64, error) {
+	if i < 0 || j > s.sc.Len() || i >= j {
+		return 0, fmt.Errorf("sigsub: invalid window [%d, %d) of string of length %d", i, j, s.sc.Len())
+	}
+	return s.sc.X2(i, j), nil
+}
+
+// result converts a core interval to a public Result with its p-value.
+func (s *Scanner) result(r core.Scored) Result {
+	return Result{
+		Start:  r.Start,
+		End:    r.End,
+		Length: r.Len(),
+		X2:     r.X2,
+		PValue: PValue(r.X2, s.k),
+	}
+}
+
+func (s *Scanner) results(rs []core.Scored) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = s.result(r)
+	}
+	return out
+}
+
+func record(o options, st core.Stats) {
+	if o.stats != nil {
+		o.stats.Evaluated = st.Evaluated
+		o.stats.Skipped = st.Skipped
+	}
+}
+
+// MSS solves Problem 1: the substring with the maximum chi-square value.
+// An empty string yields an error.
+func (s *Scanner) MSS(opts ...Option) (Result, error) {
+	if s.sc.Len() == 0 {
+		return Result{}, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	var best core.Scored
+	var st core.Stats
+	switch o.algo {
+	case AlgoExact:
+		best, st = s.sc.MSS()
+	case AlgoTrivial:
+		best, st = s.sc.Trivial()
+	case AlgoTrivialIncremental:
+		best, st = s.sc.TrivialIncremental()
+	case AlgoHeapPruned:
+		best, st = s.sc.HeapPruned()
+	case AlgoARLM:
+		best, st = s.sc.ARLM()
+	case AlgoAGMM:
+		best, st = s.sc.AGMM()
+	default:
+		return Result{}, fmt.Errorf("sigsub: unknown algorithm %v", o.algo)
+	}
+	record(o, st)
+	return s.result(best), nil
+}
+
+// TopT solves Problem 2: the t substrings with the largest chi-square
+// values, in descending order. Fewer than t results are returned only when
+// the string has fewer than t substrings.
+func (s *Scanner) TopT(t int, opts ...Option) ([]Result, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	if o.algo != AlgoExact && o.algo != AlgoTrivial {
+		return nil, fmt.Errorf("sigsub: top-t supports the exact and trivial algorithms, not %v", o.algo)
+	}
+	var rs []core.Scored
+	var st core.Stats
+	var err error
+	if o.algo == AlgoTrivial {
+		rs, st, err = s.sc.TrivialTopT(t)
+	} else {
+		rs, st, err = s.sc.TopT(t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	record(o, st)
+	return s.results(rs), nil
+}
+
+// DisjointTopT returns up to t pairwise non-overlapping substrings in
+// decreasing X² order (greedy peeling: MSS first, then the best in the
+// remaining segments). minLen ≥ 1 restricts candidates to that length or
+// longer; it is how "top periods" tables are produced from temporal data.
+func (s *Scanner) DisjointTopT(t, minLen int, opts ...Option) ([]Result, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	rs, st, err := s.sc.DisjointTopT(t, minLen)
+	if err != nil {
+		return nil, err
+	}
+	record(o, st)
+	return s.results(rs), nil
+}
+
+// Threshold solves Problem 3: every substring with X² strictly above alpha,
+// in (start, end) scan order. The result set is capped by WithLimit.
+func (s *Scanner) Threshold(alpha float64, opts ...Option) ([]Result, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	rs, st, err := s.sc.ThresholdCollect(alpha, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	record(o, st)
+	return s.results(rs), nil
+}
+
+// ThresholdFunc streams every substring with X² > alpha to visit without
+// materializing the result set.
+func (s *Scanner) ThresholdFunc(alpha float64, visit func(Result), opts ...Option) error {
+	if s.sc.Len() == 0 {
+		return errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	st := s.sc.Threshold(alpha, func(r core.Scored) { visit(s.result(r)) })
+	record(o, st)
+	return nil
+}
+
+// TopTMinLength combines Problems 2 and 4: the t largest-X² substrings
+// among substrings of length strictly greater than gamma.
+func (s *Scanner) TopTMinLength(t, gamma int, opts ...Option) ([]Result, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	rs, st, err := s.sc.TopTMinLength(t, gamma)
+	if err != nil {
+		return nil, err
+	}
+	record(o, st)
+	return s.results(rs), nil
+}
+
+// ThresholdMinLength combines Problems 3 and 4: every substring longer than
+// gamma with X² strictly above alpha.
+func (s *Scanner) ThresholdMinLength(alpha float64, gamma int, opts ...Option) ([]Result, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	var out []Result
+	overflow := false
+	st := s.sc.ThresholdMinLength(alpha, gamma, func(r core.Scored) {
+		if o.limit > 0 && len(out) >= o.limit {
+			overflow = true
+			return
+		}
+		out = append(out, s.result(r))
+	})
+	record(o, st)
+	if overflow {
+		return out, fmt.Errorf("sigsub: more than %d substrings exceed threshold %g", o.limit, alpha)
+	}
+	return out, nil
+}
+
+// MSSRange finds the maximum-X² substring confined to [lo, hi) with length
+// ≥ minLen — useful when natural boundaries (sessions, seasons,
+// chromosomes) delimit the search.
+func (s *Scanner) MSSRange(lo, hi, minLen int, opts ...Option) (Result, error) {
+	if s.sc.Len() == 0 {
+		return Result{}, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	best, st := s.sc.MSSRange(lo, hi, minLen)
+	record(o, st)
+	return s.result(best), nil
+}
+
+// MSSMinLength solves Problem 4: the maximum-X² substring among substrings
+// of length strictly greater than gamma.
+func (s *Scanner) MSSMinLength(gamma int, opts ...Option) (Result, error) {
+	if s.sc.Len() == 0 {
+		return Result{}, errors.New("sigsub: cannot scan an empty string")
+	}
+	if gamma >= s.sc.Len() {
+		return Result{}, fmt.Errorf("sigsub: no substring of length > %d in a string of length %d", gamma, s.sc.Len())
+	}
+	o := buildOptions(opts)
+	best, st := s.sc.MSSMinLength(gamma)
+	record(o, st)
+	return s.result(best), nil
+}
+
+// FindMSS is the one-shot form of Scanner.MSS.
+func FindMSS(s []byte, m *Model, opts ...Option) (Result, error) {
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return sc.MSS(opts...)
+}
+
+// FindTopT is the one-shot form of Scanner.TopT.
+func FindTopT(s []byte, m *Model, t int, opts ...Option) ([]Result, error) {
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		return nil, err
+	}
+	return sc.TopT(t, opts...)
+}
+
+// FindAboveThreshold is the one-shot form of Scanner.Threshold.
+func FindAboveThreshold(s []byte, m *Model, alpha float64, opts ...Option) ([]Result, error) {
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Threshold(alpha, opts...)
+}
+
+// FindMSSMinLength is the one-shot form of Scanner.MSSMinLength.
+func FindMSSMinLength(s []byte, m *Model, gamma int, opts ...Option) (Result, error) {
+	sc, err := NewScanner(s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return sc.MSSMinLength(gamma, opts...)
+}
+
+// ChiSquare returns the chi-square statistic of the whole string under the
+// model (Eq. 5 of the paper).
+func ChiSquare(s []byte, m *Model) (float64, error) {
+	if m == nil {
+		return 0, errNilModel
+	}
+	if len(s) == 0 {
+		return 0, errors.New("sigsub: empty string")
+	}
+	if err := alphabet.Validate(s, m.K()); err != nil {
+		return 0, err
+	}
+	counts := make([]int, m.K())
+	for _, c := range s {
+		counts[c]++
+	}
+	sum := 0.0
+	l := float64(len(s))
+	for i, y := range counts {
+		fy := float64(y)
+		sum += fy * fy / m.m.Prob(i)
+	}
+	return sum/l - l, nil
+}
+
+// PValue converts a chi-square value over a k-symbol alphabet to its p-value
+// under the asymptotic χ²(k−1) distribution: the probability that a null
+// substring attains a statistic at least this extreme. Invalid inputs
+// (k < 2) yield NaN-free conservative 1.
+func PValue(x2 float64, k int) float64 {
+	if k < 2 || x2 <= 0 {
+		return 1
+	}
+	c := dist.ChiSquare{Nu: float64(k - 1)}
+	return c.Survival(x2)
+}
+
+// CriticalValue returns the chi-square threshold at significance level
+// alpha for a k-symbol alphabet: substrings with X² above it have p-value
+// below alpha. Typical use: FindAboveThreshold(s, m, CriticalValue(0.001, k)).
+func CriticalValue(alpha float64, k int) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("sigsub: alphabet size must be at least 2, got %d", k)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return 0, fmt.Errorf("sigsub: significance level must lie in (0,1), got %g", alpha)
+	}
+	c := dist.ChiSquare{Nu: float64(k - 1)}
+	return c.Quantile(1 - alpha)
+}

@@ -1,0 +1,53 @@
+package sigsub
+
+import (
+	"errors"
+
+	"repro/internal/alphabet"
+	"repro/internal/chisq"
+	"repro/internal/dist"
+)
+
+// LikelihoodRatio returns the likelihood-ratio statistic −2·ln(LR) of the
+// whole string under the model (paper Eq. 3). Like X² it converges to
+// χ²(k−1) under the null model, but from above rather than below, which is
+// why the paper (and this package) prefer X² for mining: X² under-rejects
+// rather than over-rejects. Exposed for comparison and teaching.
+func LikelihoodRatio(s []byte, m *Model) (float64, error) {
+	counts, err := wholeCounts(s, m)
+	if err != nil {
+		return 0, err
+	}
+	return chisq.LikelihoodRatio(counts, m.m.Probs()), nil
+}
+
+// ExactPValue returns the exact multinomial p-value of the whole string's
+// count vector (paper Eqs. 1–2): the total probability, under the model, of
+// every outcome whose X² is at least as extreme. The enumeration is
+// exponential in principle (the paper's reason to adopt the χ²
+// approximation), so it is limited to short strings/small alphabets; longer
+// inputs return an error directing callers to PValue.
+func ExactPValue(s []byte, m *Model) (float64, error) {
+	counts, err := wholeCounts(s, m)
+	if err != nil {
+		return 0, err
+	}
+	return dist.ExactMultinomialPValue(counts, m.m.Probs())
+}
+
+func wholeCounts(s []byte, m *Model) ([]int, error) {
+	if m == nil {
+		return nil, errNilModel
+	}
+	if len(s) == 0 {
+		return nil, errors.New("sigsub: empty string")
+	}
+	if err := alphabet.Validate(s, m.K()); err != nil {
+		return nil, err
+	}
+	counts := make([]int, m.K())
+	for _, c := range s {
+		counts[c]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,94 @@
+package sigsub
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLikelihoodRatioAPI(t *testing.T) {
+	m := mustUniform(t, 2)
+	// Pure run of eight 0s: −2 ln((1/2)^8) = 16 ln 2.
+	v, err := LikelihoodRatio(make([]byte, 8), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-16*math.Ln2) > 1e-12 {
+		t.Errorf("LR = %g, want %g", v, 16*math.Ln2)
+	}
+	if _, err := LikelihoodRatio(nil, m); err == nil {
+		t.Error("empty string accepted")
+	}
+	if _, err := LikelihoodRatio([]byte{0}, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := LikelihoodRatio([]byte{9}, m); err == nil {
+		t.Error("bad symbol accepted")
+	}
+}
+
+func TestExactPValueAPI(t *testing.T) {
+	m := mustUniform(t, 2)
+	// The paper's coin example, two-sided: 19 zeros + 1 one.
+	s := make([]byte, 20)
+	s[7] = 1
+	pv, err := ExactPValue(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 21.0 / 1048576.0
+	if math.Abs(pv-want) > 1e-12 {
+		t.Errorf("exact p-value = %g, want %g", pv, want)
+	}
+	// The χ² approximation should be within an order of magnitude here.
+	x2, err := ChiSquare(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := PValue(x2, 2)
+	if pv/approx > 10 || approx/pv > 10 {
+		t.Errorf("exact %g and approx %g diverge wildly", pv, approx)
+	}
+	// Binary enumerations are linear in l, so even long binary strings are
+	// allowed; for larger alphabets the configuration count C(l+k−1, k−1)
+	// explodes and the guard refuses.
+	long := make([]byte, 200000)
+	for i := range long {
+		long[i] = byte(i % 2)
+	}
+	if _, err := ExactPValue(long, m); err != nil {
+		t.Errorf("linear binary enumeration refused: %v", err)
+	}
+	m6 := mustUniform(t, 6)
+	wide := make([]byte, 4000)
+	for i := range wide {
+		wide[i] = byte(i % 6)
+	}
+	if _, err := ExactPValue(wide, m6); err == nil {
+		t.Error("huge k=6 enumeration accepted")
+	}
+}
+
+// The paper's preference: on null data X² is the conservative statistic
+// (smaller values than LR), so its χ²-based p-values over-reject less.
+func TestX2ConservativeVsLR(t *testing.T) {
+	m := mustUniform(t, 2)
+	// Short null-ish strings where the discreteness gap is visible.
+	strings := [][]byte{
+		{0, 1, 0, 0, 1, 1, 0, 1, 0, 0},
+		{1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1, 0},
+		{0, 0, 1, 1, 0, 1, 1, 0},
+	}
+	for _, s := range strings {
+		x2, err := ChiSquare(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := LikelihoodRatio(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x2 > lr+1e-9 {
+			t.Errorf("X² %g above LR %g on %v", x2, lr, s)
+		}
+	}
+}
