@@ -52,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		minLen  = fs.Int("minlen", 1, "minimum substring length for disjoint mode")
 		stats   = fs.Bool("stats", false, "print evaluated/skipped substring counts")
 		calib   = fs.Int("calibrate", 0, "mss mode: simulate this many null strings and report the multiple-testing-corrected p-value of X²max")
+		workers = fs.Int("workers", 1, "parallel scan workers (0 = all CPUs)")
+		warm    = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +112,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), codec.K(), model)
 
 	var st sigsub.Stats
-	opts := []sigsub.Option{sigsub.WithStats(&st)}
+	opts := []sigsub.Option{sigsub.WithStats(&st), sigsub.WithWorkers(*workers), sigsub.WithWarmStart(*warm)}
 
 	printResult := func(r sigsub.Result) {
 		content := ""

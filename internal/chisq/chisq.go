@@ -45,7 +45,7 @@ func WindowValue(p *counts.Prefix, i, j int, probs []float64, scratch []int) flo
 // the constant-factor improvement behind the "blocking" baseline and the
 // incremental trivial scanner.
 type Window struct {
-	probs       []float64
+	inv         []float64 // 1/probs, hoisted out of Append's hot path
 	counts      []int
 	length      int
 	sumYsqOverP float64
@@ -53,8 +53,12 @@ type Window struct {
 
 // NewWindow returns an empty window over the given model.
 func NewWindow(probs []float64) *Window {
+	inv := make([]float64, len(probs))
+	for i, p := range probs {
+		inv[i] = 1 / p
+	}
 	return &Window{
-		probs:  probs,
+		inv:    inv,
 		counts: make([]int, len(probs)),
 	}
 }
@@ -71,7 +75,7 @@ func (w *Window) Reset() {
 // Append extends the window by one occurrence of symbol c.
 func (w *Window) Append(c byte) {
 	y := float64(w.counts[c])
-	w.sumYsqOverP += (2*y + 1) / w.probs[c]
+	w.sumYsqOverP += (2*y + 1) * w.inv[c]
 	w.counts[c]++
 	w.length++
 }

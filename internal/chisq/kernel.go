@@ -1,0 +1,132 @@
+package chisq
+
+import "math"
+
+// Kernel is the division-free evaluation kernel shared by the scan engine's
+// hot loops. Division is the slowest arithmetic instruction in Value,
+// Window.Append, and MaxSkip — each divides by a model probability — so the
+// Kernel hoists the reciprocals 1/p_c (and the per-symbol constants of the
+// skip quadratic) out of the loops once per model and multiplies instead.
+//
+// Multiplying by a precomputed reciprocal differs from dividing by at most
+// one ulp per operation; every consumer of Kernel values uses the Kernel for
+// all of them, so comparisons between scans remain exact.
+type Kernel struct {
+	probs   []float64
+	inv     []float64 // inv[c] = 1/probs[c]
+	invTwoA []float64 // invTwoA[c] = 1/(2·(1−probs[c])), the skip root divisor
+}
+
+// NewKernel precomputes the reciprocal tables for a probability vector. The
+// probabilities are copied; the Kernel never aliases caller memory.
+func NewKernel(probs []float64) *Kernel {
+	k := len(probs)
+	kn := &Kernel{
+		probs:   make([]float64, k),
+		inv:     make([]float64, k),
+		invTwoA: make([]float64, k),
+	}
+	copy(kn.probs, probs)
+	for c, p := range probs {
+		kn.inv[c] = 1 / p
+		kn.invTwoA[c] = 1 / (2 * (1 - p))
+	}
+	return kn
+}
+
+// K returns the alphabet size.
+func (kn *Kernel) K() int { return len(kn.probs) }
+
+// Probs returns the kernel's probability vector (shared storage; do not
+// modify).
+func (kn *Kernel) Probs() []float64 { return kn.probs }
+
+// Recips returns the precomputed reciprocals 1/p (shared storage; do not
+// modify).
+func (kn *Kernel) Recips() []float64 { return kn.inv }
+
+// Value computes X² of a count vector (Eq. 5) using the reciprocal table.
+func (kn *Kernel) Value(yv []int) float64 {
+	l := 0
+	sum := 0.0
+	for i, y := range yv {
+		if y == 0 {
+			continue
+		}
+		fy := float64(y)
+		sum += fy * fy * kn.inv[i]
+		l += y
+	}
+	if l == 0 {
+		return 0
+	}
+	fl := float64(l)
+	return sum/fl - fl
+}
+
+// CoverBound returns max_c X²(λ(S, a_c, x)) — Theorem 1's chain-cover upper
+// bound — using the reciprocal table; see the free function CoverBound.
+func (kn *Kernel) CoverBound(yv []int, length int, x2 float64, x int) float64 {
+	if x < 0 {
+		panic("chisq: CoverBound requires x >= 0")
+	}
+	if length+x == 0 {
+		return 0
+	}
+	fl := float64(length)
+	sumYsqOverP := (x2 + fl) * fl
+	fx := float64(x)
+	l := fl + fx
+	invL := 1 / l
+	best := math.Inf(-1)
+	for c := range kn.inv {
+		fy := float64(yv[c])
+		sum := sumYsqOverP + (2*fy*fx+fx*fx)*kn.inv[c]
+		if v := sum*invL - l; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxSkip is the division-hoisted form of the free MaxSkip: the largest
+// x ≥ 0 such that every extension of the window by 1..x characters provably
+// has X² ≤ budget. The quadratic coefficients use only multiplications by
+// p_t, and the root divisor 1/(2·(1−p_t)) comes from the precomputed table.
+//
+// Unlike the free function, the final verification accepts no tolerance: the
+// cover bound of the returned skip is ≤ budget exactly, so a substring whose
+// X² strictly exceeds the budget is never skipped. (Stepping the root down
+// one extra position on an ulp disagreement costs one extra evaluation; a
+// tolerance here would let near-budget substrings vanish, which the parallel
+// engine's determinism guarantee cannot afford.)
+func (kn *Kernel) MaxSkip(yv []int, length int, x2, budget float64) int {
+	if x2 > budget || length == 0 {
+		return 0
+	}
+	fl := float64(length)
+	root := math.Inf(1)
+	for t, pt := range kn.probs {
+		b := 2*(float64(yv[t])-fl*pt) - pt*budget
+		c := (x2 - budget) * fl * pt // ≤ 0
+		disc := b*b - 4*(1-pt)*c
+		if disc < 0 {
+			return 0
+		}
+		r := (-b + math.Sqrt(disc)) * kn.invTwoA[t]
+		if r < root {
+			root = r
+		}
+	}
+	if root <= 0 || math.IsNaN(root) {
+		return 0
+	}
+	x := int(math.Floor(root))
+	if x <= 0 {
+		return 0
+	}
+	for x > 0 && kn.CoverBound(yv, length, x2, x) > budget {
+		x--
+	}
+	return x
+}

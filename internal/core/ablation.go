@@ -2,8 +2,6 @@ package core
 
 import (
 	"math"
-
-	"repro/internal/chisq"
 )
 
 // SkipVariant configures deliberate deviations from the exact skip rule, for
@@ -33,7 +31,7 @@ func (sc *Scanner) MSSWithVariant(v SkipVariant) (Scored, Stats) {
 		st.Starts++
 		for j := i + 1; j <= n; j++ {
 			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
+			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {
 				best = Scored{Interval{i, j}, x2}
@@ -59,7 +57,7 @@ func (sc *Scanner) MSSWithVariant(v SkipVariant) (Scored, Stats) {
 // variantSkip mirrors chisq.MaxSkip with the ablation knobs applied.
 func (sc *Scanner) variantSkip(yv []int, length int, x2, budget float64, v SkipVariant) int {
 	if !v.SingleChar && !v.RoundUp {
-		return chisq.MaxSkip(yv, length, x2, budget, sc.probs)
+		return sc.kern.MaxSkip(yv, length, x2, budget)
 	}
 	if x2 > budget || length == 0 {
 		return 0

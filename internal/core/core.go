@@ -17,10 +17,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/alphabet"
 	"repro/internal/chisq"
 	"repro/internal/counts"
+	"repro/internal/walk"
 )
 
 // Interval is a half-open substring [Start, End) of the scanned string.
@@ -55,15 +57,40 @@ func (st Stats) Total() int64 { return st.Evaluated + st.Skipped }
 
 // Scanner binds a symbol string to a model and owns the prefix count arrays
 // and scratch space shared by all algorithms. A Scanner is cheap to build
-// (O(nk)) and may be reused for any number of scans; it is not safe for
-// concurrent use because scans share scratch buffers.
+// (O(nk)) and may be reused for any number of scans; single scans are not
+// safe for concurrent use because they share scratch buffers — the parallel
+// engine (engine.go) gives each worker private scratch instead.
+//
+// The count arrays use the position-major interleaved layout
+// (counts.Interleaved): a window's count vector is two contiguous k-wide
+// reads rather than k reads strided n apart, which keeps the Vector-dominated
+// scan loops inside two cache lines per evaluation at paper-scale n. The
+// chi-square kernels run through chisq.Kernel, which hoists the reciprocal
+// probabilities out of the hot loops.
 type Scanner struct {
 	s     []byte
 	model *alphabet.Model
 	probs []float64
 	k     int
-	pre   *counts.Prefix
-	vec   []int // scratch count vector
+	pre   *counts.Interleaved
+	kern  *chisq.Kernel
+	vec   []int // scratch count vector for sequential scans
+
+	// Cumulative deviation walks, built on first use and shared by the
+	// heuristics and the engine's warm start: they depend only on (s, model),
+	// and segment-restricted warm starts would otherwise rebuild the O(nk)
+	// structure once per segment.
+	walkOnce sync.Once
+	walks    *walk.Walks
+	walkErr  error
+}
+
+// sharedWalks returns the lazily built deviation walks.
+func (sc *Scanner) sharedWalks() (*walk.Walks, error) {
+	sc.walkOnce.Do(func() {
+		sc.walks, sc.walkErr = walk.New(sc.s, sc.model)
+	})
+	return sc.walks, sc.walkErr
 }
 
 // NewScanner validates s against the model and precomputes the count arrays.
@@ -71,16 +98,18 @@ func NewScanner(s []byte, m *alphabet.Model) (*Scanner, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
-	pre, err := counts.New(s, m.K())
+	pre, err := counts.NewInterleaved(s, m.K())
 	if err != nil {
 		return nil, err
 	}
+	probs := m.Probs()
 	return &Scanner{
 		s:     s,
 		model: m,
-		probs: m.Probs(),
+		probs: probs,
 		k:     m.K(),
 		pre:   pre,
+		kern:  chisq.NewKernel(probs),
 		vec:   make([]int, m.K()),
 	}, nil
 }
@@ -97,7 +126,7 @@ func (sc *Scanner) Symbols() []byte { return sc.s }
 // X2 returns the chi-square value of the window s[i:j). It panics if the
 // indices are out of range, matching slice semantics.
 func (sc *Scanner) X2(i, j int) float64 {
-	return chisq.WindowValue(sc.pre, i, j, sc.probs, sc.vec)
+	return sc.kern.Value(sc.pre.Vector(i, j, sc.vec))
 }
 
 // TotalSubstrings returns n(n+1)/2, the number of non-empty substrings — the

@@ -1,0 +1,643 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topheap"
+)
+
+// Engine configures how a scan executes. Engine{Workers: 1} reproduces the
+// paper-faithful sequential scan exactly (it is what every legacy entry
+// point passes); the zero value resolves Workers to GOMAXPROCS and shards
+// the start positions of the same exact algorithm across a worker pool.
+//
+// Start positions are independent given a skip budget, so the chain-cover
+// scan parallelizes by partitioning starts into contiguous chunks that
+// workers claim dynamically (starts near the end of the string have shorter
+// rows, so static partitioning would be badly imbalanced). Each worker owns
+// private scratch, and all workers share one atomic best-X² budget: a tight
+// bound found by any worker immediately enlarges every other worker's
+// chain-cover skips.
+//
+// Determinism: the parallel MSS scans read the shared budget through a tiny
+// softening margin (soften), so a substring whose X² exactly equals the
+// current budget is still evaluated rather than skipped. Combined with a
+// lexicographic
+// best-candidate merge ((X², start desc, end asc) — the order the sequential
+// right-to-left scan discovers candidates in), the parallel scans return the
+// identical interval, X², and Stats.Total() as the sequential ones, at the
+// cost of a vanishing number of extra evaluations on exact X² ties.
+type Engine struct {
+	// Workers is the worker-pool size: 1 runs the sequential scan inline;
+	// 0 (the zero value) resolves to GOMAXPROCS.
+	Workers int
+	// WarmStart seeds the shared skip budget, before the exact scan starts,
+	// with the best X² found by the O(nk) global-extrema heuristic (AGMM,
+	// heuristics.go) restricted to the scanned range and length floor. The
+	// heuristic's value is the X² of an actual candidate substring, hence a
+	// sound lower bound on the answer: the exact scan can only use it to
+	// skip substrings that provably cannot win. Applies to MSS-style scans;
+	// top-t (t-th-best budget) and threshold (fixed α budget) scans ignore
+	// it because a single heuristic value is not a sound budget for them.
+	//
+	// The seeding pass's own O(k²) evaluations are deliberately excluded
+	// from the returned Stats, which account for the exact scan only: that
+	// keeps Evaluated+Skipped equal to the number of candidate substrings,
+	// the paper's machine-independent iteration metric.
+	WarmStart bool
+}
+
+// workerCount resolves the pool size against the number of start positions.
+func (e Engine) workerCount(starts int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > starts {
+		w = starts
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunksPerWorker controls the shard granularity. Rows get longer toward the
+// start of the string, so many small chunks claimed dynamically keep the
+// pool balanced without a work-stealing scheduler.
+const chunksPerWorker = 32
+
+// splitStarts partitions the inclusive start range [lo, hiStart] into at
+// most `parts` contiguous chunks {chunkHi, chunkLo}, ordered from the
+// highest starts down — the direction the sequential scan visits them.
+func splitStarts(lo, hiStart, parts int) [][2]int {
+	total := hiStart - lo + 1
+	if parts > total {
+		parts = total
+	}
+	chunks := make([][2]int, 0, parts)
+	per := total / parts
+	rem := total % parts
+	hi := hiStart
+	for c := 0; c < parts; c++ {
+		size := per
+		if c < rem {
+			size++
+		}
+		chunks = append(chunks, [2]int{hi, hi - size + 1})
+		hi -= size
+	}
+	return chunks
+}
+
+// atomicBudget is a monotonically increasing shared float64 — the running
+// best X² every worker prunes against.
+type atomicBudget struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicBudget) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicBudget) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// raise lifts the budget to at least v.
+func (a *atomicBudget) raise(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// soften shaves a 1e-12 relative margin off a budget. Skipping is justified
+// for substrings with X² ≤ budget; pruning against the softened value keeps
+// exact ties (and anything within a few ulps of fp noise between the cover
+// bound and a direct evaluation) evaluated, which is what makes the parallel
+// argmax merge and the warm start reproduce the sequential scan's interval
+// bit-for-bit.
+func soften(budget float64) float64 {
+	return budget - 1e-12*math.Max(1, math.Abs(budget))
+}
+
+// better reports whether candidate (x2, [i, j)) beats best in the order the
+// sequential right-to-left scan discovers candidates: higher X² first, then
+// higher start, then lower end.
+func better(x2 float64, i, j int, best Scored) bool {
+	if x2 != best.X2 {
+		return x2 > best.X2
+	}
+	if i != best.Start {
+		return i > best.Start
+	}
+	return j < best.End
+}
+
+// warmSeed returns the best X² among the AGMM candidate substrings that lie
+// inside [lo, hi) with length ≥ minLen, or −1 when no candidate qualifies.
+// Candidates are all pairs of the per-symbol walk extrema (clamped to the
+// range, plus the range endpoints), evaluated exactly — O(nk) for the walks
+// plus O(k²) pair evaluations.
+func (sc *Scanner) warmSeed(lo, hi, minLen int) float64 {
+	ws, err := sc.sharedWalks()
+	if err != nil {
+		return -1
+	}
+	cuts := ws.GlobalExtrema()
+	inRange := make([]int, 0, len(cuts)+2)
+	inRange = append(inRange, lo, hi)
+	for _, c := range cuts {
+		if c > lo && c < hi {
+			inRange = append(inRange, c)
+		}
+	}
+	sort.Ints(inRange)
+	best := -1.0
+	vec := make([]int, sc.k)
+	for a := 0; a < len(inRange); a++ {
+		for b := a + 1; b < len(inRange); b++ {
+			u, v := inRange[a], inRange[b]
+			if v-u < minLen || u == v {
+				continue
+			}
+			if x2 := sc.kern.Value(sc.pre.Vector(u, v, vec)); x2 > best {
+				best = x2
+			}
+		}
+	}
+	return best
+}
+
+// --- MSS family ---
+
+// MSSWith runs the Problem 1 scan under the given engine configuration.
+func (sc *Scanner) MSSWith(e Engine) (Scored, Stats) {
+	return sc.engineMSSRange(e, 0, len(sc.s), 1)
+}
+
+// MSSMinLengthWith runs the Problem 4 scan under the given engine
+// configuration.
+func (sc *Scanner) MSSMinLengthWith(e Engine, gamma int) (Scored, Stats) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return sc.engineMSSRange(e, 0, len(sc.s), gamma+1)
+}
+
+// MSSRangeWith runs the segment-restricted MSS scan under the given engine
+// configuration.
+func (sc *Scanner) MSSRangeWith(e Engine, lo, hi, minLen int) (Scored, Stats) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(sc.s) {
+		hi = len(sc.s)
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if hi-lo < minLen {
+		return Scored{}, Stats{}
+	}
+	return sc.engineMSSRange(e, lo, hi, minLen)
+}
+
+// engineMSSRange is the engine entry point shared by every MSS-style scan:
+// the maximum-X² substring of s[lo:hi) with length ≥ minLen.
+func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) {
+	hiStart := hi - minLen
+	if hiStart < lo {
+		return Scored{}, Stats{}
+	}
+	warm := -1.0
+	if e.WarmStart {
+		warm = sc.warmSeed(lo, hi, minLen)
+	}
+	w := e.workerCount(hiStart - lo + 1)
+	if w == 1 {
+		return sc.mssRangeWarm(lo, hi, minLen, warm)
+	}
+
+	chunks := splitStarts(lo, hiStart, w*chunksPerWorker)
+	var budget atomicBudget
+	budget.store(warm) // −1 when no warm start: below every X², so inert
+
+	bests := make([]Scored, w)
+	stats := make([]Stats, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			vec := make([]int, sc.k)
+			best := Scored{X2: -1}
+			var st Stats
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					break
+				}
+				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					st.Starts++
+					for j := i + minLen; j <= hi; j++ {
+						sc.pre.Vector(i, j, vec)
+						x2 := sc.kern.Value(vec)
+						st.Evaluated++
+						if better(x2, i, j, best) {
+							best = Scored{Interval{i, j}, x2}
+							budget.raise(x2)
+						}
+						if j == hi {
+							break
+						}
+						if skip := sc.kern.MaxSkip(vec, j-i, x2, soften(budget.load())); skip > 0 {
+							if j+skip > hi {
+								skip = hi - j
+							}
+							st.Skipped += int64(skip)
+							j += skip
+						}
+					}
+				}
+			}
+			bests[wid] = best
+			stats[wid] = st
+		}(wid)
+	}
+	wg.Wait()
+
+	best := Scored{X2: -1}
+	var st Stats
+	for wid := 0; wid < w; wid++ {
+		st.Evaluated += stats[wid].Evaluated
+		st.Skipped += stats[wid].Skipped
+		st.Starts += stats[wid].Starts
+		if b := bests[wid]; b.X2 >= 0 && better(b.X2, b.Start, b.End, best) {
+			best = b
+		}
+	}
+	if best.X2 < 0 {
+		return Scored{}, st
+	}
+	return best, st
+}
+
+// --- Top-t family ---
+
+// TopTWith runs the Problem 2 scan under the given engine configuration.
+func (sc *Scanner) TopTWith(e Engine, t int) ([]Scored, Stats, error) {
+	return sc.engineTopT(e, t, 1)
+}
+
+// TopTMinLengthWith runs the combined Problem 2+4 scan under the given
+// engine configuration.
+func (sc *Scanner) TopTMinLengthWith(e Engine, t, gamma int) ([]Scored, Stats, error) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return sc.engineTopT(e, t, gamma+1)
+}
+
+// sharedHeap wraps the top-t min-heap for concurrent offers. The heap's
+// minimum (the running t-th best) is mirrored into an atomic so workers
+// read their skip budget without taking the lock; it only grows, so a stale
+// read under-prunes but never over-prunes.
+type sharedHeap struct {
+	mu     sync.Mutex
+	h      *topheap.Heap
+	budget atomicBudget
+	full   atomic.Bool
+}
+
+func (s *sharedHeap) offer(it topheap.Item) {
+	// While the heap has room every offer is admissible (the sequential
+	// algorithm's heap-of-t-zeros initialization); afterwards only scores
+	// beating the mirrored minimum need the lock.
+	if s.full.Load() && it.Score <= s.budget.load() {
+		return
+	}
+	s.mu.Lock()
+	s.h.Offer(it)
+	if s.h.Full() {
+		s.budget.store(s.h.Budget())
+		s.full.Store(true)
+	}
+	s.mu.Unlock()
+}
+
+// engineTopT is the engine entry point for top-t scans: the t largest-X²
+// substrings of length ≥ minLen.
+//
+// The X² value multiset of the result is identical to the sequential scan's:
+// any substring beating the final t-th best is never skipped (every budget
+// used is at most that value), and substrings tied with the boundary are
+// interchangeable, which the problem statement already permits.
+func (sc *Scanner) engineTopT(e Engine, t, minLen int) ([]Scored, Stats, error) {
+	if err := validateT(t); err != nil {
+		return nil, Stats{}, err
+	}
+	n := len(sc.s)
+	hiStart := n - minLen
+	w := 1
+	if hiStart >= 0 {
+		w = e.workerCount(hiStart + 1)
+	}
+	if w == 1 {
+		return sc.toptSeq(t, minLen)
+	}
+
+	h, err := topheap.New(t)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	shared := &sharedHeap{h: h}
+	chunks := splitStarts(0, hiStart, w*chunksPerWorker)
+	stats := make([]Stats, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			vec := make([]int, sc.k)
+			var st Stats
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					break
+				}
+				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					st.Starts++
+					for j := i + minLen; j <= n; j++ {
+						sc.pre.Vector(i, j, vec)
+						x2 := sc.kern.Value(vec)
+						st.Evaluated++
+						shared.offer(topheap.Item{Start: i, End: j, Score: x2})
+						if j == n {
+							break
+						}
+						if skip := sc.kern.MaxSkip(vec, j-i, x2, shared.budget.load()); skip > 0 {
+							if j+skip > n {
+								skip = n - j
+							}
+							st.Skipped += int64(skip)
+							j += skip
+						}
+					}
+				}
+			}
+			stats[wid] = st
+		}(wid)
+	}
+	wg.Wait()
+
+	var st Stats
+	for _, s := range stats {
+		st.Evaluated += s.Evaluated
+		st.Skipped += s.Skipped
+		st.Starts += s.Starts
+	}
+	return itemsToScored(h.Items()), st, nil
+}
+
+// toptSeq is the sequential top-t scan shared by TopT and TopTMinLength.
+func (sc *Scanner) toptSeq(t, minLen int) ([]Scored, Stats, error) {
+	n := len(sc.s)
+	h, err := topheap.New(t)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	for i := n - minLen; i >= 0; i-- {
+		st.Starts++
+		for j := i + minLen; j <= n; j++ {
+			vec := sc.pre.Vector(i, j, sc.vec)
+			x2 := sc.kern.Value(vec)
+			st.Evaluated++
+			h.Offer(topheap.Item{Start: i, End: j, Score: x2})
+			if j == n {
+				break
+			}
+			if skip := sc.kern.MaxSkip(vec, j-i, x2, h.Budget()); skip > 0 {
+				if j+skip > n {
+					skip = n - j
+				}
+				st.Skipped += int64(skip)
+				j += skip
+			}
+		}
+	}
+	return itemsToScored(h.Items()), st, nil
+}
+
+// --- Threshold family ---
+
+// ThresholdWith runs the Problem 3 scan under the given engine
+// configuration. The visitor is always invoked from the calling goroutine in
+// the sequential scan's (start desc, end asc) order; under parallelism the
+// qualifying substrings are buffered per chunk and replayed in order after
+// the workers finish, so visitors that need streaming delivery (or scans
+// whose result sets are too large to buffer) should use Workers: 1 or the
+// Collect forms, whose limit also bounds the parallel buffering.
+func (sc *Scanner) ThresholdWith(e Engine, alpha float64, visit func(Scored)) Stats {
+	return sc.engineThreshold(e, alpha, 1, 0, visit)
+}
+
+// ThresholdMinLengthWith runs the combined Problem 3+4 scan under the given
+// engine configuration. See ThresholdWith for the parallel buffering note.
+func (sc *Scanner) ThresholdMinLengthWith(e Engine, alpha float64, gamma int, visit func(Scored)) Stats {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return sc.engineThreshold(e, alpha, gamma+1, 0, visit)
+}
+
+// ThresholdCollectWith is ThresholdCollect under an engine configuration.
+func (sc *Scanner) ThresholdCollectWith(e Engine, alpha float64, limit int) ([]Scored, Stats, error) {
+	return sc.thresholdCollect(e, alpha, 1, limit)
+}
+
+// ThresholdMinLengthCollectWith collects the combined Problem 3+4 scan's
+// results under an engine configuration, with the same limit semantics as
+// ThresholdCollect.
+func (sc *Scanner) ThresholdMinLengthCollectWith(e Engine, alpha float64, gamma, limit int) ([]Scored, Stats, error) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return sc.thresholdCollect(e, alpha, gamma+1, limit)
+}
+
+// engineThreshold reports every substring of length ≥ minLen with X² > alpha.
+// The budget is the constant alpha, so workers share nothing but the string
+// and the scan parallelizes embarrassingly; the evaluated/skipped pattern is
+// identical to the sequential scan's.
+//
+// cap > 0 bounds the buffering of the parallel path: each worker stores at
+// most cap+1 hits, keeping memory at O(workers·cap) instead of the O(n²) a
+// low alpha can produce. This loses no hit a limit-capped visitor would
+// accept: a worker's chunks are claimed in increasing replay order, so by
+// the time it drops a hit it has already stored cap+1 hits that all precede
+// the dropped one in replay order — the dropped hit could only ever be
+// replayed at position cap+2 or later, which the visitor's overflow check
+// has already fired on.
+func (sc *Scanner) engineThreshold(e Engine, alpha float64, minLen, cap int, visit func(Scored)) Stats {
+	n := len(sc.s)
+	hiStart := n - minLen
+	w := 1
+	if hiStart >= 0 {
+		w = e.workerCount(hiStart + 1)
+	}
+	if w == 1 {
+		return sc.thresholdSeq(alpha, minLen, visit)
+	}
+
+	chunks := splitStarts(0, hiStart, w*chunksPerWorker)
+	found := make([][]Scored, len(chunks))
+	stats := make([]Stats, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			vec := make([]int, sc.k)
+			var st Stats
+			stored := 0
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					break
+				}
+				var hits []Scored
+				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					st.Starts++
+					for j := i + minLen; j <= n; j++ {
+						sc.pre.Vector(i, j, vec)
+						x2 := sc.kern.Value(vec)
+						st.Evaluated++
+						if x2 > alpha && (cap <= 0 || stored <= cap) {
+							hits = append(hits, Scored{Interval{i, j}, x2})
+							stored++
+						}
+						if j == n {
+							break
+						}
+						if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
+							if j+skip > n {
+								skip = n - j
+							}
+							st.Skipped += int64(skip)
+							j += skip
+						}
+					}
+				}
+				found[c] = hits
+			}
+			stats[wid] = st
+		}(wid)
+	}
+	wg.Wait()
+
+	var st Stats
+	for _, s := range stats {
+		st.Evaluated += s.Evaluated
+		st.Skipped += s.Skipped
+		st.Starts += s.Starts
+	}
+	// Chunks are ordered by descending start range and scanned start-desc
+	// within, so replaying them in chunk order reproduces the sequential
+	// visit order exactly.
+	for _, hits := range found {
+		for _, r := range hits {
+			visit(r)
+		}
+	}
+	return st
+}
+
+// thresholdSeq is the sequential threshold scan shared by Threshold and
+// ThresholdMinLength.
+func (sc *Scanner) thresholdSeq(alpha float64, minLen int, visit func(Scored)) Stats {
+	n := len(sc.s)
+	var st Stats
+	for i := n - minLen; i >= 0; i-- {
+		st.Starts++
+		for j := i + minLen; j <= n; j++ {
+			vec := sc.pre.Vector(i, j, sc.vec)
+			x2 := sc.kern.Value(vec)
+			st.Evaluated++
+			if x2 > alpha {
+				visit(Scored{Interval{i, j}, x2})
+			}
+			if j == n {
+				break
+			}
+			if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
+				if j+skip > n {
+					skip = n - j
+				}
+				st.Skipped += int64(skip)
+				j += skip
+			}
+		}
+	}
+	return st
+}
+
+// --- Disjoint top-t ---
+
+// DisjointTopTWith is DisjointTopT under an engine configuration: each
+// segment's MSS sub-scan runs on the engine.
+func (sc *Scanner) DisjointTopTWith(e Engine, t, minLen int) ([]Scored, Stats, error) {
+	if err := validateT(t); err != nil {
+		return nil, Stats{}, err
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	type segment struct {
+		lo, hi int
+		best   Scored
+		ok     bool
+	}
+	var st Stats
+	eval := func(lo, hi int) segment {
+		if hi-lo < minLen {
+			return segment{lo: lo, hi: hi}
+		}
+		best, s := sc.MSSRangeWith(e, lo, hi, minLen)
+		st.Evaluated += s.Evaluated
+		st.Skipped += s.Skipped
+		st.Starts += s.Starts
+		return segment{lo: lo, hi: hi, best: best, ok: best.End > best.Start}
+	}
+	segs := []segment{eval(0, len(sc.s))}
+	var out []Scored
+	for len(out) < t {
+		bi := -1
+		for i, sg := range segs {
+			if !sg.ok {
+				continue
+			}
+			if bi < 0 || sg.best.X2 > segs[bi].best.X2 {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		chosen := segs[bi]
+		out = append(out, chosen.best)
+		segs[bi] = eval(chosen.lo, chosen.best.Start)
+		segs = append(segs, eval(chosen.best.End, chosen.hi))
+	}
+	return out, st, nil
+}

@@ -34,10 +34,10 @@ func (sc *Scanner) HeapPruned() (Scored, Stats) {
 			vec[c] = 0
 		}
 		vec[sc.s[i]] = 1
-		x2 := chisq.Value(vec, sc.probs)
+		x2 := sc.kern.Value(vec)
 		bound := x2
 		if rest := n - i - 1; rest > 0 {
-			bound = chisq.CoverBound(vec, 1, x2, sc.probs, rest)
+			bound = sc.kern.CoverBound(vec, 1, x2, rest)
 		}
 		pq = append(pq, startBound{start: i, bound: bound})
 	}

@@ -1,10 +1,5 @@
 package core
 
-import (
-	"repro/internal/chisq"
-	"repro/internal/walk"
-)
-
 // The ARLM and AGMM heuristics originate in Dutta & Bhattacharya, "Most
 // Significant Substring Mining Based on Chi-square Measure" (PAKDD 2010) —
 // reference [9] of the paper. Their implementations are not public, so the
@@ -32,7 +27,7 @@ import (
 // the true MSS boundaries coincide with walk extrema (the typical case); no
 // guarantee is implied.
 func (sc *Scanner) ARLM() (Scored, Stats) {
-	ws, err := walk.New(sc.s, sc.model)
+	ws, err := sc.sharedWalks()
 	if err != nil {
 		// Scanner construction already validated the string; a failure here
 		// is impossible, but fall back to the empty result for safety.
@@ -43,7 +38,7 @@ func (sc *Scanner) ARLM() (Scored, Stats) {
 
 // AGMM runs the global-extrema heuristic.
 func (sc *Scanner) AGMM() (Scored, Stats) {
-	ws, err := walk.New(sc.s, sc.model)
+	ws, err := sc.sharedWalks()
 	if err != nil {
 		return Scored{}, Stats{}
 	}
@@ -61,7 +56,7 @@ func (sc *Scanner) bestOverCuts(cuts []int) (Scored, Stats) {
 		for b := a + 1; b < len(cuts); b++ {
 			v := cuts[b]
 			vec := sc.pre.Vector(u, v, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
+			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {
 				best = Scored{Interval{u, v}, x2}

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/chisq"
-)
+import "fmt"
 
 // MSS finds the Most Significant Substring — the substring with the maximum
 // chi-square value — using the paper's Algorithm 1. Start positions are
@@ -16,7 +12,8 @@ import (
 // work with high probability; on strings that deviate from the null model
 // the skips only grow (paper §5.1).
 //
-// For an empty string MSS returns the zero Scored value.
+// For an empty string MSS returns the zero Scored value. MSSWith runs the
+// same scan on the parallel engine (engine.go).
 func (sc *Scanner) MSS() (Scored, Stats) {
 	return sc.mssFrom(0)
 }
@@ -41,16 +38,27 @@ func (sc *Scanner) mssFrom(gamma int) (Scored, Stats) {
 // chain-cover skip applies unchanged because the bound is independent of
 // what lies beyond the segment.
 func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
-	best := Scored{X2: -1}
-	var st Stats
 	if minLen < 1 {
 		minLen = 1
 	}
+	return sc.mssRangeWarm(lo, hi, minLen, -1)
+}
+
+// mssRangeWarm is the sequential MSS scan with an optional warm-start skip
+// budget: warm < 0 disables it, warm ≥ 0 must be the X² of an actual
+// candidate substring (same range, same length floor), which lower-bounds
+// the answer and therefore only removes substrings that cannot win. The
+// warm budget is softened by one ulp so exact X² ties with it are still
+// evaluated, keeping the reported interval independent of the warm start.
+func (sc *Scanner) mssRangeWarm(lo, hi, minLen int, warm float64) (Scored, Stats) {
+	best := Scored{X2: -1}
+	var st Stats
+	floor := soften(warm)
 	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
 		for j := i + minLen; j <= hi; j++ {
 			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
+			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {
 				best = Scored{Interval{i, j}, x2}
@@ -58,7 +66,11 @@ func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
 			if j == hi {
 				break
 			}
-			if skip := chisq.MaxSkip(vec, j-i, x2, best.X2, sc.probs); skip > 0 {
+			budget := best.X2
+			if floor > budget {
+				budget = floor
+			}
+			if skip := sc.kern.MaxSkip(vec, j-i, x2, budget); skip > 0 {
 				if j+skip > hi {
 					skip = hi - j
 				}
@@ -73,6 +85,14 @@ func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
 	return best, st
 }
 
+// validateT rejects non-positive top-t capacities.
+func validateT(t int) error {
+	if t < 1 {
+		return fmt.Errorf("core: top-t requires t >= 1, got %d", t)
+	}
+	return nil
+}
+
 // DisjointTopT returns up to t pairwise non-overlapping substrings in
 // decreasing X² order, greedily: the MSS is taken first, its interval is
 // removed, and the two remaining segments are searched recursively. This is
@@ -81,47 +101,5 @@ func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
 // set of Problem 2 is dominated by overlapping variants of the strongest
 // window). minLen ≥ 1 restricts candidate lengths.
 func (sc *Scanner) DisjointTopT(t, minLen int) ([]Scored, Stats, error) {
-	if t < 1 {
-		return nil, Stats{}, fmt.Errorf("core: disjoint top-t requires t >= 1, got %d", t)
-	}
-	if minLen < 1 {
-		minLen = 1
-	}
-	type segment struct {
-		lo, hi int
-		best   Scored
-		ok     bool
-	}
-	var st Stats
-	eval := func(lo, hi int) segment {
-		if hi-lo < minLen {
-			return segment{lo: lo, hi: hi}
-		}
-		best, s := sc.mssRange(lo, hi, minLen)
-		st.Evaluated += s.Evaluated
-		st.Skipped += s.Skipped
-		st.Starts += s.Starts
-		return segment{lo: lo, hi: hi, best: best, ok: best.End > best.Start}
-	}
-	segs := []segment{eval(0, len(sc.s))}
-	var out []Scored
-	for len(out) < t {
-		bi := -1
-		for i, sg := range segs {
-			if !sg.ok {
-				continue
-			}
-			if bi < 0 || sg.best.X2 > segs[bi].best.X2 {
-				bi = i
-			}
-		}
-		if bi < 0 {
-			break
-		}
-		chosen := segs[bi]
-		out = append(out, chosen.best)
-		segs[bi] = eval(chosen.lo, chosen.best.Start)
-		segs = append(segs, eval(chosen.best.End, chosen.hi))
-	}
-	return out, st, nil
+	return sc.DisjointTopTWith(Engine{Workers: 1}, t, minLen)
 }

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/chisq"
-)
+import "fmt"
 
 // Threshold solves Problem 3 with the paper's Algorithm 3: report every
 // substring whose X² strictly exceeds alpha. The skip budget is the constant
@@ -16,42 +12,21 @@ import (
 //
 // visit is invoked once per qualifying substring, in (start desc, end asc)
 // order. The visitor must not retain the Scored value's interval beyond the
-// call if it mutates it.
+// call if it mutates it. ThresholdWith runs the same scan on the parallel
+// engine (engine.go).
 func (sc *Scanner) Threshold(alpha float64, visit func(Scored)) Stats {
-	n := len(sc.s)
-	var st Stats
-	for i := n - 1; i >= 0; i-- {
-		st.Starts++
-		for j := i + 1; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
-			st.Evaluated++
-			if x2 > alpha {
-				visit(Scored{Interval{i, j}, x2})
-			}
-			if j == n {
-				break
-			}
-			if skip := chisq.MaxSkip(vec, j-i, x2, alpha, sc.probs); skip > 0 {
-				if j+skip > n {
-					skip = n - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
-			}
-		}
-	}
-	return st
+	return sc.thresholdSeq(alpha, 1, visit)
 }
 
-// ThresholdCollect runs Threshold and collects up to limit qualifying
-// substrings (limit ≤ 0 means no limit). It returns an error if the limit is
-// exceeded, protecting callers against the O(n²)-sized outputs low
-// thresholds can produce.
-func (sc *Scanner) ThresholdCollect(alpha float64, limit int) ([]Scored, Stats, error) {
+// thresholdCollect runs the threshold scan under the engine configuration
+// and collects up to limit qualifying substrings (limit ≤ 0 means no
+// limit). The limit is passed down as the parallel path's buffering cap, so
+// a low alpha cannot balloon memory past O(workers·limit) before the
+// overflow error fires.
+func (sc *Scanner) thresholdCollect(e Engine, alpha float64, minLen, limit int) ([]Scored, Stats, error) {
 	var out []Scored
 	overflow := false
-	st := sc.Threshold(alpha, func(s Scored) {
+	st := sc.engineThreshold(e, alpha, minLen, limit, func(s Scored) {
 		if limit > 0 && len(out) >= limit {
 			overflow = true
 			return
@@ -62,6 +37,14 @@ func (sc *Scanner) ThresholdCollect(alpha float64, limit int) ([]Scored, Stats, 
 		return out, st, fmt.Errorf("core: more than %d substrings exceed threshold %g", limit, alpha)
 	}
 	return out, st, nil
+}
+
+// ThresholdCollect runs Threshold and collects up to limit qualifying
+// substrings (limit ≤ 0 means no limit). It returns an error if the limit is
+// exceeded, protecting callers against the O(n²)-sized outputs low
+// thresholds can produce.
+func (sc *Scanner) ThresholdCollect(alpha float64, limit int) ([]Scored, Stats, error) {
+	return sc.thresholdCollect(Engine{Workers: 1}, alpha, 1, limit)
 }
 
 // ThresholdCount runs Threshold counting matches only.

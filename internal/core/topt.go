@@ -1,12 +1,5 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/chisq"
-	"repro/internal/topheap"
-)
-
 // TopT solves Problem 2 with the paper's Algorithm 2: the MSS scan where the
 // skip budget is the t-th largest X² seen so far (the minimum of a
 // capacity-t heap, or 0 while the heap still has room). Substrings skipped
@@ -15,36 +8,8 @@ import (
 //
 // The returned slice holds min(t, n(n+1)/2) results in descending X² order.
 // Ties at the boundary value are resolved arbitrarily, as the paper's
-// problem statement permits.
+// problem statement permits. TopTWith runs the same scan on the parallel
+// engine (engine.go).
 func (sc *Scanner) TopT(t int) ([]Scored, Stats, error) {
-	if t < 1 {
-		return nil, Stats{}, fmt.Errorf("core: top-t requires t >= 1, got %d", t)
-	}
-	n := len(sc.s)
-	h, err := topheap.New(t)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	var st Stats
-	for i := n - 1; i >= 0; i-- {
-		st.Starts++
-		for j := i + 1; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
-			st.Evaluated++
-			h.Offer(topheap.Item{Start: i, End: j, Score: x2})
-			if j == n {
-				break
-			}
-			budget := h.Budget()
-			if skip := chisq.MaxSkip(vec, j-i, x2, budget, sc.probs); skip > 0 {
-				if j+skip > n {
-					skip = n - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
-			}
-		}
-	}
-	return itemsToScored(h.Items()), st, nil
+	return sc.engineTopT(Engine{Workers: 1}, t, 1)
 }

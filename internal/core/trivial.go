@@ -18,7 +18,7 @@ func (sc *Scanner) Trivial() (Scored, Stats) {
 		st.Starts++
 		for j := i + 1; j <= n; j++ {
 			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
+			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {
 				best = Scored{Interval{i, j}, x2}

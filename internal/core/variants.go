@@ -1,88 +1,24 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/chisq"
-	"repro/internal/topheap"
-)
-
 // The paper presents its problem variants independently (§6); real uses
 // combine them — "the ten most significant periods of at least a month",
 // "all windows longer than Γ with X² above α". These combined scans reuse
 // the same chain-cover skip; a length floor only shrinks the scanned range
-// (§6.3), so the skip logic is unchanged.
+// (§6.3), so the skip logic is unchanged. Every variant here delegates to
+// the scan engine (engine.go) with a single worker; the *With forms accept
+// an Engine for parallel execution.
 
 // TopTMinLength solves Problem 2 restricted to substrings of length
 // strictly greater than gamma.
 func (sc *Scanner) TopTMinLength(t, gamma int) ([]Scored, Stats, error) {
-	if t < 1 {
-		return nil, Stats{}, fmt.Errorf("core: top-t requires t >= 1, got %d", t)
-	}
-	if gamma < 0 {
-		gamma = 0
-	}
-	n := len(sc.s)
-	minLen := gamma + 1
-	h, err := topheap.New(t)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	var st Stats
-	for i := n - minLen; i >= 0; i-- {
-		st.Starts++
-		for j := i + minLen; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
-			st.Evaluated++
-			h.Offer(topheap.Item{Start: i, End: j, Score: x2})
-			if j == n {
-				break
-			}
-			if skip := chisq.MaxSkip(vec, j-i, x2, h.Budget(), sc.probs); skip > 0 {
-				if j+skip > n {
-					skip = n - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
-			}
-		}
-	}
-	return itemsToScored(h.Items()), st, nil
+	return sc.TopTMinLengthWith(Engine{Workers: 1}, t, gamma)
 }
 
 // ThresholdMinLength solves Problem 3 restricted to substrings of length
 // strictly greater than gamma: visit is invoked for every such substring
 // with X² > alpha.
 func (sc *Scanner) ThresholdMinLength(alpha float64, gamma int, visit func(Scored)) Stats {
-	if gamma < 0 {
-		gamma = 0
-	}
-	n := len(sc.s)
-	minLen := gamma + 1
-	var st Stats
-	for i := n - minLen; i >= 0; i-- {
-		st.Starts++
-		for j := i + minLen; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
-			x2 := chisq.Value(vec, sc.probs)
-			st.Evaluated++
-			if x2 > alpha {
-				visit(Scored{Interval{i, j}, x2})
-			}
-			if j == n {
-				break
-			}
-			if skip := chisq.MaxSkip(vec, j-i, x2, alpha, sc.probs); skip > 0 {
-				if j+skip > n {
-					skip = n - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
-			}
-		}
-	}
-	return st
+	return sc.ThresholdMinLengthWith(Engine{Workers: 1}, alpha, gamma, visit)
 }
 
 // MSSRange finds the maximum-X² substring confined to s[lo:hi) with length
@@ -91,17 +27,5 @@ func (sc *Scanner) ThresholdMinLength(alpha float64, gamma int, visit func(Score
 // chromosomes) need it directly. Invalid or too-small ranges yield the zero
 // Scored value.
 func (sc *Scanner) MSSRange(lo, hi, minLen int) (Scored, Stats) {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(sc.s) {
-		hi = len(sc.s)
-	}
-	if minLen < 1 {
-		minLen = 1
-	}
-	if hi-lo < minLen {
-		return Scored{}, Stats{}
-	}
-	return sc.mssRange(lo, hi, minLen)
+	return sc.MSSRangeWith(Engine{Workers: 1}, lo, hi, minLen)
 }

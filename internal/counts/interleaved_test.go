@@ -1,0 +1,147 @@
+package counts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedValidates(t *testing.T) {
+	if _, err := NewInterleaved([]byte{0, 1, 5}, 3); err == nil {
+		t.Error("NewInterleaved with out-of-range symbol: expected error")
+	}
+	if _, err := NewInterleaved(nil, 1); err == nil {
+		t.Error("NewInterleaved with k=1: expected error")
+	}
+}
+
+func TestInterleavedEmptyString(t *testing.T) {
+	p, err := NewInterleaved(nil, 2)
+	if err != nil {
+		t.Fatalf("NewInterleaved(empty): %v", err)
+	}
+	if p.Len() != 0 || p.K() != 2 {
+		t.Errorf("Len = %d, K = %d", p.Len(), p.K())
+	}
+	if got := p.Count(0, 0, 0); got != 0 {
+		t.Errorf("Count on empty = %d", got)
+	}
+	tot := p.Total()
+	if tot[0] != 0 || tot[1] != 0 {
+		t.Errorf("Total = %v", tot)
+	}
+}
+
+func TestInterleavedVectorWrongLengthPanics(t *testing.T) {
+	p, _ := NewInterleaved([]byte{0, 1}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Vector with wrong dst length did not panic")
+		}
+	}()
+	p.Vector(0, 2, make([]int, 3))
+}
+
+// Property: the two layouts agree on every Count and Vector query.
+func TestInterleavedMatchesRowMajor(t *testing.T) {
+	f := func(raw []byte, kRaw, iRaw, jRaw uint16) bool {
+		k := int(kRaw%9) + 2
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b % byte(k)
+		}
+		row, err := New(s, k)
+		if err != nil {
+			return false
+		}
+		ilv, err := NewInterleaved(s, k)
+		if err != nil {
+			return false
+		}
+		n := len(s)
+		i, j := 0, 0
+		if n > 0 {
+			i = int(iRaw) % (n + 1)
+			j = int(jRaw) % (n + 1)
+			if i > j {
+				i, j = j, i
+			}
+		}
+		a := row.Vector(i, j, make([]int, k))
+		b := ilv.Vector(i, j, make([]int, k))
+		for c := 0; c < k; c++ {
+			if a[c] != b[c] || row.Count(c, i, j) != ilv.Count(c, i, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomString builds a length-n string over k symbols for the layout
+// benchmarks.
+func randomString(n, k int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(k))
+	}
+	return s
+}
+
+// The layout benchmarks replay an MSS-shaped access pattern — for each start
+// i, Vector calls sweep j forward with growing strides — so they measure
+// exactly the memory behaviour the scan engine sees, not a synthetic
+// uniform-random probe.
+func layoutScan(b *testing.B, vector func(i, j int, dst []int) []int, n, k int) {
+	b.Helper()
+	dst := make([]int, k)
+	sink := 0
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for i := 0; i < n; i += 101 {
+			step := 1
+			for j := i + 1; j <= n; j += step {
+				v := vector(i, j, dst)
+				sink += v[0]
+				step += 3 // mimic chain-cover skips growing with length
+			}
+		}
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkPrefixLayoutRowMajor(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(benchName(k), func(b *testing.B) {
+			s := randomString(100_000, k, 1)
+			p, err := New(s, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			layoutScan(b, p.Vector, len(s), k)
+		})
+	}
+}
+
+func BenchmarkPrefixLayoutInterleaved(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(benchName(k), func(b *testing.B) {
+			s := randomString(100_000, k, 1)
+			p, err := NewInterleaved(s, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			layoutScan(b, p.Vector, len(s), k)
+		})
+	}
+}
+
+func benchName(k int) string {
+	return "k=" + string(rune('0'+k))
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// Textbook chi-square critical values: Survival(x) at the classic
+// significance thresholds.
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	cases := []struct {
+		nu, x, want float64
+	}{
+		{1, 3.841458820694124, 0.05},
+		{1, 6.634896601021213, 0.01},
+		{2, 5.991464547107979, 0.05},
+		{5, 11.070497693516351, 0.05},
+		{10, 18.307038053275146, 0.05},
+	}
+	for _, c := range cases {
+		got := ChiSquare{Nu: c.nu}.Survival(c.x)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Survival(nu=%g, x=%g) = %g, want %g", c.nu, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalEdges(t *testing.T) {
+	c := ChiSquare{Nu: 3}
+	if got := c.Survival(0); got != 1 {
+		t.Errorf("Survival(0) = %g", got)
+	}
+	if got := c.Survival(-5); got != 1 {
+		t.Errorf("Survival(-5) = %g", got)
+	}
+	if got := c.Survival(1e4); got > 1e-300 {
+		t.Errorf("deep tail Survival = %g, want ~0 without cancelling to exactly 1-1", got)
+	}
+	if got := c.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	for _, nu := range []float64{1, 2, 5, 17} {
+		c := ChiSquare{Nu: nu}
+		for _, q := range []float64{0.01, 0.5, 0.95, 0.999, 1 - 1e-9} {
+			x, err := c.Quantile(q)
+			if err != nil {
+				t.Fatalf("Quantile(nu=%g, %g): %v", nu, q, err)
+			}
+			if back := c.CDF(x); math.Abs(back-q) > 1e-9 {
+				t.Errorf("CDF(Quantile(%g)) = %g (nu=%g)", q, back, nu)
+			}
+		}
+	}
+}
+
+func TestChiSquareQuantileRejectsBadInput(t *testing.T) {
+	c := ChiSquare{Nu: 2}
+	for _, q := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := c.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g) accepted", q)
+		}
+	}
+	if _, err := (ChiSquare{Nu: 0}).Quantile(0.5); err == nil {
+		t.Error("nu=0 accepted")
+	}
+	if x, err := c.Quantile(0); err != nil || x != 0 {
+		t.Errorf("Quantile(0) = %g, %v", x, err)
+	}
+}
+
+// The paper's coin example: 19 heads + 1 tail under a fair coin has exact
+// two-sided p-value 2·21/2^20 (outcomes with 0, 1, 19, or 20 tails).
+func TestExactMultinomialPValueCoin(t *testing.T) {
+	pv, err := ExactMultinomialPValue([]int{19, 1}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 42.0 / 1048576.0
+	if math.Abs(pv-want) > 1e-12 {
+		t.Errorf("p-value = %g, want %g", pv, want)
+	}
+}
+
+// The observed outcome is always included, so the p-value is positive, and
+// the least extreme outcome has p-value 1.
+func TestExactMultinomialPValueBounds(t *testing.T) {
+	pv, err := ExactMultinomialPValue([]int{3, 3, 3}, []float64{1.0 / 3, 1.0 / 3, 1.0 / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv < 0.99 || pv > 1 {
+		t.Errorf("balanced outcome p-value = %g, want ~1", pv)
+	}
+	pv, err = ExactMultinomialPValue([]int{40, 0}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv <= 0 || pv > 1e-9 {
+		t.Errorf("extreme outcome p-value = %g", pv)
+	}
+}
+
+func TestExactMultinomialPValueGuards(t *testing.T) {
+	if _, err := ExactMultinomialPValue([]int{1}, []float64{1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := ExactMultinomialPValue([]int{1, 2, 3}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ExactMultinomialPValue([]int{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := ExactMultinomialPValue([]int{-1, 2}, []float64{0.5, 0.5}); err == nil {
+		t.Error("negative count accepted")
+	}
+	// k=6 at length 4000 explodes combinatorially and must refuse.
+	big := []int{700, 700, 700, 700, 700, 500}
+	p6 := []float64{1.0 / 6, 1.0 / 6, 1.0 / 6, 1.0 / 6, 1.0 / 6, 1.0 / 6}
+	if _, err := ExactMultinomialPValue(big, p6); err == nil {
+		t.Error("k=6 l=4000 enumeration accepted")
+	}
+}

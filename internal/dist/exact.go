@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxConfigurations bounds the number of count-vector outcomes the exact
+// enumeration may visit: C(l+k−1, k−1) for string length l over k symbols.
+// Binary strings enumerate l+1 outcomes and stay linear even for l in the
+// hundreds of thousands; alphabets beyond k=2 explode combinatorially and
+// are refused past this bound, directing callers to the χ² approximation —
+// which is exactly the trade-off that motivates the paper's Theorem 3.
+const maxConfigurations = 4_000_000
+
+// ExactMultinomialPValue computes the exact p-value of an observed count
+// vector under a multinomial model (paper Eqs. 1–2): the total probability
+// of every outcome with the same length whose X² statistic is at least as
+// extreme as the observed one.
+func ExactMultinomialPValue(counts []int, probs []float64) (float64, error) {
+	k := len(probs)
+	if k < 2 {
+		return 0, fmt.Errorf("dist: exact p-value requires k >= 2, got %d", k)
+	}
+	if len(counts) != k {
+		return 0, fmt.Errorf("dist: count vector has %d entries for %d symbols", len(counts), k)
+	}
+	l := 0
+	for _, y := range counts {
+		if y < 0 {
+			return 0, fmt.Errorf("dist: negative count %d", y)
+		}
+		l += y
+	}
+	if l == 0 {
+		return 0, fmt.Errorf("dist: empty count vector")
+	}
+	if nc, ok := configurations(l, k); !ok || nc > maxConfigurations {
+		return 0, fmt.Errorf("dist: exact enumeration of %d-symbol length-%d outcomes exceeds %d configurations; use the chi-square approximation",
+			k, l, maxConfigurations)
+	}
+
+	observed := chiSquareOf(counts, probs)
+	// Absolute-scaled slack so outcomes tied with the observed statistic
+	// (including the observed outcome itself) count as "at least as extreme"
+	// despite floating-point noise in two evaluation orders.
+	slack := 1e-9 * math.Max(1, math.Abs(observed))
+
+	logPs := make([]float64, k)
+	for i, p := range probs {
+		logPs[i] = math.Log(p)
+	}
+	lgL, _ := math.Lgamma(float64(l) + 1)
+
+	total := 0.0
+	// Enumerate compositions of l into k parts depth-first, carrying the
+	// partial log-probability and partial X² sum so each leaf costs O(1).
+	var walk func(sym, remaining int, logNum, sumYsqOverP float64)
+	walk = func(sym, remaining int, logNum, sumYsqOverP float64) {
+		if sym == k-1 {
+			y := float64(remaining)
+			lgY, _ := math.Lgamma(y + 1)
+			logProb := logNum - lgY + y*logPs[sym]
+			sum := sumYsqOverP + y*y/probs[sym]
+			x2 := sum/float64(l) - float64(l)
+			if x2 >= observed-slack {
+				total += math.Exp(logProb)
+			}
+			return
+		}
+		for y := 0; y <= remaining; y++ {
+			fy := float64(y)
+			lgY, _ := math.Lgamma(fy + 1)
+			walk(sym+1, remaining-y, logNum-lgY+fy*logPs[sym], sumYsqOverP+fy*fy/probs[sym])
+		}
+	}
+	walk(0, l, lgL, 0)
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// chiSquareOf is Eq. 5 applied to a full count vector.
+func chiSquareOf(counts []int, probs []float64) float64 {
+	l := 0
+	sum := 0.0
+	for i, y := range counts {
+		fy := float64(y)
+		sum += fy * fy / probs[i]
+		l += y
+	}
+	fl := float64(l)
+	return sum/fl - fl
+}
+
+// configurations returns C(l+k−1, k−1) with overflow detection.
+func configurations(l, k int) (int64, bool) {
+	n := int64(1)
+	for i := 1; i < k; i++ {
+		n *= int64(l + i)
+		n /= int64(i)
+		if n < 0 || n > 1<<52 {
+			return 0, false
+		}
+	}
+	return n, true
+}

@@ -34,6 +34,21 @@ type Config struct {
 	// Runs is the number of random strings averaged where the paper
 	// averages over runs (Table 1). Values ≤ 0 default to 3.
 	Runs int
+	// Workers shards the exact scans across a parallel worker pool
+	// (core.Engine). Values ≤ 1 keep the sequential scan, which is the
+	// paper-faithful default: parallel scans return identical results and
+	// identical Evaluated+Skipped totals, but the Evaluated count alone may
+	// differ slightly because workers share their skip budget.
+	Workers int
+}
+
+// engine returns the scan engine configuration for the exact scans.
+func (c Config) engine() core.Engine {
+	w := c.Workers
+	if w < 1 {
+		w = 1
+	}
+	return core.Engine{Workers: w}
 }
 
 func (c Config) scale() float64 {

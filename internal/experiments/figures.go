@@ -23,7 +23,7 @@ func Fig1a(cfg Config) *Table {
 		n := cfg.scaledN(baseN, 64)
 		s, m := nullString(n, 2, rng)
 		sc := mustScanner(s, m)
-		_, st := sc.MSS()
+		_, st := sc.MSSWith(cfg.engine())
 		triv := sc.TotalSubstrings()
 		lnN = append(lnN, math.Log(float64(n)))
 		lnOurs = append(lnOurs, math.Log(float64(st.Evaluated)))
@@ -57,7 +57,7 @@ func Fig1b(cfg Config) *Table {
 		for _, k := range ks {
 			s, m := nullString(n, k, rng)
 			sc := mustScanner(s, m)
-			_, st := sc.MSS()
+			_, st := sc.MSSWith(cfg.engine())
 			row = append(row, fmtI(st.Evaluated))
 			slopes[k] = append(slopes[k], math.Log(float64(st.Evaluated)))
 		}
@@ -88,7 +88,7 @@ func Fig2(cfg Config) *Table {
 		for r := 0; r < reps; r++ {
 			s, m := nullString(n, 2, rng)
 			sc := mustScanner(s, m)
-			best, _ := sc.MSS()
+			best, _ := sc.MSSWith(cfg.engine())
 			sum += best.X2
 		}
 		avg := sum / reps
@@ -184,7 +184,7 @@ func Fig4a(cfg Config) *Table {
 		row := []string{fmtI(int64(n))}
 		for _, g := range fig4Generators(k) {
 			sc := mustScanner(g.Generate(n, rng), scan)
-			_, st := sc.MSS()
+			_, st := sc.MSSWith(cfg.engine())
 			row = append(row, fmtI(st.Evaluated))
 		}
 		t.AddRow(row...)
@@ -208,7 +208,7 @@ func Fig4b(cfg Config) *Table {
 		row := []string{fmtI(int64(k))}
 		for _, g := range fig4Generators(k) {
 			sc := mustScanner(g.Generate(n, rng), scan)
-			_, st := sc.MSS()
+			_, st := sc.MSSWith(cfg.engine())
 			row = append(row, fmtI(st.Evaluated))
 		}
 		t.AddRow(row...)
@@ -237,7 +237,7 @@ func Fig5a(cfg Config) *Table {
 		row := []string{fmtI(int64(n))}
 		lnN = append(lnN, math.Log(float64(n)))
 		for _, tt := range ts {
-			_, st, err := sc.TopT(tt)
+			_, st, err := sc.TopTWith(cfg.engine(), tt)
 			if err != nil {
 				panic(err)
 			}
@@ -271,7 +271,7 @@ func Fig5b(cfg Config) *Table {
 	for _, tt := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384} {
 		row := []string{fmtI(int64(tt))}
 		for _, sc := range scanners {
-			_, st, err := sc.TopT(tt)
+			_, st, err := sc.TopTWith(cfg.engine(), tt)
 			if err != nil {
 				panic(err)
 			}
@@ -321,7 +321,7 @@ func Fig7(cfg Config) *Table {
 	sc := mustScanner(s, m)
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.75, 0.85, 0.92, 0.96, 0.98, 0.995} {
 		gamma := int(frac * float64(n))
-		_, st := sc.MSSMinLength(gamma)
+		_, st := sc.MSSMinLengthWith(cfg.engine(), gamma)
 		// Trivial must still evaluate every substring longer than Γ₀:
 		// (n−Γ)(n−Γ+1)/2 of them.
 		rem := int64(n - gamma)

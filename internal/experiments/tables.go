@@ -19,12 +19,12 @@ type algoResult struct {
 
 // runComparison executes the paper's four-way comparison (Trivial / Our /
 // ARLM / AGMM) on one scanner.
-func runComparison(sc *core.Scanner) []algoResult {
+func runComparison(sc *core.Scanner, eng core.Engine) []algoResult {
 	out := make([]algoResult, 0, 4)
 	var best core.Scored
 	d := timed(func() { best, _ = sc.Trivial() })
 	out = append(out, algoResult{"Trivial", best, d})
-	d = timed(func() { best, _ = sc.MSS() })
+	d = timed(func() { best, _ = sc.MSSWith(eng) })
 	out = append(out, algoResult{"Our", best, d})
 	d = timed(func() { best, _ = sc.ARLM() })
 	out = append(out, algoResult{"ARLM", best, d})
@@ -53,7 +53,7 @@ func Table1(cfg Config) *Table {
 		for r := 0; r < cfg.runs(); r++ {
 			s, m := nullString(n, 2, rng)
 			sc := mustScanner(s, m)
-			for _, res := range runComparison(sc) {
+			for _, res := range runComparison(sc, cfg.engine()) {
 				sumX2[res.name] += res.best.X2
 				sumDur[res.name] += res.dur
 			}
@@ -95,7 +95,7 @@ func Table2(cfg Config) *Table {
 			sum := 0.0
 			for r := 0; r < reps; r++ {
 				sc := mustScanner(g.Generate(n, rng), scan)
-				best, _ := sc.MSS()
+				best, _ := sc.MSSWith(cfg.engine())
 				sum += best.X2
 			}
 			row = append(row, fmtF(sum/reps))
@@ -159,7 +159,7 @@ func Table4(cfg Config) *Table {
 		Columns: []string{"Algorithm", "X² val", "Start", "End", "Time"},
 	}
 	b, sc := sportsScanner(cfg)
-	for _, res := range runComparison(sc) {
+	for _, res := range runComparison(sc, cfg.engine()) {
 		first, last, err := b.Series.Span(res.best.Start, res.best.End)
 		if err != nil {
 			panic(err)
@@ -251,7 +251,7 @@ func Table6(cfg Config) *Table {
 	}
 	for _, s := range datasets.NewStocks(cfg.Seed + 67) {
 		sc := stockScanner(s)
-		for _, res := range runComparison(sc) {
+		for _, res := range runComparison(sc, cfg.engine()) {
 			first, last, err := s.Series.Span(res.best.Start, res.best.End)
 			if err != nil {
 				panic(err)

@@ -104,10 +104,14 @@ func (r Result) String() string {
 
 // Stats reports how much work a scan performed. Evaluated counts substrings
 // whose X² was computed (the paper's "iterations"); Skipped counts
-// substrings excluded wholesale by the chain-cover bound.
+// substrings excluded wholesale by the chain-cover bound; Starts counts the
+// start positions visited. The counters are exact under parallel execution
+// (per-worker counters merged at the end of the scan), so Evaluated+Skipped
+// always accounts for every candidate substring.
 type Stats struct {
 	Evaluated int64
 	Skipped   int64
+	Starts    int64
 }
 
 // Algorithm selects the scanning strategy.
@@ -165,9 +169,16 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 
 // options collects the functional options of the Find functions.
 type options struct {
-	algo  Algorithm
-	stats *Stats
-	limit int
+	algo    Algorithm
+	stats   *Stats
+	limit   int
+	workers int
+	warm    bool
+}
+
+// engine translates the options into a core engine configuration.
+func (o options) engine() core.Engine {
+	return core.Engine{Workers: o.workers, WarmStart: o.warm}
 }
 
 // Option configures a scan.
@@ -192,8 +203,42 @@ func WithLimit(n int) Option {
 	return func(o *options) { o.limit = n }
 }
 
+// WithWorkers shards the exact scans across n parallel workers (default 1:
+// sequential; 0 or negative: one per available CPU). Start positions are
+// partitioned into chunks claimed dynamically; workers share one atomic
+// best-X² skip budget, so a tight bound found by any worker enlarges every
+// other worker's chain-cover skips. MSS-style scans return the identical
+// interval and X² as the sequential scan; top-t scans return the identical
+// X² value multiset, though intervals exactly tied at the t-th-best value
+// may resolve differently (as the problem statement permits); threshold
+// scans return the identical result set in the identical order. The
+// Evaluated+Skipped total is always exact, and the heuristic algorithms
+// (which are already cheap) ignore the option.
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			n = 0 // resolves to GOMAXPROCS inside the engine
+		}
+		o.workers = n
+	}
+}
+
+// WithWarmStart seeds the exact MSS-style scans' skip budget with the best
+// X² found by the O(nk) global-extrema heuristic before the exact scan
+// begins. The seed is the X² of an actual candidate substring, hence a
+// lower bound on the answer: the exact scan stays exact and returns the
+// identical result, it merely starts skipping sooner. The seeding pass's
+// own evaluations are excluded from Stats, which keep accounting for the
+// exact scan alone (Evaluated+Skipped still equals the number of candidate
+// substrings). Top-t and threshold scans ignore the option (their budgets —
+// the running t-th best and the fixed α — cannot soundly start from a
+// single heuristic value).
+func WithWarmStart(enabled bool) Option {
+	return func(o *options) { o.warm = enabled }
+}
+
 func buildOptions(opts []Option) options {
-	o := options{algo: AlgoExact, limit: 1_000_000}
+	o := options{algo: AlgoExact, limit: 1_000_000, workers: 1}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -256,6 +301,7 @@ func record(o options, st core.Stats) {
 	if o.stats != nil {
 		o.stats.Evaluated = st.Evaluated
 		o.stats.Skipped = st.Skipped
+		o.stats.Starts = st.Starts
 	}
 }
 
@@ -270,7 +316,7 @@ func (s *Scanner) MSS(opts ...Option) (Result, error) {
 	var st core.Stats
 	switch o.algo {
 	case AlgoExact:
-		best, st = s.sc.MSS()
+		best, st = s.sc.MSSWith(o.engine())
 	case AlgoTrivial:
 		best, st = s.sc.Trivial()
 	case AlgoTrivialIncremental:
@@ -305,7 +351,7 @@ func (s *Scanner) TopT(t int, opts ...Option) ([]Result, error) {
 	if o.algo == AlgoTrivial {
 		rs, st, err = s.sc.TrivialTopT(t)
 	} else {
-		rs, st, err = s.sc.TopT(t)
+		rs, st, err = s.sc.TopTWith(o.engine(), t)
 	}
 	if err != nil {
 		return nil, err
@@ -323,7 +369,7 @@ func (s *Scanner) DisjointTopT(t, minLen int, opts ...Option) ([]Result, error) 
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	rs, st, err := s.sc.DisjointTopT(t, minLen)
+	rs, st, err := s.sc.DisjointTopTWith(o.engine(), t, minLen)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +384,7 @@ func (s *Scanner) Threshold(alpha float64, opts ...Option) ([]Result, error) {
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	rs, st, err := s.sc.ThresholdCollect(alpha, o.limit)
+	rs, st, err := s.sc.ThresholdCollectWith(o.engine(), alpha, o.limit)
 	if err != nil {
 		return nil, err
 	}
@@ -347,13 +393,18 @@ func (s *Scanner) Threshold(alpha float64, opts ...Option) ([]Result, error) {
 }
 
 // ThresholdFunc streams every substring with X² > alpha to visit without
-// materializing the result set.
+// materializing the result set. Streaming requires the sequential scan:
+// with WithWorkers above 1 the qualifying substrings are buffered per chunk
+// (potentially O(n²) of them for a low alpha — WithLimit does not apply
+// here) and replayed in order only after the scan finishes; keep the
+// default workers, or use Threshold whose limit also bounds the parallel
+// buffering.
 func (s *Scanner) ThresholdFunc(alpha float64, visit func(Result), opts ...Option) error {
 	if s.sc.Len() == 0 {
 		return errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	st := s.sc.Threshold(alpha, func(r core.Scored) { visit(s.result(r)) })
+	st := s.sc.ThresholdWith(o.engine(), alpha, func(r core.Scored) { visit(s.result(r)) })
 	record(o, st)
 	return nil
 }
@@ -365,7 +416,7 @@ func (s *Scanner) TopTMinLength(t, gamma int, opts ...Option) ([]Result, error) 
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	rs, st, err := s.sc.TopTMinLength(t, gamma)
+	rs, st, err := s.sc.TopTMinLengthWith(o.engine(), t, gamma)
 	if err != nil {
 		return nil, err
 	}
@@ -380,20 +431,12 @@ func (s *Scanner) ThresholdMinLength(alpha float64, gamma int, opts ...Option) (
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	var out []Result
-	overflow := false
-	st := s.sc.ThresholdMinLength(alpha, gamma, func(r core.Scored) {
-		if o.limit > 0 && len(out) >= o.limit {
-			overflow = true
-			return
-		}
-		out = append(out, s.result(r))
-	})
+	rs, st, err := s.sc.ThresholdMinLengthCollectWith(o.engine(), alpha, gamma, o.limit)
 	record(o, st)
-	if overflow {
-		return out, fmt.Errorf("sigsub: more than %d substrings exceed threshold %g", o.limit, alpha)
+	if err != nil {
+		return s.results(rs), fmt.Errorf("sigsub: more than %d substrings exceed threshold %g", o.limit, alpha)
 	}
-	return out, nil
+	return s.results(rs), nil
 }
 
 // MSSRange finds the maximum-X² substring confined to [lo, hi) with length
@@ -404,7 +447,7 @@ func (s *Scanner) MSSRange(lo, hi, minLen int, opts ...Option) (Result, error) {
 		return Result{}, errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	best, st := s.sc.MSSRange(lo, hi, minLen)
+	best, st := s.sc.MSSRangeWith(o.engine(), lo, hi, minLen)
 	record(o, st)
 	return s.result(best), nil
 }
@@ -419,7 +462,7 @@ func (s *Scanner) MSSMinLength(gamma int, opts ...Option) (Result, error) {
 		return Result{}, fmt.Errorf("sigsub: no substring of length > %d in a string of length %d", gamma, s.sc.Len())
 	}
 	o := buildOptions(opts)
-	best, st := s.sc.MSSMinLength(gamma)
+	best, st := s.sc.MSSMinLengthWith(o.engine(), gamma)
 	record(o, st)
 	return s.result(best), nil
 }
