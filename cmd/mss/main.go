@@ -17,9 +17,14 @@
 //
 // -alg selects the algorithm for mss mode: exact (default), trivial,
 // trivial-incremental, heap-pruned, arlm, agmm.
+//
+// -format json emits machine-consumable output using the same result schema
+// the mssd daemon serves (internal/service), so pipelines can consume both
+// interchangeably.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +33,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/service"
 )
 
 func main() {
@@ -54,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		calib   = fs.Int("calibrate", 0, "mss mode: simulate this many null strings and report the multiple-testing-corrected p-value of X²max")
 		workers = fs.Int("workers", 1, "parallel scan workers (0 = all CPUs)")
 		warm    = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
+		format  = fs.String("format", "text", "output format: text | json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,21 +116,36 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), codec.K(), model)
+	asJSON := false
+	switch *format {
+	case "text":
+	case "json":
+		asJSON = true
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+
+	if !asJSON {
+		fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), codec.K(), model)
+	}
 
 	var st sigsub.Stats
 	opts := []sigsub.Option{sigsub.WithStats(&st), sigsub.WithWorkers(*workers), sigsub.WithWarmStart(*warm)}
 
-	printResult := func(r sigsub.Result) {
-		content := ""
-		if r.Length <= 60 {
-			if txt, derr := codec.Decode(symbols[r.Start:r.End]); derr == nil {
-				content = " " + txt
-			}
+	decode := func(r sigsub.Result, cap int) string {
+		end := r.End
+		if cap > 0 && r.Length > cap {
+			end = r.Start + cap
 		}
-		fmt.Fprintf(out, "%s%s\n", r, content)
+		txt, derr := codec.Decode(symbols[r.Start:end])
+		if derr != nil {
+			return ""
+		}
+		return txt
 	}
 
+	var results []sigsub.Result
+	var calibration *calibrationJSON
 	switch *mode {
 	case "mss":
 		alg, aerr := sigsub.ParseAlgorithm(*algName)
@@ -134,59 +156,124 @@ func run(args []string, out io.Writer) error {
 		if merr != nil {
 			return merr
 		}
-		printResult(res)
+		results = []sigsub.Result{res}
 		if *calib > 0 {
 			cal, cerr := sigsub.Calibrate(len(symbols), model, *calib, 1)
 			if cerr != nil {
 				return cerr
 			}
-			fmt.Fprintf(out, "calibrated max p-value: %.4f (null E[X²max] = %.2f over %d simulations)\n",
-				cal.MaxPValue(res.X2), cal.MeanMax(), cal.Samples())
+			calibration = &calibrationJSON{
+				MaxPValue:   cal.MaxPValue(res.X2),
+				NullMeanMax: cal.MeanMax(),
+				Samples:     cal.Samples(),
+			}
 		}
 	case "topt":
 		res, terr := sc.TopT(*tFlag, opts...)
 		if terr != nil {
 			return terr
 		}
-		for _, r := range res {
-			printResult(r)
-		}
+		results = res
 	case "disjoint":
 		res, derr := sc.DisjointTopT(*tFlag, *minLen, opts...)
 		if derr != nil {
 			return derr
 		}
-		for _, r := range res {
-			printResult(r)
-		}
+		results = res
 	case "threshold":
 		res, herr := sc.Threshold(*alpha, opts...)
 		if herr != nil {
 			return herr
 		}
-		fmt.Fprintf(out, "%d substrings with X² > %g\n", len(res), *alpha)
-		max := len(res)
-		if max > 20 {
-			max = 20
-		}
-		for _, r := range res[:max] {
-			printResult(r)
-		}
-		if len(res) > max {
-			fmt.Fprintf(out, "... and %d more\n", len(res)-max)
-		}
+		results = res
 	case "minlen":
 		res, gerr := sc.MSSMinLength(*gamma, opts...)
 		if gerr != nil {
 			return gerr
 		}
-		printResult(res)
+		results = []sigsub.Result{res}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	if asJSON {
+		// The result/stats schema is shared with the mssd daemon
+		// (internal/service), so the CLI and the service encode alike.
+		doc := outputJSON{
+			Input:       inputJSON{N: len(symbols), K: codec.K(), Model: model.String()},
+			Mode:        *mode,
+			Results:     make([]service.Result, len(results)),
+			Calibration: calibration,
+		}
+		for i, r := range results {
+			doc.Results[i] = service.FromResult(r, decode(r, 200))
+		}
+		if *stats {
+			s := service.FromStats(st)
+			doc.Stats = &s
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	printResult := func(r sigsub.Result) {
+		content := ""
+		if r.Length <= 60 {
+			if txt := decode(r, 0); txt != "" {
+				content = " " + txt
+			}
+		}
+		fmt.Fprintf(out, "%s%s\n", r, content)
+	}
+	switch *mode {
+	case "threshold":
+		fmt.Fprintf(out, "%d substrings with X² > %g\n", len(results), *alpha)
+		max := len(results)
+		if max > 20 {
+			max = 20
+		}
+		for _, r := range results[:max] {
+			printResult(r)
+		}
+		if len(results) > max {
+			fmt.Fprintf(out, "... and %d more\n", len(results)-max)
+		}
+	default:
+		for _, r := range results {
+			printResult(r)
+		}
+		if calibration != nil {
+			fmt.Fprintf(out, "calibrated max p-value: %.4f (null E[X²max] = %.2f over %d simulations)\n",
+				calibration.MaxPValue, calibration.NullMeanMax, calibration.Samples)
+		}
+	}
 	if *stats {
 		fmt.Fprintf(out, "evaluated %d substrings, skipped %d\n", st.Evaluated, st.Skipped)
 	}
 	return nil
+}
+
+// inputJSON describes the scanned corpus in -format json output.
+type inputJSON struct {
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	Model string `json:"model"`
+}
+
+// calibrationJSON carries the -calibrate summary in -format json output.
+type calibrationJSON struct {
+	MaxPValue   float64 `json:"max_p_value"`
+	NullMeanMax float64 `json:"null_mean_max"`
+	Samples     int     `json:"samples"`
+}
+
+// outputJSON is the -format json document; Results and Stats reuse the mssd
+// daemon's wire schema.
+type outputJSON struct {
+	Input       inputJSON        `json:"input"`
+	Mode        string           `json:"mode"`
+	Results     []service.Result `json:"results"`
+	Stats       *service.Stats   `json:"stats,omitempty"`
+	Calibration *calibrationJSON `json:"calibration,omitempty"`
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -133,4 +134,79 @@ func TestInputErrors(t *testing.T) {
 	runErr(t, "-text", "0000")
 	runErr(t, "-file", "/nonexistent/file.txt")
 	runErr(t, "-text", "0101", "-mode", "bogus")
+	runErr(t, "-text", "0101", "-format", "yaml")
+}
+
+func TestJSONFormat(t *testing.T) {
+	text := "01011010111111111110010101"
+	out := runOK(t, "-text", text, "-mode", "mss", "-stats", "-format", "json")
+	var doc struct {
+		Input struct {
+			N     int    `json:"n"`
+			K     int    `json:"k"`
+			Model string `json:"model"`
+		} `json:"input"`
+		Mode    string `json:"mode"`
+		Results []struct {
+			Start  int     `json:"start"`
+			End    int     `json:"end"`
+			Length int     `json:"length"`
+			X2     float64 `json:"x2"`
+			PValue float64 `json:"p_value"`
+			Text   string  `json:"text"`
+		} `json:"results"`
+		Stats *struct {
+			Evaluated int64 `json:"evaluated"`
+			Skipped   int64 `json:"skipped"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Input.N != len(text) || doc.Input.K != 2 || doc.Mode != "mss" {
+		t.Errorf("header: %+v", doc.Input)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("results: %+v", doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Start != 8 || r.End != 19 || r.X2 != 11 || r.Text != "11111111111" {
+		t.Errorf("MSS result: %+v", r)
+	}
+	if doc.Stats == nil || doc.Stats.Evaluated+doc.Stats.Skipped != int64(len(text)*(len(text)+1)/2) {
+		t.Errorf("stats: %+v", doc.Stats)
+	}
+
+	// Threshold mode emits all qualifying windows (no 20-line truncation).
+	out = runOK(t, "-text", text, "-mode", "threshold", "-alpha", "8", "-format", "json")
+	var th struct {
+		Results []struct {
+			X2 float64 `json:"x2"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &th); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(th.Results) != 13 {
+		t.Errorf("threshold results: %d, want 13", len(th.Results))
+	}
+	for _, r := range th.Results {
+		if r.X2 <= 8 {
+			t.Errorf("result below threshold: %+v", r)
+		}
+	}
+
+	// Calibration summary rides along in JSON.
+	out = runOK(t, "-text", text, "-calibrate", "7", "-format", "json")
+	var cal struct {
+		Calibration *struct {
+			Samples int `json:"samples"`
+		} `json:"calibration"`
+	}
+	if err := json.Unmarshal([]byte(out), &cal); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Calibration == nil || cal.Calibration.Samples != 7 {
+		t.Errorf("calibration: %+v", cal.Calibration)
+	}
 }

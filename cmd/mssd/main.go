@@ -1,0 +1,227 @@
+// Command mssd is a long-lived HTTP/JSON daemon serving chi-square
+// substring-significance queries. It caches corpora — each upload pays the
+// O(n·k) encode + prefix-count cost once — and answers single or batched
+// queries against them; a batch executes in a single shared pass of the
+// chain-cover engine over the corpus's prefix counts.
+//
+// Endpoints:
+//
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/corpora          list cached corpora
+//	PUT    /v1/corpora/{name}   upload {"text": "...", "model": {"mle": true}}
+//	DELETE /v1/corpora/{name}   evict a corpus
+//	POST   /v1/query            one query: {"corpus": "x", "query": {"kind": "mss"}}
+//	POST   /v1/batch            many queries: {"corpus": "x", "queries": [...]}
+//
+// Query objects take {"kind": "mss"|"topt"|"threshold"|"disjoint"} plus the
+// knobs t, alpha, min_length, lo, hi, limit. Requests may carry inline
+// "text" instead of a corpus name for one-shot scans. See the README's
+// daemon section for curl examples.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mssd", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8765", "listen address")
+		maxCorpora = fs.Int("max-corpora", 64, "corpus cache capacity (LRU eviction)")
+		maxQueries = fs.Int("max-queries", 64, "maximum queries per batch request")
+		maxWorkers = fs.Int("max-workers", 16, "maximum engine workers a request may ask for")
+		maxText    = fs.Int("max-text", 1<<20, "maximum corpus/inline text bytes")
+	)
+	fs.Parse(os.Args[1:])
+
+	srv := newServer(serverConfig{
+		maxCorpora: *maxCorpora,
+		maxQueries: *maxQueries,
+		maxWorkers: *maxWorkers,
+		maxText:    *maxText,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("mssd listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("mssd stopped")
+}
+
+// serverConfig carries the daemon's limits.
+type serverConfig struct {
+	maxCorpora int
+	maxQueries int
+	maxWorkers int
+	maxText    int
+}
+
+// server routes HTTP requests onto the service executor.
+type server struct {
+	mux  *http.ServeMux
+	exec *service.Executor
+}
+
+// newServer wires the routes; it is the unit the tests drive via httptest.
+func newServer(cfg serverConfig) *server {
+	s := &server{
+		mux: http.NewServeMux(),
+		exec: &service.Executor{
+			Cache:      service.NewCache(cfg.maxCorpora),
+			MaxQueries: cfg.maxQueries,
+			MaxWorkers: cfg.maxWorkers,
+			MaxTextLen: cfg.maxText,
+		},
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/corpora", s.handleListCorpora)
+	s.mux.HandleFunc("PUT /v1/corpora/{name}", s.handlePutCorpus)
+	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case service.IsValidation(err):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// decodeBody strictly decodes a JSON request body into v. The body budget
+// accounts for JSON escaping of a maximum-size corpus text (up to 6 wire
+// bytes per text byte), so every upload the text limit permits decodes.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.exec.BodyLimit()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "corpora": s.exec.Cache.Len()})
+}
+
+func (s *server) handleListCorpora(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"corpora": s.exec.Cache.List()})
+}
+
+// putCorpusRequest is the corpus upload body.
+type putCorpusRequest struct {
+	Text  string            `json:"text"`
+	Model service.ModelSpec `json:"model,omitempty"`
+}
+
+func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty corpus name"})
+		return
+	}
+	var req putCorpusRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Text) > s.exec.TextLimit() {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("corpus text of %d bytes exceeds the %d byte limit", len(req.Text), s.exec.TextLimit())})
+		return
+	}
+	corpus, err := service.BuildCorpus(name, req.Text, req.Model)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	evicted := s.exec.Cache.Put(corpus)
+	resp := map[string]any{"corpus": corpus.Info()}
+	if evicted != "" {
+		resp["evicted"] = evicted
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleDeleteCorpus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.exec.Cache.Delete(name) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("corpus %q not found", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req service.SingleRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.exec.Execute(req.Batch())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": resp.Corpus, "result": resp.Results[0]})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req service.BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.exec.Execute(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	sigsub "repro"
+	"repro/internal/service"
+)
+
+const demoText = "01011010111111111110010101"
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(serverConfig{maxCorpora: 4, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// do issues a JSON request and decodes the response into out.
+func do(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, raw.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDaemonCorpusLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	var health struct {
+		Status  string `json:"status"`
+		Corpora int    `json:"corpora"`
+	}
+	do(t, "GET", ts.URL+"/v1/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || health.Corpora != 0 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	var put struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	do(t, "PUT", ts.URL+"/v1/corpora/demo", map[string]any{"text": demoText}, http.StatusOK, &put)
+	if put.Corpus.N != len(demoText) || put.Corpus.K != 2 {
+		t.Fatalf("upload: %+v", put.Corpus)
+	}
+
+	var list struct {
+		Corpora []service.Info `json:"corpora"`
+	}
+	do(t, "GET", ts.URL+"/v1/corpora", nil, http.StatusOK, &list)
+	if len(list.Corpora) != 1 || list.Corpora[0].Name != "demo" {
+		t.Fatalf("list: %+v", list)
+	}
+
+	do(t, "DELETE", ts.URL+"/v1/corpora/demo", nil, http.StatusOK, nil)
+	do(t, "DELETE", ts.URL+"/v1/corpora/demo", nil, http.StatusNotFound, nil)
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "demo", "query": map[string]any{"kind": "mss"}}, http.StatusNotFound, nil)
+}
+
+func TestDaemonBadRequests(t *testing.T) {
+	ts := testServer(t)
+	do(t, "PUT", ts.URL+"/v1/corpora/x", map[string]any{"text": ""}, http.StatusBadRequest, nil)
+	do(t, "PUT", ts.URL+"/v1/corpora/x", map[string]any{"text": demoText, "bogus": 1}, http.StatusBadRequest, nil)
+	do(t, "PUT", ts.URL+"/v1/corpora/x", map[string]any{"text": strings.Repeat("01", 1<<16)}, http.StatusBadRequest, nil)
+	do(t, "POST", ts.URL+"/v1/batch", map[string]any{"text": demoText}, http.StatusBadRequest, nil)
+	do(t, "POST", ts.URL+"/v1/batch", map[string]any{
+		"text": demoText, "workers": 99,
+		"queries": []map[string]any{{"kind": "mss"}},
+	}, http.StatusBadRequest, nil)
+	// A negative limit (library-speak for "unlimited") must be refused.
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{
+		"text":  demoText,
+		"query": map[string]any{"kind": "threshold", "alpha": 0.001, "limit": -1},
+	}, http.StatusOK, nil) // per-query error rides in the slot, not the status
+	var neg struct {
+		Result service.QueryResult `json:"result"`
+	}
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{
+		"text":  demoText,
+		"query": map[string]any{"kind": "threshold", "alpha": 0.001, "limit": -1},
+	}, http.StatusOK, &neg)
+	if !strings.Contains(neg.Result.Error, "limit must be >= 0") || len(neg.Result.Results) != 0 {
+		t.Errorf("negative limit slot: %+v", neg.Result)
+	}
+}
+
+// TestDaemonBodyLimitCoversEscaping: an upload the -max-text limit permits
+// must decode even when JSON escaping inflates it severalfold on the wire.
+func TestDaemonBodyLimitCoversEscaping(t *testing.T) {
+	ts := testServer(t) // maxText 1<<16
+	// 60000 text bytes of control characters, each 6 wire bytes (\u000X).
+	raw := make([]byte, 60000)
+	for i := range raw {
+		raw[i] = byte(1 + i%2)
+	}
+	do(t, "PUT", ts.URL+"/v1/corpora/escaped", map[string]any{"text": string(raw)}, http.StatusOK, nil)
+}
+
+// TestDaemonBatchMatchesLibrary is the in-process form of the CI smoke
+// check: a batch of three mixed queries must return exactly what the
+// library returns.
+func TestDaemonBatchMatchesLibrary(t *testing.T) {
+	ts := testServer(t)
+	do(t, "PUT", ts.URL+"/v1/corpora/demo", map[string]any{"text": demoText}, http.StatusOK, nil)
+
+	var resp service.BatchResponse
+	do(t, "POST", ts.URL+"/v1/batch", map[string]any{
+		"corpus":       "demo",
+		"include_text": true,
+		"queries": []map[string]any{
+			{"kind": "mss"},
+			{"kind": "topt", "t": 3},
+			{"kind": "threshold", "alpha": 8},
+		},
+	}, http.StatusOK, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results", len(resp.Results))
+	}
+
+	codec, err := sigsub.NewTextCodecSorted(demoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, err := codec.Encode(demoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := codec.UniformModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mss, err := sc.MSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Results[0].Results[0]
+	if got.Start != mss.Start || got.End != mss.End || got.X2 != mss.X2 {
+		t.Errorf("daemon MSS %+v, library %+v", got, mss)
+	}
+	if got.Text != demoText[mss.Start:mss.End] {
+		t.Errorf("snippet %q", got.Text)
+	}
+	top, err := sc.TopT(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results[1].Results) != 3 {
+		t.Fatalf("top-t returned %d", len(resp.Results[1].Results))
+	}
+	for i := range top {
+		if resp.Results[1].Results[i].X2 != top[i].X2 {
+			t.Errorf("top-t %d: %v vs %v", i, resp.Results[1].Results[i].X2, top[i].X2)
+		}
+	}
+	th, err := sc.Threshold(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results[2].Results) != len(th) {
+		t.Fatalf("threshold %d vs %d", len(resp.Results[2].Results), len(th))
+	}
+	for i := range th {
+		r := resp.Results[2].Results[i]
+		if r.Start != th[i].Start || r.End != th[i].End || r.X2 != th[i].X2 {
+			t.Errorf("threshold %d diverges", i)
+		}
+	}
+}
+
+// TestDaemonInlineQueryAndModels covers the single-query endpoint with
+// inline text and explicit models.
+func TestDaemonInlineQueryAndModels(t *testing.T) {
+	ts := testServer(t)
+	var resp struct {
+		Corpus service.Info        `json:"corpus"`
+		Result service.QueryResult `json:"result"`
+	}
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{
+		"text":  demoText,
+		"model": map[string]any{"mle": true},
+		"query": map[string]any{"kind": "mss", "min_length": 5},
+	}, http.StatusOK, &resp)
+	if len(resp.Result.Results) != 1 {
+		t.Fatalf("result: %+v", resp.Result)
+	}
+	if resp.Result.Results[0].Length < 5 {
+		t.Errorf("min_length ignored: %+v", resp.Result.Results[0])
+	}
+	if resp.Corpus.Model == "" || resp.Corpus.K != 2 {
+		t.Errorf("corpus info: %+v", resp.Corpus)
+	}
+	// Stats must account for the full candidate set of the min-length scan.
+	n := int64(len(demoText))
+	minLen := int64(5)
+	rows := n - minLen + 1
+	if got, want := resp.Result.Stats.Evaluated+resp.Result.Stats.Skipped, rows*(rows+1)/2; got != want {
+		t.Errorf("stats account for %d candidates, want %d", got, want)
+	}
+}
+
+// TestDaemonConcurrentQueries hammers one corpus in parallel (race check).
+func TestDaemonConcurrentQueries(t *testing.T) {
+	ts := testServer(t)
+	do(t, "PUT", ts.URL+"/v1/corpora/demo", map[string]any{"text": strings.Repeat(demoText, 8)}, http.StatusOK, nil)
+	errc := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		go func(g int) {
+			for i := 0; i < 4; i++ {
+				var resp service.BatchResponse
+				body, _ := json.Marshal(map[string]any{
+					"corpus":  "demo",
+					"workers": 1 + g%4,
+					"queries": []map[string]any{{"kind": "mss"}, {"kind": "threshold", "alpha": 12}},
+				})
+				r, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				err = json.NewDecoder(r.Body).Decode(&resp)
+				r.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(resp.Results) != 2 || len(resp.Results[0].Results) != 1 {
+					errc <- fmt.Errorf("goroutine %d: unexpected response %+v", g, resp)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

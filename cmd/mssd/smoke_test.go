@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	sigsub "repro"
+	"repro/internal/service"
+)
+
+// TestMSSDSmoke is the end-to-end smoke check CI runs (MSSD_SMOKE=1): it
+// builds the real mssd binary, starts it as a separate process, uploads a
+// corpus over HTTP, POSTs a batch of three mixed queries, and asserts the
+// answers match the library exactly. Without the env var the test is
+// skipped, keeping ordinary `go test ./...` hermetic and fast.
+func TestMSSDSmoke(t *testing.T) {
+	if os.Getenv("MSSD_SMOKE") == "" {
+		t.Skip("set MSSD_SMOKE=1 to run the daemon smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mssd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// Pick a free port, then hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	daemon := exec.Command(bin, "-addr", addr)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	})
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	text := "01011010111111111110010101"
+	body, _ := json.Marshal(map[string]any{"text": text})
+	req, _ := http.NewRequest("PUT", base+"/v1/corpora/smoke", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	body, _ = json.Marshal(map[string]any{
+		"corpus": "smoke",
+		"queries": []map[string]any{
+			{"kind": "mss"},
+			{"kind": "topt", "t": 3},
+			{"kind": "threshold", "alpha": 8},
+		},
+	})
+	resp, err = http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var batch service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("%d results", len(batch.Results))
+	}
+
+	// Library ground truth.
+	codec, err := sigsub.NewTextCodecSorted(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, err := codec.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := codec.UniformModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mss, err := sc.MSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := sc.TopT(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := sc.Threshold(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := batch.Results[0].Results[0]; got.Start != mss.Start || got.End != mss.End || got.X2 != mss.X2 {
+		t.Errorf("daemon MSS %+v, library %+v", got, mss)
+	}
+	if len(batch.Results[1].Results) != len(top) {
+		t.Fatalf("top-t sizes %d vs %d", len(batch.Results[1].Results), len(top))
+	}
+	for i := range top {
+		if batch.Results[1].Results[i].X2 != top[i].X2 {
+			t.Errorf("top-t %d: %v vs %v", i, batch.Results[1].Results[i].X2, top[i].X2)
+		}
+	}
+	if len(batch.Results[2].Results) != len(th) {
+		t.Fatalf("threshold sizes %d vs %d", len(batch.Results[2].Results), len(th))
+	}
+	for i := range th {
+		got := batch.Results[2].Results[i]
+		if got.Start != th[i].Start || got.End != th[i].End || got.X2 != th[i].X2 {
+			t.Errorf("threshold %d: %+v vs %+v", i, got, th[i])
+		}
+	}
+	fmt.Println("mssd smoke: daemon answers match the library for 3 mixed queries")
+}

@@ -1,0 +1,90 @@
+package sigsub_test
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"repro"
+)
+
+// FuzzTextCodecRoundTrip checks the codec invariant the scanners rely on:
+// for any alphabet sample and any valid-UTF-8 input drawn from it,
+// Decode(Encode(input)) == input, in both the first-appearance and sorted
+// codecs — and no input, valid or not, may panic the codec. (Invalid UTF-8
+// is excluded from the equality check only: Go string iteration folds every
+// invalid byte to U+FFFD, so such inputs canonicalize rather than
+// round-trip; they must still encode or error without panicking.)
+func FuzzTextCodecRoundTrip(f *testing.F) {
+	f.Add("01", "0110100011")
+	f.Add("ACGT", "GATTACA")
+	f.Add("WL", "WWLWLLLW")
+	f.Add("ab", "")
+	f.Add("日本語", "語日本日")
+	f.Add("01", "012")  // character outside the alphabet
+	f.Add("aaaa", "aa") // single-symbol alphabet: constructor must reject
+	f.Add("", "whatever")
+	f.Fuzz(func(t *testing.T, sample, input string) {
+		for _, build := range []func(string) (*sigsub.TextCodec, error){
+			sigsub.NewTextCodec,
+			sigsub.NewTextCodecSorted,
+		} {
+			codec, err := build(sample)
+			if err != nil {
+				continue // fewer than two distinct characters: rejected, not panicked
+			}
+			if codec.K() < 2 {
+				t.Fatalf("codec of %q accepted with k=%d", sample, codec.K())
+			}
+			syms, err := codec.Encode(input)
+			if err != nil {
+				continue // input uses characters outside the alphabet
+			}
+			if len(syms) != len([]rune(input)) {
+				t.Fatalf("Encode(%q) under %q: %d symbols for %d runes", input, sample, len(syms), len([]rune(input)))
+			}
+			for i, s := range syms {
+				if int(s) >= codec.K() {
+					t.Fatalf("Encode(%q) under %q: symbol %d at %d out of range", input, sample, s, i)
+				}
+			}
+			out, err := codec.Decode(syms)
+			if err != nil {
+				t.Fatalf("Decode(Encode(%q)) under %q failed: %v", input, sample, err)
+			}
+			if utf8.ValidString(input) && out != input {
+				t.Fatalf("round trip under %q: %q -> %q", sample, input, out)
+			}
+		}
+	})
+}
+
+// FuzzTextCodecDecodeInvalid feeds arbitrary symbol bytes to Decode: bytes
+// outside the alphabet must yield an error, never a panic, and valid bytes
+// must re-encode to the identical symbol string.
+func FuzzTextCodecDecodeInvalid(f *testing.F) {
+	f.Add("01", []byte{0, 1, 0})
+	f.Add("01", []byte{0, 7, 1})
+	f.Add("ACGT", []byte{3, 2, 1, 0, 255})
+	f.Fuzz(func(t *testing.T, sample string, raw []byte) {
+		codec, err := sigsub.NewTextCodecSorted(sample)
+		if err != nil {
+			return
+		}
+		text, err := codec.Decode(raw)
+		if err != nil {
+			return // out-of-range symbol correctly rejected
+		}
+		back, err := codec.Encode(text)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %v failed: %v", raw, err)
+		}
+		if len(back) != len(raw) {
+			t.Fatalf("decode/encode length drift: %v -> %q -> %v", raw, text, back)
+		}
+		for i := range raw {
+			if back[i] != raw[i] {
+				t.Fatalf("decode/encode drift at %d: %v -> %q -> %v", i, raw, text, back)
+			}
+		}
+	})
+}

@@ -51,6 +51,33 @@ func ExampleScanner_Threshold() {
 	// threshold X² > 5.41: 1 windows
 }
 
+func ExampleScanner_RunBatch() {
+	codec, _ := sigsub.NewTextCodecSorted("01")
+	s, _ := codec.Encode("01011010111111111110010101")
+	model, _ := sigsub.UniformModel(2)
+	sc, _ := sigsub.NewScanner(s, model)
+
+	// One engine pass answers all three problems: the prefix counts are
+	// built once, each window's X² is evaluated once, and every query keeps
+	// its own skip budget and exact stats.
+	batch, _ := sc.RunBatch([]sigsub.Query{
+		sigsub.MSSQuery(),
+		sigsub.TopTQuery(3),
+		sigsub.ThresholdQuery(8),
+	})
+	fmt.Printf("MSS:   %v\n", batch[0].Results[0])
+	for _, r := range batch[1].Results {
+		fmt.Printf("top-3: %v\n", r)
+	}
+	fmt.Printf("%d windows above X²=8\n", len(batch[2].Results))
+	// Output:
+	// MSS:   [8, 19) len=11 X²=11.0000 p=0.000911
+	// top-3: [8, 19) len=11 X²=11.0000 p=0.000911
+	// top-3: [8, 18) len=10 X²=10.0000 p=0.00157
+	// top-3: [9, 19) len=10 X²=10.0000 p=0.00157
+	// 13 windows above X²=8
+}
+
 func ExampleChiSquare() {
 	model, _ := sigsub.UniformModel(2)
 	// Twenty flips, nineteen of them heads — the paper's coin example.

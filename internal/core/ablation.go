@@ -27,10 +27,11 @@ func (sc *Scanner) MSSWithVariant(v SkipVariant) (Scored, Stats) {
 	n := len(sc.s)
 	best := Scored{X2: -1}
 	var st Stats
+	vec := make([]int, sc.k)
 	for i := n - 1; i >= 0; i-- {
 		st.Starts++
 		for j := i + 1; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
+			sc.pre.Vector(i, j, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {

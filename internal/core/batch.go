@@ -1,0 +1,457 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topheap"
+)
+
+// This file implements the multi-query executor: a batch of Queries served
+// by ONE traversal of the chain-cover scan instead of one engine pass per
+// query. Three layers of sharing stack up:
+//
+//  1. The prefix counts are built once per Scanner and read once per
+//     traversal, whatever the batch size.
+//  2. Queries whose answers subsume each other merge into one scan group
+//     before the pass: threshold queries over the same (range, length
+//     floor) collapse into a single scan at their minimum α — a window
+//     with X² above a member's cutoff is above the group's, so each
+//     member's result set is an exact filter of the group scan — and top-t
+//     queries over the same (range, floor) collapse into one scan at the
+//     maximum t, each member taking the leading t entries of the shared
+//     heap. Identical queries dedup to one scan for free. MSS-kind queries
+//     keep individual cursors (their bit-identical tie-breaking contract
+//     is cheap to honour: their scans evaluate little).
+//  3. The surviving groups share one traversal: each evaluated window's
+//     count vector and X² are computed once and served to every group that
+//     needs that position, while each group keeps its own skip budget,
+//     sinks, and exact work counters.
+//
+// The key mechanism of layer 3 is a per-group skip cursor. Each group g
+// maintains the next ending position its own chain-cover bound — computed
+// from the window at g's previous consumed position, exactly as its solo
+// scan would — requires evaluated; everything before that position is
+// proven irrelevant to g. The traversal always advances to the minimum over
+// the groups' next needed positions, so each group consumes exactly the
+// position sequence its solo scan would evaluate (with the engine's
+// softened budgets), and a position evaluated for one group costs the
+// others one integer compare (a fused consume-and-find-minimum pass, which
+// profiling showed beats a heap at realistic batch widths).
+//
+// Per-query Stats stay exact in the accounting sense: Evaluated + Skipped
+// equals the query's candidate-substring count for every engine
+// configuration — the invariant the single-query engine maintains. A
+// query's Evaluated is the evaluation count of the scan that served it, so
+// it can exceed the query's solo figure (a subsumed threshold rides a
+// lower-α scan; a shared traversal wakes a cursor where another group
+// forced an evaluation it could not skip past).
+//
+// Result equivalence with the single-query paths:
+//   - KindMSS: bit-identical interval, X², and p-value. A consumed superset
+//     of the solo scan's evaluations cannot change the first-discovered
+//     maximum (skipped substrings are provably ≤ the running budget, and
+//     the softened budget keeps exact ties evaluated).
+//   - KindThreshold: identical result set in identical (start desc, end
+//     asc) order — qualifying substrings are never skippable under a
+//     constant budget at or below the member's cutoff.
+//   - KindTopT: identical X² value multiset — any window beating a
+//     member's t-th best beats the group's t_max-th best, so it is never
+//     skipped and never displaced; intervals exactly tied at the boundary
+//     may resolve differently, as the problem statement permits (same
+//     contract as the parallel engine).
+//   - KindDisjoint and streaming (Visit) threshold queries cannot join a
+//     single shared pass (the peel re-scans segments; streaming needs its
+//     own delivery); RunBatch executes them as ordinary RunQuery calls over
+//     the same shared Scanner after the pass.
+
+// groupKey identifies the scan a query can ride: same kind, same segment,
+// same length floor.
+type groupKey struct {
+	kind   Kind
+	lo, hi int
+	minLen int
+}
+
+// sink is one threshold query's collection point within its group.
+type sink struct {
+	slot  int     // index into the batch results
+	alpha float64 // the member's own cutoff (≥ the group's scan budget)
+	limit int     // the member's result cap (≤ 0: unlimited)
+}
+
+// scanGroup is one cursor of the shared traversal: a scan that answers one
+// or more subsumable queries.
+type scanGroup struct {
+	kind    Kind
+	lo, hi  int
+	minLen  int
+	hiStart int // last start position: hi - minLen
+
+	// KindMSS: the single member's slot and the shared skip budget.
+	slot   int
+	budget atomicBudget
+
+	// KindTopT: the member slots with their capacities, served by one heap
+	// of capacity max(t).
+	topts []sink // sink.limit carries the member's t
+	heap  *sharedHeap
+
+	// KindThreshold: the scan budget (the minimum member α) and the member
+	// sinks, indexed into the global sink arrays.
+	alpha float64
+	sinks []int
+}
+
+// RunBatch executes every query against the scanner in as few engine passes
+// as possible: all MSS/top-t/threshold-collect queries merge into scan
+// groups sharing one chain-cover traversal of the union of their candidate
+// ranges; disjoint and streaming queries follow as individual passes over
+// the same shared prefix counts. The returned slice is parallel to qs:
+// Results[i] answers qs[i], with any per-query validation or overflow error
+// in its Err field, so one bad query never poisons the rest of the batch.
+func (sc *Scanner) RunBatch(e Engine, qs []Query) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	var groups []*scanGroup
+	index := make(map[groupKey]*scanGroup)
+	var allSinks []sink
+	var composite []int // slots executed as individual RunQuery passes
+	for i, q := range qs {
+		nq, err := sc.normalize(q)
+		if err != nil {
+			out[i] = QueryResult{Err: err}
+			continue
+		}
+		if nq.Kind == KindDisjoint || (nq.Kind == KindThreshold && nq.Visit != nil) {
+			composite = append(composite, i)
+			continue
+		}
+		key := groupKey{kind: nq.Kind, lo: nq.Lo, hi: nq.Hi, minLen: nq.MinLen}
+		g := index[key]
+		if g == nil || nq.Kind == KindMSS {
+			// MSS queries never share a cursor: their first-discovered-max
+			// tie-breaking is per-query state. (Identical MSS queries could
+			// share; the scans are cheap enough not to special-case.)
+			g = &scanGroup{kind: nq.Kind, lo: nq.Lo, hi: nq.Hi, minLen: nq.MinLen, hiStart: nq.Hi - nq.MinLen, slot: i}
+			groups = append(groups, g)
+			if nq.Kind != KindMSS {
+				index[key] = g
+			}
+		}
+		switch nq.Kind {
+		case KindTopT:
+			g.topts = append(g.topts, sink{slot: i, limit: nq.T})
+		case KindThreshold:
+			if len(g.sinks) == 0 || nq.Alpha < g.alpha {
+				g.alpha = nq.Alpha
+			}
+			g.sinks = append(g.sinks, len(allSinks))
+			allSinks = append(allSinks, sink{slot: i, alpha: nq.Alpha, limit: nq.Limit})
+		}
+	}
+	sc.runSharedPass(e, groups, allSinks, out)
+	for _, slot := range composite {
+		out[slot] = sc.RunQuery(e, qs[slot])
+	}
+	return out
+}
+
+// mergedStartRanges returns the union of the groups' [lo, hiStart] start
+// intervals as {hi, lo} pairs ordered by descending start — the order the
+// sequential scan (and the chunk replay) visits rows in. Empty candidate
+// sets contribute nothing.
+func mergedStartRanges(groups []*scanGroup) [][2]int {
+	var spans [][2]int // {lo, hiStart}, ascending
+	for _, g := range groups {
+		if g.hiStart >= g.lo {
+			spans = append(spans, [2]int{g.lo, g.hiStart})
+		}
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a][0] < spans[b][0] })
+	var merged [][2]int
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s[0] <= merged[n-1][1]+1 {
+			if s[1] > merged[n-1][1] {
+				merged[n-1][1] = s[1]
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	out := make([][2]int, len(merged))
+	for i, m := range merged {
+		out[len(merged)-1-i] = [2]int{m[1], m[0]}
+	}
+	return out
+}
+
+// runSharedPass runs the shared chain-cover traversal for the scan groups
+// and writes each member query's QueryResult into its slot.
+func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink, out []QueryResult) {
+	if len(groups) == 0 {
+		return
+	}
+	// Union of the start ranges — not their bounding box, so a batch of
+	// narrow queries at opposite ends of a large corpus never pays per-row
+	// scheduling over the uncovered middle. Rows outside every group are
+	// never visited; groups with empty candidate sets keep zero
+	// QueryResults.
+	ranges := mergedStartRanges(groups)
+	if len(ranges) == 0 {
+		return
+	}
+	totalStarts := 0
+	for _, r := range ranges {
+		totalStarts += r[0] - r[1] + 1
+	}
+
+	// Per-group shared state: budgets (and heaps) visible to all workers.
+	for _, g := range groups {
+		switch g.kind {
+		case KindMSS:
+			warm := -1.0
+			if e.WarmStart {
+				warm = sc.warmSeed(g.lo, g.hi, g.minLen)
+			}
+			g.budget.store(warm)
+		case KindTopT:
+			tMax := 0
+			for _, m := range g.topts {
+				if m.limit > tMax {
+					tMax = m.limit
+				}
+			}
+			h, err := topheap.New(tMax)
+			if err != nil {
+				for _, m := range g.topts {
+					out[m.slot] = QueryResult{Err: err}
+				}
+				return // unreachable: normalize validated every t
+			}
+			g.heap = &sharedHeap{h: h}
+		}
+	}
+
+	w := e.workerCount(totalStarts)
+	targetParts := w * chunksPerWorker
+	var chunks [][2]int
+	for _, r := range ranges {
+		size := r[0] - r[1] + 1
+		parts := targetParts * size / totalStarts
+		if parts < 1 {
+			parts = 1
+		}
+		chunks = append(chunks, splitStarts(r[1], r[0], parts)...)
+	}
+	ng, ns := len(groups), len(allSinks)
+	// found[c][si] buffers chunk c's hits for threshold sink si; chunks
+	// replay in order after the pass, reproducing sequential visit order
+	// exactly (chunks are ordered by descending start, scanned start-desc
+	// within).
+	found := make([][][]Scored, len(chunks))
+	bests := make([][]Scored, w) // [worker][group]
+	statss := make([][]Stats, w) // [worker][group]
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			vec := make([]int, sc.k)
+			nextPos := make([]int, ng)
+			lastConsumed := make([]int, ng)
+			best := make([]Scored, ng)
+			for gi := range best {
+				best[gi] = Scored{X2: -1}
+			}
+			stats := make([]Stats, ng)
+			stored := make([]int, ns) // per-worker threshold buffering caps
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					break
+				}
+				hits := make([][]Scored, ns)
+				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					sc.batchRow(i, groups, allSinks, nextPos, lastConsumed, vec, best, stats, hits, stored)
+				}
+				found[c] = hits
+			}
+			bests[wid] = best
+			statss[wid] = stats
+		}(wid)
+	}
+	wg.Wait()
+
+	// Deterministic merge. Every member of a group reports the stats of
+	// the scan that served it; MSS candidates merge in the sequential
+	// scan's discovery order (better); each top-t member takes the leading
+	// t entries of the shared heap; each threshold sink replays its chunk
+	// buffers in order under its own limit.
+	for gi, g := range groups {
+		var st Stats
+		best := Scored{X2: -1}
+		for wid := 0; wid < w; wid++ {
+			s := statss[wid][gi]
+			st.Evaluated += s.Evaluated
+			st.Skipped += s.Skipped
+			st.Starts += s.Starts
+			if b := bests[wid][gi]; b.X2 >= 0 && better(b.X2, b.Start, b.End, best) {
+				best = b
+			}
+		}
+		switch g.kind {
+		case KindMSS:
+			res := QueryResult{Stats: st}
+			if best.X2 >= 0 {
+				res.Results = []Scored{best}
+			}
+			out[g.slot] = res
+		case KindTopT:
+			items := itemsToScored(g.heap.h.Items())
+			for _, m := range g.topts {
+				t := m.limit
+				if t > len(items) {
+					t = len(items)
+				}
+				res := QueryResult{Results: make([]Scored, t), Stats: st}
+				copy(res.Results, items[:t])
+				out[m.slot] = res
+			}
+		case KindThreshold:
+			for _, si := range g.sinks {
+				m := allSinks[si]
+				res := QueryResult{Stats: st}
+				overflow := false
+				for _, hits := range found {
+					if hits == nil {
+						continue
+					}
+					for _, r := range hits[si] {
+						if m.limit > 0 && len(res.Results) >= m.limit {
+							overflow = true
+							break
+						}
+						res.Results = append(res.Results, r)
+					}
+					if overflow {
+						break
+					}
+				}
+				if overflow {
+					res.Err = overflowErr(m.limit, m.alpha)
+				}
+				out[m.slot] = res
+			}
+		}
+	}
+}
+
+// batchRow advances the shared traversal across one start row: every
+// evaluation is shared, and every group consumes exactly the positions its
+// own chain-cover scan needs. nextPos[gi] schedules group gi's next needed
+// ending position (maxInt once the row is proven irrelevant to it); each
+// evaluated position costs the non-consuming groups one integer compare in
+// the fused consume-and-find-minimum pass, and once a single group remains
+// live in the row — the common tail, since the loosest budget outlives the
+// rest — the traversal degrades to a tight solo loop with no scheduling at
+// all.
+func (sc *Scanner) batchRow(i int, groups []*scanGroup, allSinks []sink, nextPos, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
+	j := math.MaxInt
+	live := 0
+	for gi, g := range groups {
+		if i < g.lo || i > g.hiStart {
+			nextPos[gi] = math.MaxInt
+			continue
+		}
+		jStart := i + g.minLen
+		nextPos[gi] = jStart
+		lastConsumed[gi] = jStart - 1
+		stats[gi].Starts++
+		live++
+		if jStart < j {
+			j = jStart
+		}
+	}
+	for j != math.MaxInt {
+		if live == 1 {
+			for gi, p := range nextPos {
+				if p != math.MaxInt {
+					sc.finishRowSolo(groups[gi], gi, i, p, allSinks, lastConsumed, vec, best, stats, hits, stored)
+					return
+				}
+			}
+			return
+		}
+		sc.pre.Vector(i, j, vec)
+		x2 := sc.kern.Value(vec)
+		next := math.MaxInt
+		for gi, p := range nextPos {
+			if p == j {
+				p = sc.consumeAt(groups[gi], gi, i, j, x2, allSinks, lastConsumed, vec, best, stats, hits, stored)
+				nextPos[gi] = p
+				if p == math.MaxInt {
+					live--
+				}
+			}
+			if p < next {
+				next = p
+			}
+		}
+		j = next
+	}
+}
+
+// finishRowSolo drains the row for the single remaining group at full
+// single-query scan speed.
+func (sc *Scanner) finishRowSolo(g *scanGroup, gi, i, j int, allSinks []sink, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
+	for j != math.MaxInt {
+		sc.pre.Vector(i, j, vec)
+		x2 := sc.kern.Value(vec)
+		j = sc.consumeAt(g, gi, i, j, x2, allSinks, lastConsumed, vec, best, stats, hits, stored)
+	}
+}
+
+// consumeAt feeds one evaluated window to a group — its own next
+// evaluation in the shared traversal: account the chain-cover skip since
+// the previous one, feed the sinks, and return the next position the group
+// needs (maxInt when the rest of the row is proven irrelevant to it).
+func (sc *Scanner) consumeAt(g *scanGroup, gi, i, j int, x2 float64, allSinks []sink, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) int {
+	stats[gi].Skipped += int64(j - lastConsumed[gi] - 1)
+	stats[gi].Evaluated++
+	lastConsumed[gi] = j
+	d := 0
+	switch g.kind {
+	case KindMSS:
+		if better(x2, i, j, best[gi]) {
+			best[gi] = Scored{Interval{i, j}, x2}
+			g.budget.raise(x2)
+		}
+		if j < g.hi {
+			d = sc.kern.MaxSkip(vec, j-i, x2, soften(g.budget.load()))
+		}
+	case KindTopT:
+		g.heap.offer(topheap.Item{Start: i, End: j, Score: x2})
+		if j < g.hi {
+			d = sc.kern.MaxSkip(vec, j-i, x2, g.heap.budget.load())
+		}
+	case KindThreshold:
+		for _, si := range g.sinks {
+			if x2 > allSinks[si].alpha && (allSinks[si].limit <= 0 || stored[si] <= allSinks[si].limit) {
+				hits[si] = append(hits[si], Scored{Interval{i, j}, x2})
+				stored[si]++
+			}
+		}
+		if j < g.hi {
+			d = sc.kern.MaxSkip(vec, j-i, x2, g.alpha)
+		}
+	}
+	if j+d >= g.hi {
+		// The rest of the row is proven irrelevant to the group.
+		stats[gi].Skipped += int64(g.hi - j)
+		return math.MaxInt
+	}
+	return j + d + 1
+}

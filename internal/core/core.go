@@ -56,10 +56,12 @@ type Stats struct {
 func (st Stats) Total() int64 { return st.Evaluated + st.Skipped }
 
 // Scanner binds a symbol string to a model and owns the prefix count arrays
-// and scratch space shared by all algorithms. A Scanner is cheap to build
-// (O(nk)) and may be reused for any number of scans; single scans are not
-// safe for concurrent use because they share scratch buffers — the parallel
-// engine (engine.go) gives each worker private scratch instead.
+// shared by all algorithms. A Scanner is cheap to build (O(nk)) and may be
+// reused for any number of scans; after construction it is read-only, so any
+// number of scans (sequential or on the parallel engine) may run on one
+// Scanner concurrently — each scan allocates its own O(k) scratch, and the
+// long-lived service layer relies on this to serve simultaneous queries
+// from one cached corpus.
 //
 // The count arrays use the position-major interleaved layout
 // (counts.Interleaved): a window's count vector is two contiguous k-wide
@@ -74,7 +76,6 @@ type Scanner struct {
 	k     int
 	pre   *counts.Interleaved
 	kern  *chisq.Kernel
-	vec   []int // scratch count vector for sequential scans
 
 	// Cumulative deviation walks, built on first use and shared by the
 	// heuristics and the engine's warm start: they depend only on (s, model),
@@ -110,7 +111,6 @@ func NewScanner(s []byte, m *alphabet.Model) (*Scanner, error) {
 		k:     m.K(),
 		pre:   pre,
 		kern:  chisq.NewKernel(probs),
-		vec:   make([]int, m.K()),
 	}, nil
 }
 
@@ -126,7 +126,7 @@ func (sc *Scanner) Symbols() []byte { return sc.s }
 // X2 returns the chi-square value of the window s[i:j). It panics if the
 // indices are out of range, matching slice semantics.
 func (sc *Scanner) X2(i, j int) float64 {
-	return sc.kern.Value(sc.pre.Vector(i, j, sc.vec))
+	return sc.kern.Value(sc.pre.Vector(i, j, make([]int, sc.k)))
 }
 
 // TotalSubstrings returns n(n+1)/2, the number of non-empty substrings — the

@@ -177,38 +177,6 @@ func (sc *Scanner) warmSeed(lo, hi, minLen int) float64 {
 
 // --- MSS family ---
 
-// MSSWith runs the Problem 1 scan under the given engine configuration.
-func (sc *Scanner) MSSWith(e Engine) (Scored, Stats) {
-	return sc.engineMSSRange(e, 0, len(sc.s), 1)
-}
-
-// MSSMinLengthWith runs the Problem 4 scan under the given engine
-// configuration.
-func (sc *Scanner) MSSMinLengthWith(e Engine, gamma int) (Scored, Stats) {
-	if gamma < 0 {
-		gamma = 0
-	}
-	return sc.engineMSSRange(e, 0, len(sc.s), gamma+1)
-}
-
-// MSSRangeWith runs the segment-restricted MSS scan under the given engine
-// configuration.
-func (sc *Scanner) MSSRangeWith(e Engine, lo, hi, minLen int) (Scored, Stats) {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(sc.s) {
-		hi = len(sc.s)
-	}
-	if minLen < 1 {
-		minLen = 1
-	}
-	if hi-lo < minLen {
-		return Scored{}, Stats{}
-	}
-	return sc.engineMSSRange(e, lo, hi, minLen)
-}
-
 // engineMSSRange is the engine entry point shared by every MSS-style scan:
 // the maximum-X² substring of s[lo:hi) with length ≥ minLen.
 func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) {
@@ -292,20 +260,6 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 
 // --- Top-t family ---
 
-// TopTWith runs the Problem 2 scan under the given engine configuration.
-func (sc *Scanner) TopTWith(e Engine, t int) ([]Scored, Stats, error) {
-	return sc.engineTopT(e, t, 1)
-}
-
-// TopTMinLengthWith runs the combined Problem 2+4 scan under the given
-// engine configuration.
-func (sc *Scanner) TopTMinLengthWith(e Engine, t, gamma int) ([]Scored, Stats, error) {
-	if gamma < 0 {
-		gamma = 0
-	}
-	return sc.engineTopT(e, t, gamma+1)
-}
-
 // sharedHeap wraps the top-t min-heap for concurrent offers. The heap's
 // minimum (the running t-th best) is mirrored into an atomic so workers
 // read their skip budget without taking the lock; it only grows, so a stale
@@ -334,24 +288,23 @@ func (s *sharedHeap) offer(it topheap.Item) {
 }
 
 // engineTopT is the engine entry point for top-t scans: the t largest-X²
-// substrings of length ≥ minLen.
+// substrings of s[lo:hi) with length ≥ minLen.
 //
 // The X² value multiset of the result is identical to the sequential scan's:
 // any substring beating the final t-th best is never skipped (every budget
 // used is at most that value), and substrings tied with the boundary are
 // interchangeable, which the problem statement already permits.
-func (sc *Scanner) engineTopT(e Engine, t, minLen int) ([]Scored, Stats, error) {
+func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats, error) {
 	if err := validateT(t); err != nil {
 		return nil, Stats{}, err
 	}
-	n := len(sc.s)
-	hiStart := n - minLen
+	hiStart := hi - minLen
 	w := 1
-	if hiStart >= 0 {
-		w = e.workerCount(hiStart + 1)
+	if hiStart >= lo {
+		w = e.workerCount(hiStart - lo + 1)
 	}
 	if w == 1 {
-		return sc.toptSeq(t, minLen)
+		return sc.toptSeq(t, lo, hi, minLen)
 	}
 
 	h, err := topheap.New(t)
@@ -359,7 +312,7 @@ func (sc *Scanner) engineTopT(e Engine, t, minLen int) ([]Scored, Stats, error) 
 		return nil, Stats{}, err
 	}
 	shared := &sharedHeap{h: h}
-	chunks := splitStarts(0, hiStart, w*chunksPerWorker)
+	chunks := splitStarts(lo, hiStart, w*chunksPerWorker)
 	stats := make([]Stats, w)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -376,17 +329,17 @@ func (sc *Scanner) engineTopT(e Engine, t, minLen int) ([]Scored, Stats, error) 
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					st.Starts++
-					for j := i + minLen; j <= n; j++ {
+					for j := i + minLen; j <= hi; j++ {
 						sc.pre.Vector(i, j, vec)
 						x2 := sc.kern.Value(vec)
 						st.Evaluated++
 						shared.offer(topheap.Item{Start: i, End: j, Score: x2})
-						if j == n {
+						if j == hi {
 							break
 						}
 						if skip := sc.kern.MaxSkip(vec, j-i, x2, shared.budget.load()); skip > 0 {
-							if j+skip > n {
-								skip = n - j
+							if j+skip > hi {
+								skip = hi - j
 							}
 							st.Skipped += int64(skip)
 							j += skip
@@ -408,27 +361,27 @@ func (sc *Scanner) engineTopT(e Engine, t, minLen int) ([]Scored, Stats, error) 
 	return itemsToScored(h.Items()), st, nil
 }
 
-// toptSeq is the sequential top-t scan shared by TopT and TopTMinLength.
-func (sc *Scanner) toptSeq(t, minLen int) ([]Scored, Stats, error) {
-	n := len(sc.s)
+// toptSeq is the sequential top-t scan shared by every top-t entry point.
+func (sc *Scanner) toptSeq(t, lo, hi, minLen int) ([]Scored, Stats, error) {
 	h, err := topheap.New(t)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var st Stats
-	for i := n - minLen; i >= 0; i-- {
+	vec := make([]int, sc.k)
+	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
-		for j := i + minLen; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
+		for j := i + minLen; j <= hi; j++ {
+			sc.pre.Vector(i, j, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			h.Offer(topheap.Item{Start: i, End: j, Score: x2})
-			if j == n {
+			if j == hi {
 				break
 			}
 			if skip := sc.kern.MaxSkip(vec, j-i, x2, h.Budget()); skip > 0 {
-				if j+skip > n {
-					skip = n - j
+				if j+skip > hi {
+					skip = hi - j
 				}
 				st.Skipped += int64(skip)
 				j += skip
@@ -440,42 +393,8 @@ func (sc *Scanner) toptSeq(t, minLen int) ([]Scored, Stats, error) {
 
 // --- Threshold family ---
 
-// ThresholdWith runs the Problem 3 scan under the given engine
-// configuration. The visitor is always invoked from the calling goroutine in
-// the sequential scan's (start desc, end asc) order; under parallelism the
-// qualifying substrings are buffered per chunk and replayed in order after
-// the workers finish, so visitors that need streaming delivery (or scans
-// whose result sets are too large to buffer) should use Workers: 1 or the
-// Collect forms, whose limit also bounds the parallel buffering.
-func (sc *Scanner) ThresholdWith(e Engine, alpha float64, visit func(Scored)) Stats {
-	return sc.engineThreshold(e, alpha, 1, 0, visit)
-}
-
-// ThresholdMinLengthWith runs the combined Problem 3+4 scan under the given
-// engine configuration. See ThresholdWith for the parallel buffering note.
-func (sc *Scanner) ThresholdMinLengthWith(e Engine, alpha float64, gamma int, visit func(Scored)) Stats {
-	if gamma < 0 {
-		gamma = 0
-	}
-	return sc.engineThreshold(e, alpha, gamma+1, 0, visit)
-}
-
-// ThresholdCollectWith is ThresholdCollect under an engine configuration.
-func (sc *Scanner) ThresholdCollectWith(e Engine, alpha float64, limit int) ([]Scored, Stats, error) {
-	return sc.thresholdCollect(e, alpha, 1, limit)
-}
-
-// ThresholdMinLengthCollectWith collects the combined Problem 3+4 scan's
-// results under an engine configuration, with the same limit semantics as
-// ThresholdCollect.
-func (sc *Scanner) ThresholdMinLengthCollectWith(e Engine, alpha float64, gamma, limit int) ([]Scored, Stats, error) {
-	if gamma < 0 {
-		gamma = 0
-	}
-	return sc.thresholdCollect(e, alpha, gamma+1, limit)
-}
-
-// engineThreshold reports every substring of length ≥ minLen with X² > alpha.
+// engineThreshold reports every substring of s[lo:hi) of length ≥ minLen
+// with X² > alpha.
 // The budget is the constant alpha, so workers share nothing but the string
 // and the scan parallelizes embarrassingly; the evaluated/skipped pattern is
 // identical to the sequential scan's.
@@ -488,18 +407,17 @@ func (sc *Scanner) ThresholdMinLengthCollectWith(e Engine, alpha float64, gamma,
 // the dropped one in replay order — the dropped hit could only ever be
 // replayed at position cap+2 or later, which the visitor's overflow check
 // has already fired on.
-func (sc *Scanner) engineThreshold(e Engine, alpha float64, minLen, cap int, visit func(Scored)) Stats {
-	n := len(sc.s)
-	hiStart := n - minLen
+func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap int, visit func(Scored)) Stats {
+	hiStart := hi - minLen
 	w := 1
-	if hiStart >= 0 {
-		w = e.workerCount(hiStart + 1)
+	if hiStart >= lo {
+		w = e.workerCount(hiStart - lo + 1)
 	}
 	if w == 1 {
-		return sc.thresholdSeq(alpha, minLen, visit)
+		return sc.thresholdSeq(alpha, lo, hi, minLen, visit)
 	}
 
-	chunks := splitStarts(0, hiStart, w*chunksPerWorker)
+	chunks := splitStarts(lo, hiStart, w*chunksPerWorker)
 	found := make([][]Scored, len(chunks))
 	stats := make([]Stats, w)
 	var next atomic.Int64
@@ -519,7 +437,7 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, minLen, cap int, vis
 				var hits []Scored
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					st.Starts++
-					for j := i + minLen; j <= n; j++ {
+					for j := i + minLen; j <= hi; j++ {
 						sc.pre.Vector(i, j, vec)
 						x2 := sc.kern.Value(vec)
 						st.Evaluated++
@@ -527,12 +445,12 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, minLen, cap int, vis
 							hits = append(hits, Scored{Interval{i, j}, x2})
 							stored++
 						}
-						if j == n {
+						if j == hi {
 							break
 						}
 						if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
-							if j+skip > n {
-								skip = n - j
+							if j+skip > hi {
+								skip = hi - j
 							}
 							st.Skipped += int64(skip)
 							j += skip
@@ -563,26 +481,26 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, minLen, cap int, vis
 	return st
 }
 
-// thresholdSeq is the sequential threshold scan shared by Threshold and
-// ThresholdMinLength.
-func (sc *Scanner) thresholdSeq(alpha float64, minLen int, visit func(Scored)) Stats {
-	n := len(sc.s)
+// thresholdSeq is the sequential threshold scan shared by every threshold
+// entry point.
+func (sc *Scanner) thresholdSeq(alpha float64, lo, hi, minLen int, visit func(Scored)) Stats {
 	var st Stats
-	for i := n - minLen; i >= 0; i-- {
+	vec := make([]int, sc.k)
+	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
-		for j := i + minLen; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
+		for j := i + minLen; j <= hi; j++ {
+			sc.pre.Vector(i, j, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > alpha {
 				visit(Scored{Interval{i, j}, x2})
 			}
-			if j == n {
+			if j == hi {
 				break
 			}
 			if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
-				if j+skip > n {
-					skip = n - j
+				if j+skip > hi {
+					skip = hi - j
 				}
 				st.Skipped += int64(skip)
 				j += skip
@@ -594,9 +512,10 @@ func (sc *Scanner) thresholdSeq(alpha float64, minLen int, visit func(Scored)) S
 
 // --- Disjoint top-t ---
 
-// DisjointTopTWith is DisjointTopT under an engine configuration: each
-// segment's MSS sub-scan runs on the engine.
-func (sc *Scanner) DisjointTopTWith(e Engine, t, minLen int) ([]Scored, Stats, error) {
+// disjointRange is the greedy peel behind every disjoint top-t entry point:
+// the range's MSS is taken first, its interval removed, and the two
+// remaining segments searched recursively, each sub-scan on the engine.
+func (sc *Scanner) disjointRange(e Engine, t, rangeLo, rangeHi, minLen int) ([]Scored, Stats, error) {
 	if err := validateT(t); err != nil {
 		return nil, Stats{}, err
 	}
@@ -613,13 +532,13 @@ func (sc *Scanner) DisjointTopTWith(e Engine, t, minLen int) ([]Scored, Stats, e
 		if hi-lo < minLen {
 			return segment{lo: lo, hi: hi}
 		}
-		best, s := sc.MSSRangeWith(e, lo, hi, minLen)
+		best, s := sc.engineMSSRange(e, lo, hi, minLen)
 		st.Evaluated += s.Evaluated
 		st.Skipped += s.Skipped
 		st.Starts += s.Starts
 		return segment{lo: lo, hi: hi, best: best, ok: best.End > best.Start}
 	}
-	segs := []segment{eval(0, len(sc.s))}
+	segs := []segment{eval(rangeLo, rangeHi)}
 	var out []Scored
 	for len(out) < t {
 		bi := -1

@@ -50,12 +50,13 @@ func (sc *Scanner) AGMM() (Scored, Stats) {
 func (sc *Scanner) bestOverCuts(cuts []int) (Scored, Stats) {
 	best := Scored{X2: -1}
 	var st Stats
+	vec := make([]int, sc.k)
 	for a := 0; a < len(cuts); a++ {
 		u := cuts[a]
 		st.Starts++
 		for b := a + 1; b < len(cuts); b++ {
 			v := cuts[b]
-			vec := sc.pre.Vector(u, v, sc.vec)
+			sc.pre.Vector(u, v, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {

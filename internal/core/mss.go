@@ -2,46 +2,45 @@ package core
 
 import "fmt"
 
+// This file holds the MSS-family entry points. Each is a thin constructor
+// that lowers its arguments to a Query and hands it to RunQuery — the single
+// dispatch path onto the chain-cover engine (engine.go). The scan itself is
+// the paper's Algorithm 1: start positions are visited right-to-left; for
+// each start, ending positions are scanned left-to-right, and after each
+// evaluated substring the chain-cover bound (Theorem 1, quadratic Eq. 21)
+// yields the longest extension that provably cannot beat the best value seen
+// so far, which the scan skips wholesale. Under the null model the expected
+// skip is ω(√l), giving O(k·n^{3/2}) total work with high probability; on
+// strings that deviate from the null model the skips only grow (§5.1).
+
 // MSS finds the Most Significant Substring — the substring with the maximum
-// chi-square value — using the paper's Algorithm 1. Start positions are
-// visited right-to-left; for each start, ending positions are scanned
-// left-to-right, and after each evaluated substring the chain-cover bound
-// (Theorem 1, quadratic Eq. 21) yields the longest extension that provably
-// cannot beat the best value seen so far, which the scan skips wholesale.
-// Under the null model the expected skip is ω(√l), giving O(k·n^{3/2}) total
-// work with high probability; on strings that deviate from the null model
-// the skips only grow (paper §5.1).
-//
-// For an empty string MSS returns the zero Scored value. MSSWith runs the
-// same scan on the parallel engine (engine.go).
+// chi-square value (Problem 1). For an empty string MSS returns the zero
+// Scored value. MSSWith runs the same scan on the parallel engine.
 func (sc *Scanner) MSS() (Scored, Stats) {
-	return sc.mssFrom(0)
+	return sc.MSSWith(Engine{Workers: 1})
+}
+
+// MSSWith runs the Problem 1 scan under the given engine configuration.
+func (sc *Scanner) MSSWith(e Engine) (Scored, Stats) {
+	r := sc.RunQuery(e, Query{Kind: KindMSS, Hi: len(sc.s)})
+	return r.Best(), r.Stats
 }
 
 // MSSMinLength solves Problem 4: the maximum-X² substring among substrings
 // of length strictly greater than gamma (paper §6.3). gamma < 0 is treated
 // as 0; if no substring is long enough the zero Scored value is returned.
 func (sc *Scanner) MSSMinLength(gamma int) (Scored, Stats) {
+	return sc.MSSMinLengthWith(Engine{Workers: 1}, gamma)
+}
+
+// MSSMinLengthWith runs the Problem 4 scan under the given engine
+// configuration.
+func (sc *Scanner) MSSMinLengthWith(e Engine, gamma int) (Scored, Stats) {
 	if gamma < 0 {
 		gamma = 0
 	}
-	return sc.mssFrom(gamma)
-}
-
-// mssFrom scans substrings of length ≥ gamma+1.
-func (sc *Scanner) mssFrom(gamma int) (Scored, Stats) {
-	return sc.mssRange(0, len(sc.s), gamma+1)
-}
-
-// mssRange finds the maximum-X² substring confined to s[lo:hi) with length
-// ≥ minLen. It is the MSS scan of Algorithm 1 restricted to a segment; the
-// chain-cover skip applies unchanged because the bound is independent of
-// what lies beyond the segment.
-func (sc *Scanner) mssRange(lo, hi, minLen int) (Scored, Stats) {
-	if minLen < 1 {
-		minLen = 1
-	}
-	return sc.mssRangeWarm(lo, hi, minLen, -1)
+	r := sc.RunQuery(e, Query{Kind: KindMSS, MinLen: gamma + 1, Hi: len(sc.s)})
+	return r.Best(), r.Stats
 }
 
 // mssRangeWarm is the sequential MSS scan with an optional warm-start skip
@@ -54,10 +53,11 @@ func (sc *Scanner) mssRangeWarm(lo, hi, minLen int, warm float64) (Scored, Stats
 	best := Scored{X2: -1}
 	var st Stats
 	floor := soften(warm)
+	vec := make([]int, sc.k)
 	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
 		for j := i + minLen; j <= hi; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
+			sc.pre.Vector(i, j, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {
@@ -102,4 +102,11 @@ func validateT(t int) error {
 // window). minLen ≥ 1 restricts candidate lengths.
 func (sc *Scanner) DisjointTopT(t, minLen int) ([]Scored, Stats, error) {
 	return sc.DisjointTopTWith(Engine{Workers: 1}, t, minLen)
+}
+
+// DisjointTopTWith is DisjointTopT under an engine configuration: each
+// segment's MSS sub-scan runs on the engine.
+func (sc *Scanner) DisjointTopTWith(e Engine, t, minLen int) ([]Scored, Stats, error) {
+	r := sc.RunQuery(e, Query{Kind: KindDisjoint, T: t, MinLen: minLen, Hi: len(sc.s)})
+	return r.Results, r.Stats, r.Err
 }

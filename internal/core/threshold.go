@@ -13,30 +13,37 @@ import "fmt"
 // visit is invoked once per qualifying substring, in (start desc, end asc)
 // order. The visitor must not retain the Scored value's interval beyond the
 // call if it mutates it. ThresholdWith runs the same scan on the parallel
-// engine (engine.go).
+// engine (engine.go); every entry point here is a thin constructor lowering
+// to a Query on the single RunQuery dispatch path.
 func (sc *Scanner) Threshold(alpha float64, visit func(Scored)) Stats {
-	return sc.thresholdSeq(alpha, 1, visit)
+	return sc.ThresholdWith(Engine{Workers: 1}, alpha, visit)
 }
 
-// thresholdCollect runs the threshold scan under the engine configuration
-// and collects up to limit qualifying substrings (limit ≤ 0 means no
-// limit). The limit is passed down as the parallel path's buffering cap, so
-// a low alpha cannot balloon memory past O(workers·limit) before the
-// overflow error fires.
-func (sc *Scanner) thresholdCollect(e Engine, alpha float64, minLen, limit int) ([]Scored, Stats, error) {
-	var out []Scored
-	overflow := false
-	st := sc.engineThreshold(e, alpha, minLen, limit, func(s Scored) {
-		if limit > 0 && len(out) >= limit {
-			overflow = true
-			return
-		}
-		out = append(out, s)
-	})
-	if overflow {
-		return out, st, fmt.Errorf("core: more than %d substrings exceed threshold %g", limit, alpha)
+// ThresholdWith runs the Problem 3 scan under the given engine
+// configuration. The visitor is always invoked from the calling goroutine in
+// the sequential scan's (start desc, end asc) order; under parallelism the
+// qualifying substrings are buffered per chunk and replayed in order after
+// the workers finish, so visitors that need streaming delivery (or scans
+// whose result sets are too large to buffer) should use Workers: 1 or the
+// Collect forms, whose limit also bounds the parallel buffering.
+func (sc *Scanner) ThresholdWith(e Engine, alpha float64, visit func(Scored)) Stats {
+	return sc.RunQuery(e, Query{Kind: KindThreshold, Alpha: alpha, Hi: len(sc.s), Visit: visit}).Stats
+}
+
+// ThresholdMinLength solves Problem 3 restricted to substrings of length
+// strictly greater than gamma: visit is invoked for every such substring
+// with X² > alpha.
+func (sc *Scanner) ThresholdMinLength(alpha float64, gamma int, visit func(Scored)) Stats {
+	return sc.ThresholdMinLengthWith(Engine{Workers: 1}, alpha, gamma, visit)
+}
+
+// ThresholdMinLengthWith runs the combined Problem 3+4 scan under the given
+// engine configuration. See ThresholdWith for the parallel buffering note.
+func (sc *Scanner) ThresholdMinLengthWith(e Engine, alpha float64, gamma int, visit func(Scored)) Stats {
+	if gamma < 0 {
+		gamma = 0
 	}
-	return out, st, nil
+	return sc.RunQuery(e, Query{Kind: KindThreshold, Alpha: alpha, MinLen: gamma + 1, Hi: len(sc.s), Visit: visit}).Stats
 }
 
 // ThresholdCollect runs Threshold and collects up to limit qualifying
@@ -44,7 +51,51 @@ func (sc *Scanner) thresholdCollect(e Engine, alpha float64, minLen, limit int) 
 // exceeded, protecting callers against the O(n²)-sized outputs low
 // thresholds can produce.
 func (sc *Scanner) ThresholdCollect(alpha float64, limit int) ([]Scored, Stats, error) {
-	return sc.thresholdCollect(Engine{Workers: 1}, alpha, 1, limit)
+	return sc.ThresholdCollectWith(Engine{Workers: 1}, alpha, limit)
+}
+
+// ThresholdCollectWith is ThresholdCollect under an engine configuration.
+func (sc *Scanner) ThresholdCollectWith(e Engine, alpha float64, limit int) ([]Scored, Stats, error) {
+	r := sc.RunQuery(e, Query{Kind: KindThreshold, Alpha: alpha, Hi: len(sc.s), Limit: limit})
+	return r.Results, r.Stats, r.Err
+}
+
+// ThresholdMinLengthCollectWith collects the combined Problem 3+4 scan's
+// results under an engine configuration, with the same limit semantics as
+// ThresholdCollect.
+func (sc *Scanner) ThresholdMinLengthCollectWith(e Engine, alpha float64, gamma, limit int) ([]Scored, Stats, error) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	r := sc.RunQuery(e, Query{Kind: KindThreshold, Alpha: alpha, MinLen: gamma + 1, Hi: len(sc.s), Limit: limit})
+	return r.Results, r.Stats, r.Err
+}
+
+// thresholdCollect runs the threshold scan under the engine configuration
+// and collects up to limit qualifying substrings (limit ≤ 0 means no
+// limit). The limit is passed down as the parallel path's buffering cap, so
+// a low alpha cannot balloon memory past O(workers·limit) before the
+// overflow error fires.
+func (sc *Scanner) thresholdCollect(e Engine, alpha float64, lo, hi, minLen, limit int) ([]Scored, Stats, error) {
+	var out []Scored
+	overflow := false
+	st := sc.engineThreshold(e, alpha, lo, hi, minLen, limit, func(s Scored) {
+		if limit > 0 && len(out) >= limit {
+			overflow = true
+			return
+		}
+		out = append(out, s)
+	})
+	if overflow {
+		return out, st, overflowErr(limit, alpha)
+	}
+	return out, st, nil
+}
+
+// overflowErr is the shared threshold-limit error of the single-query and
+// batch collect paths.
+func overflowErr(limit int, alpha float64) error {
+	return fmt.Errorf("core: more than %d substrings exceed threshold %g", limit, alpha)
 }
 
 // ThresholdCount runs Threshold counting matches only.

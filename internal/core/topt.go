@@ -9,7 +9,30 @@ package core
 // The returned slice holds min(t, n(n+1)/2) results in descending X² order.
 // Ties at the boundary value are resolved arbitrarily, as the paper's
 // problem statement permits. TopTWith runs the same scan on the parallel
-// engine (engine.go).
+// engine (engine.go); both are thin constructors lowering to a Query on the
+// single RunQuery dispatch path.
 func (sc *Scanner) TopT(t int) ([]Scored, Stats, error) {
-	return sc.engineTopT(Engine{Workers: 1}, t, 1)
+	return sc.TopTWith(Engine{Workers: 1}, t)
+}
+
+// TopTWith runs the Problem 2 scan under the given engine configuration.
+func (sc *Scanner) TopTWith(e Engine, t int) ([]Scored, Stats, error) {
+	r := sc.RunQuery(e, Query{Kind: KindTopT, T: t, Hi: len(sc.s)})
+	return r.Results, r.Stats, r.Err
+}
+
+// TopTMinLength solves Problem 2 restricted to substrings of length
+// strictly greater than gamma.
+func (sc *Scanner) TopTMinLength(t, gamma int) ([]Scored, Stats, error) {
+	return sc.TopTMinLengthWith(Engine{Workers: 1}, t, gamma)
+}
+
+// TopTMinLengthWith runs the combined Problem 2+4 scan under the given
+// engine configuration.
+func (sc *Scanner) TopTMinLengthWith(e Engine, t, gamma int) ([]Scored, Stats, error) {
+	if gamma < 0 {
+		gamma = 0
+	}
+	r := sc.RunQuery(e, Query{Kind: KindTopT, T: t, MinLen: gamma + 1, Hi: len(sc.s)})
+	return r.Results, r.Stats, r.Err
 }

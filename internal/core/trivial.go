@@ -14,10 +14,11 @@ func (sc *Scanner) Trivial() (Scored, Stats) {
 	n := len(sc.s)
 	best := Scored{X2: -1}
 	var st Stats
+	vec := make([]int, sc.k)
 	for i := 0; i < n; i++ {
 		st.Starts++
 		for j := i + 1; j <= n; j++ {
-			vec := sc.pre.Vector(i, j, sc.vec)
+			sc.pre.Vector(i, j, vec)
 			x2 := sc.kern.Value(vec)
 			st.Evaluated++
 			if x2 > best.X2 {

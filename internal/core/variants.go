@@ -2,24 +2,12 @@ package core
 
 // The paper presents its problem variants independently (§6); real uses
 // combine them — "the ten most significant periods of at least a month",
-// "all windows longer than Γ with X² above α". These combined scans reuse
-// the same chain-cover skip; a length floor only shrinks the scanned range
-// (§6.3), so the skip logic is unchanged. Every variant here delegates to
-// the scan engine (engine.go) with a single worker; the *With forms accept
-// an Engine for parallel execution.
-
-// TopTMinLength solves Problem 2 restricted to substrings of length
-// strictly greater than gamma.
-func (sc *Scanner) TopTMinLength(t, gamma int) ([]Scored, Stats, error) {
-	return sc.TopTMinLengthWith(Engine{Workers: 1}, t, gamma)
-}
-
-// ThresholdMinLength solves Problem 3 restricted to substrings of length
-// strictly greater than gamma: visit is invoked for every such substring
-// with X² > alpha.
-func (sc *Scanner) ThresholdMinLength(alpha float64, gamma int, visit func(Scored)) Stats {
-	return sc.ThresholdMinLengthWith(Engine{Workers: 1}, alpha, gamma, visit)
-}
+// "all windows longer than Γ with X² above α". Every combination lowers to
+// the same Query plan (query.go) and reuses the same chain-cover skip; a
+// length floor only shrinks the scanned range (§6.3), so the skip logic is
+// unchanged. The segment-restricted entry points live here; the length-floor
+// combinations live beside their base problems in mss.go / topt.go /
+// threshold.go.
 
 // MSSRange finds the maximum-X² substring confined to s[lo:hi) with length
 // ≥ minLen — the segment-restricted scan underlying DisjointTopT, exposed
@@ -28,4 +16,11 @@ func (sc *Scanner) ThresholdMinLength(alpha float64, gamma int, visit func(Score
 // Scored value.
 func (sc *Scanner) MSSRange(lo, hi, minLen int) (Scored, Stats) {
 	return sc.MSSRangeWith(Engine{Workers: 1}, lo, hi, minLen)
+}
+
+// MSSRangeWith runs the segment-restricted MSS scan under the given engine
+// configuration.
+func (sc *Scanner) MSSRangeWith(e Engine, lo, hi, minLen int) (Scored, Stats) {
+	r := sc.RunQuery(e, Query{Kind: KindMSS, MinLen: minLen, Lo: lo, Hi: hi})
+	return r.Best(), r.Stats
 }

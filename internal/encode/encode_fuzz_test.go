@@ -1,0 +1,113 @@
+package encode
+
+import "testing"
+
+// FuzzUpDown checks the price-movement encoder on arbitrary series: it must
+// never panic, the output must be one shorter than the input with binary
+// symbols and matching labels, and each symbol must reflect the actual
+// movement direction.
+func FuzzUpDown(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 2})
+	f.Add([]byte{})
+	f.Add([]byte{9})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		values := make([]float64, len(raw))
+		labels := make([]string, len(raw))
+		for i, b := range raw {
+			values[i] = float64(b)
+			labels[i] = string(rune('a' + b%26))
+		}
+		s, err := UpDown(values, labels)
+		if len(values) < 2 {
+			if err == nil {
+				t.Fatal("short series accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != len(values)-1 || len(s.Labels) != s.Len() {
+			t.Fatalf("series of %d values encoded to %d symbols, %d labels", len(values), s.Len(), len(s.Labels))
+		}
+		for i, sym := range s.Symbols {
+			if sym != Up && sym != Down {
+				t.Fatalf("non-binary symbol %d at %d", sym, i)
+			}
+			if want := values[i+1] > values[i]; (sym == Up) != want {
+				t.Fatalf("symbol %d at %d disagrees with movement %v -> %v", sym, i, values[i], values[i+1])
+			}
+			if s.Labels[i] != labels[i+1] {
+				t.Fatalf("label %d is %q, want the move-completion day %q", i, s.Labels[i], labels[i+1])
+			}
+		}
+		// RunLength must partition the series exactly.
+		total := 0
+		for _, run := range RunLength(s.Symbols) {
+			if run < 1 {
+				t.Fatalf("empty run in %v", RunLength(s.Symbols))
+			}
+			total += run
+		}
+		if total != s.Len() {
+			t.Fatalf("run lengths sum to %d, series has %d", total, s.Len())
+		}
+	})
+}
+
+// FuzzWinLoss checks the outcome encoder: round-trippable symbols, copied
+// labels, and graceful rejection of mismatched input.
+func FuzzWinLoss(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, 4)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1}, 2)
+	f.Fuzz(func(t *testing.T, raw []byte, labelCount int) {
+		if labelCount < 0 || labelCount > len(raw)+8 {
+			return
+		}
+		wins := make([]bool, len(raw))
+		for i, b := range raw {
+			wins[i] = b%2 == 1
+		}
+		labels := make([]string, labelCount)
+		s, err := WinLoss(wins, labels)
+		if len(wins) != labelCount || len(wins) == 0 {
+			if err == nil {
+				t.Fatalf("mismatched input accepted: %d outcomes, %d labels", len(wins), labelCount)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sym := range s.Symbols {
+			if (sym == Up) != wins[i] {
+				t.Fatalf("symbol %d disagrees with outcome %v", i, wins[i])
+			}
+		}
+		if s.CountOnes(0, s.Len()) != countTrue(wins) {
+			t.Fatalf("CountOnes diverges from the outcome count")
+		}
+		// Span must answer for every valid window and reject the rest.
+		if _, _, err := s.Span(0, s.Len()); err != nil {
+			t.Fatalf("full span rejected: %v", err)
+		}
+		if _, _, err := s.Span(-1, s.Len()); err == nil {
+			t.Fatal("negative span accepted")
+		}
+		if _, _, err := s.Span(0, s.Len()+1); err == nil {
+			t.Fatal("overlong span accepted")
+		}
+	})
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

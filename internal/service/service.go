@@ -1,0 +1,505 @@
+// Package service implements the request model, validation, and corpus
+// cache behind the long-lived query daemon (cmd/mssd). It owns the wire
+// types — the JSON encodings of queries, results, and stats — which
+// cmd/mss's -format json output shares, so the CLI and the daemon speak the
+// same schema.
+//
+// The daemon's value proposition is amortization: a corpus uploaded once is
+// encoded and prefix-counted once (an O(n·k) Scanner build), and every
+// subsequent query — or batch of queries sharing one engine pass — reuses
+// it. Scanners are read-only after construction, so the cache serves
+// concurrent requests against one corpus without locking around the scans
+// themselves.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	sigsub "repro"
+)
+
+// ErrNotFound reports a corpus name absent from the cache.
+var ErrNotFound = errors.New("service: corpus not found")
+
+// ValidationError marks client mistakes (HTTP 400s) apart from server
+// faults.
+type ValidationError struct{ msg string }
+
+func (e *ValidationError) Error() string { return e.msg }
+
+// badRequest builds a ValidationError.
+func badRequest(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsValidation reports whether err is a client-side validation failure.
+func IsValidation(err error) bool {
+	var v *ValidationError
+	return errors.As(err, &v)
+}
+
+// --- Wire types ---
+
+// Query is the wire form of a sigsub.Query. Kind is one of "mss", "topt",
+// "threshold", "disjoint"; the remaining knobs compose exactly as in the
+// library (MinLength is a ≥ floor, Lo/Hi restrict the segment with Hi 0
+// meaning the corpus end, Limit caps threshold results).
+type Query struct {
+	Kind      string  `json:"kind"`
+	T         int     `json:"t,omitempty"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	MinLength int     `json:"min_length,omitempty"`
+	Lo        int     `json:"lo,omitempty"`
+	Hi        int     `json:"hi,omitempty"`
+	Limit     int     `json:"limit,omitempty"`
+}
+
+// Plan validates the wire query and lowers it to the library plan.
+func (q Query) Plan() (sigsub.Query, error) {
+	kind, err := sigsub.ParseQueryKind(q.Kind)
+	if err != nil {
+		return sigsub.Query{}, badRequest("unknown query kind %q (want mss|topt|threshold|disjoint)", q.Kind)
+	}
+	switch kind {
+	case sigsub.QueryTopT, sigsub.QueryDisjoint:
+		if q.T < 1 {
+			return sigsub.Query{}, badRequest("%s query requires t >= 1, got %d", q.Kind, q.T)
+		}
+	case sigsub.QueryThreshold:
+		if q.Alpha < 0 {
+			return sigsub.Query{}, badRequest("threshold query requires alpha >= 0, got %g", q.Alpha)
+		}
+	}
+	if q.MinLength < 0 {
+		return sigsub.Query{}, badRequest("min_length must be >= 0, got %d", q.MinLength)
+	}
+	if q.Lo < 0 || q.Hi < 0 {
+		return sigsub.Query{}, badRequest("lo/hi must be >= 0, got [%d, %d)", q.Lo, q.Hi)
+	}
+	if q.Limit < 0 {
+		// The library treats a negative limit as "unlimited"; a shared
+		// daemon never grants that (low alphas produce O(n²) results).
+		return sigsub.Query{}, badRequest("limit must be >= 0, got %d (0 means the server default)", q.Limit)
+	}
+	return sigsub.Query{
+		Kind:      kind,
+		T:         q.T,
+		Alpha:     q.Alpha,
+		MinLength: q.MinLength,
+		Lo:        q.Lo,
+		Hi:        q.Hi,
+		Limit:     q.Limit,
+	}, nil
+}
+
+// Result is the JSON encoding of one scored substring.
+type Result struct {
+	Start  int     `json:"start"`
+	End    int     `json:"end"`
+	Length int     `json:"length"`
+	X2     float64 `json:"x2"`
+	PValue float64 `json:"p_value"`
+	// Text is the decoded substring, included on request (and truncated to
+	// snippetCap characters).
+	Text string `json:"text,omitempty"`
+}
+
+// snippetCap bounds the decoded text echoed per result.
+const snippetCap = 200
+
+// Stats is the JSON encoding of the exact work counters.
+type Stats struct {
+	Evaluated int64 `json:"evaluated"`
+	Skipped   int64 `json:"skipped"`
+	Starts    int64 `json:"starts"`
+}
+
+// QueryResult is the wire form of one query's answer.
+type QueryResult struct {
+	Results []Result `json:"results"`
+	Stats   Stats    `json:"stats"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// FromResult converts a library result; text is the optional decoded
+// substring (pass "" to omit), truncated to snippetCap characters on a
+// rune boundary so multi-byte alphabets never yield invalid UTF-8.
+func FromResult(r sigsub.Result, text string) Result {
+	return Result{Start: r.Start, End: r.End, Length: r.Length, X2: r.X2, PValue: r.PValue, Text: truncateRunes(text, snippetCap)}
+}
+
+// truncateRunes cuts s to at most max runes without splitting a rune.
+func truncateRunes(s string, max int) string {
+	if len(s) <= max {
+		return s // ≤ max bytes implies ≤ max runes
+	}
+	n := 0
+	for i := range s {
+		if n == max {
+			return s[:i]
+		}
+		n++
+	}
+	return s
+}
+
+// FromStats converts library stats.
+func FromStats(st sigsub.Stats) Stats {
+	return Stats{Evaluated: st.Evaluated, Skipped: st.Skipped, Starts: st.Starts}
+}
+
+// ModelSpec selects the null model of a corpus: explicit probabilities, a
+// maximum-likelihood fit of the corpus itself, or (the zero value) the
+// uniform model over the corpus alphabet.
+type ModelSpec struct {
+	Probs []float64 `json:"probs,omitempty"`
+	MLE   bool      `json:"mle,omitempty"`
+}
+
+// --- Corpus cache ---
+
+// Corpus is a cached, query-ready text: the codec mapping characters to
+// symbols, the null model, and the prefix-counted scanner. All fields are
+// read-only after construction.
+type Corpus struct {
+	Name    string
+	Codec   *sigsub.TextCodec
+	Model   *sigsub.Model
+	Scanner *sigsub.Scanner
+	symbols []byte
+}
+
+// Info summarizes a corpus for listings and responses.
+type Info struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	Model string `json:"model"`
+}
+
+// Info returns the corpus summary.
+func (c *Corpus) Info() Info {
+	return Info{Name: c.Name, N: c.Scanner.Len(), K: c.Model.K(), Model: c.Model.String()}
+}
+
+// Snippet decodes the corpus characters of [start, end), for result
+// echoing.
+func (c *Corpus) Snippet(start, end int) string {
+	if start < 0 || end > len(c.symbols) || start >= end {
+		return ""
+	}
+	if end-start > snippetCap {
+		end = start + snippetCap
+	}
+	text, err := c.Codec.Decode(c.symbols[start:end])
+	if err != nil {
+		return ""
+	}
+	return text
+}
+
+// BuildCorpus encodes text (alphabet = its distinct characters in sorted
+// order), resolves the model spec against that alphabet, and prefix-counts
+// a scanner.
+func BuildCorpus(name, text string, spec ModelSpec) (*Corpus, error) {
+	if text == "" {
+		return nil, badRequest("empty corpus text")
+	}
+	codec, err := sigsub.NewTextCodecSorted(text)
+	if err != nil {
+		return nil, badRequest("corpus text: %v", err)
+	}
+	symbols, err := codec.Encode(text)
+	if err != nil {
+		return nil, badRequest("corpus text: %v", err)
+	}
+	var model *sigsub.Model
+	switch {
+	case len(spec.Probs) > 0:
+		if len(spec.Probs) != codec.K() {
+			return nil, badRequest("model has %d probabilities but the corpus uses %d distinct characters", len(spec.Probs), codec.K())
+		}
+		model, err = sigsub.NewModel(spec.Probs)
+	case spec.MLE:
+		model, err = sigsub.ModelFromSample(symbols, codec.K())
+	default:
+		model, err = codec.UniformModel()
+	}
+	if err != nil {
+		return nil, badRequest("model: %v", err)
+	}
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		return nil, badRequest("scanner: %v", err)
+	}
+	return &Corpus{Name: name, Codec: codec, Model: model, Scanner: sc, symbols: symbols}, nil
+}
+
+// Cache is a bounded LRU map of named corpora. All methods are safe for
+// concurrent use; the corpora themselves are immutable, so a Get result
+// stays valid (and scannable) even after eviction.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*Corpus
+	order []string // least recently used first
+}
+
+// NewCache builds a cache holding at most max corpora (max < 1 means 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, m: make(map[string]*Corpus)}
+}
+
+// touch moves name to the most-recently-used tail. Callers hold mu.
+func (c *Cache) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
+			return
+		}
+	}
+	c.order = append(c.order, name)
+}
+
+// Put stores the corpus under its name, evicting the least recently used
+// entry when full. It returns the evicted name, if any.
+func (c *Cache) Put(corpus *Corpus) (evicted string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[corpus.Name]; !ok && len(c.m) >= c.max {
+		evicted = c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, evicted)
+	}
+	c.m[corpus.Name] = corpus
+	c.touch(corpus.Name)
+	return evicted
+}
+
+// Get fetches a corpus and marks it recently used.
+func (c *Cache) Get(name string) (*Corpus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	corpus, ok := c.m[name]
+	if ok {
+		c.touch(name)
+	}
+	return corpus, ok
+}
+
+// Delete removes a corpus, reporting whether it was present.
+func (c *Cache) Delete(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[name]; !ok {
+		return false
+	}
+	delete(c.m, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// List returns the cached corpora, least recently used first.
+func (c *Cache) List() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.m[name].Info())
+	}
+	return out
+}
+
+// Len returns the number of cached corpora.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// --- Execution ---
+
+// BatchRequest asks for a batch of queries against one corpus: either a
+// cached one (Corpus) or an inline text (Text + Model) scanned for this
+// request only.
+type BatchRequest struct {
+	Corpus      string    `json:"corpus,omitempty"`
+	Text        string    `json:"text,omitempty"`
+	Model       ModelSpec `json:"model,omitempty"`
+	Queries     []Query   `json:"queries"`
+	Workers     int       `json:"workers,omitempty"`
+	WarmStart   bool      `json:"warm_start,omitempty"`
+	IncludeText bool      `json:"include_text,omitempty"`
+}
+
+// SingleRequest asks for one query; it is sugar for a one-element batch.
+type SingleRequest struct {
+	Corpus      string    `json:"corpus,omitempty"`
+	Text        string    `json:"text,omitempty"`
+	Model       ModelSpec `json:"model,omitempty"`
+	Query       Query     `json:"query"`
+	Workers     int       `json:"workers,omitempty"`
+	WarmStart   bool      `json:"warm_start,omitempty"`
+	IncludeText bool      `json:"include_text,omitempty"`
+}
+
+// Batch lowers the single request to its batch form.
+func (r SingleRequest) Batch() BatchRequest {
+	return BatchRequest{
+		Corpus:      r.Corpus,
+		Text:        r.Text,
+		Model:       r.Model,
+		Queries:     []Query{r.Query},
+		Workers:     r.Workers,
+		WarmStart:   r.WarmStart,
+		IncludeText: r.IncludeText,
+	}
+}
+
+// BatchResponse carries the per-query answers plus the corpus identity they
+// were computed against.
+type BatchResponse struct {
+	Corpus  Info          `json:"corpus"`
+	Results []QueryResult `json:"results"`
+}
+
+// Executor validates and runs requests against a cache. The limits guard a
+// shared daemon against oversized requests; zero values mean defaults.
+type Executor struct {
+	Cache *Cache
+	// MaxQueries bounds the queries per batch (default 64).
+	MaxQueries int
+	// MaxWorkers bounds the per-request engine parallelism (default 16).
+	MaxWorkers int
+	// MaxTextLen bounds inline corpus text bytes (default 1 << 20).
+	MaxTextLen int
+}
+
+func (e *Executor) maxQueries() int {
+	if e.MaxQueries > 0 {
+		return e.MaxQueries
+	}
+	return 64
+}
+
+func (e *Executor) maxWorkers() int {
+	if e.MaxWorkers > 0 {
+		return e.MaxWorkers
+	}
+	return 16
+}
+
+func (e *Executor) maxTextLen() int {
+	if e.MaxTextLen > 0 {
+		return e.MaxTextLen
+	}
+	return 1 << 20
+}
+
+// TextLimit is the effective corpus/inline text byte limit (the configured
+// MaxTextLen or its default), for transports that enforce it up front.
+func (e *Executor) TextLimit() int { return e.maxTextLen() }
+
+// BodyLimit is the request-body byte budget a transport should allow for a
+// request carrying TextLimit text: JSON escaping inflates a text byte to at
+// most 6 wire bytes (\u00XX), plus slack for the rest of the envelope.
+func (e *Executor) BodyLimit() int64 { return int64(e.maxTextLen())*6 + 1<<16 }
+
+// resolve finds or builds the corpus a request addresses.
+func (e *Executor) resolve(corpusName, text string, spec ModelSpec) (*Corpus, error) {
+	switch {
+	case corpusName != "" && text != "":
+		return nil, badRequest("request names corpus %q and carries inline text; use one", corpusName)
+	case corpusName != "":
+		if len(spec.Probs) > 0 || spec.MLE {
+			// Silently dropping the spec would hand back answers under a
+			// different null model than the client asked for.
+			return nil, badRequest("request names corpus %q and a model spec; a cached corpus's model is fixed at upload time", corpusName)
+		}
+		corpus, ok := e.Cache.Get(corpusName)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, corpusName)
+		}
+		return corpus, nil
+	case text != "":
+		if len(text) > e.maxTextLen() {
+			return nil, badRequest("inline text of %d bytes exceeds the %d byte limit; upload it as a corpus", len(text), e.maxTextLen())
+		}
+		return BuildCorpus("", text, spec)
+	default:
+		return nil, badRequest("request must name a corpus or carry inline text")
+	}
+}
+
+// Execute runs a batch request: every query is validated and lowered to the
+// library's Query plan, and the whole batch executes over the corpus
+// scanner's shared prefix counts in a single engine pass
+// (sigsub.Scanner.RunBatch). Per-query failures surface in their result
+// slot; only request-level problems return an error.
+func (e *Executor) Execute(req BatchRequest) (BatchResponse, error) {
+	if len(req.Queries) == 0 {
+		return BatchResponse{}, badRequest("request carries no queries")
+	}
+	if len(req.Queries) > e.maxQueries() {
+		return BatchResponse{}, badRequest("%d queries exceed the %d per-batch limit", len(req.Queries), e.maxQueries())
+	}
+	if req.Workers < 0 || req.Workers > e.maxWorkers() {
+		return BatchResponse{}, badRequest("workers must lie in [0, %d], got %d", e.maxWorkers(), req.Workers)
+	}
+	corpus, err := e.resolve(req.Corpus, req.Text, req.Model)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+
+	plans := make([]sigsub.Query, len(req.Queries))
+	planErrs := make([]error, len(req.Queries))
+	for i, q := range req.Queries {
+		plans[i], planErrs[i] = q.Plan()
+		if planErrs[i] != nil {
+			// Keep the slot; a guaranteed-invalid kind keeps indices aligned
+			// and the clearer wire-level error wins below.
+			plans[i] = sigsub.Query{Kind: sigsub.QueryKind(-1)}
+		}
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	opts := []sigsub.Option{sigsub.WithWorkers(workers), sigsub.WithWarmStart(req.WarmStart)}
+	answers, err := corpus.Scanner.RunBatch(plans, opts...)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+
+	resp := BatchResponse{Corpus: corpus.Info(), Results: make([]QueryResult, len(answers))}
+	for i, a := range answers {
+		qr := QueryResult{Stats: FromStats(a.Stats), Results: make([]Result, 0, len(a.Results))}
+		switch {
+		case planErrs[i] != nil:
+			qr.Error = planErrs[i].Error()
+		case a.Err != nil:
+			qr.Error = a.Err.Error()
+		}
+		if planErrs[i] == nil {
+			for _, r := range a.Results {
+				text := ""
+				if req.IncludeText {
+					text = corpus.Snippet(r.Start, r.End)
+				}
+				qr.Results = append(qr.Results, FromResult(r, text))
+			}
+		}
+		resp.Results[i] = qr
+	}
+	return resp, nil
+}

@@ -145,6 +145,76 @@ func TestOpenAlertReported(t *testing.T) {
 	}
 }
 
+// TestBackToBackEpisodes drives the monitor through two separated bursts
+// with a deterministic symbol sequence and pins the exact hysteresis
+// boundaries: each episode opens at the event that pushes X² above the
+// threshold, closes at the first event back at or below it, and the two
+// bursts yield two distinct episodes rather than one merged or flapping
+// set.
+//
+// With window 4 over a uniform binary alphabet, a full window's statistic
+// is (y0² + y1²)/2 − 4: 4 for counts (4,0), 1 for (3,1), 0 for (2,2); the
+// partial windows of the first three events score at most 3. A threshold of
+// 3 therefore alerts exactly on all-same windows.
+func TestBackToBackEpisodes(t *testing.T) {
+	mo := newMonitor(t, 2, 4, 3)
+	//            idx: 0  1  2  3  4  5  6  7  8  9
+	for _, sym := range []byte{0, 0, 0, 0, 1, 0, 0, 0, 0, 1} {
+		if _, err := mo.Observe(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts := mo.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("want 2 back-to-back episodes, got %+v", alerts)
+	}
+	want := []Alert{
+		{Start: 3, End: 4, PeakX2: 4, PeakAt: 3},
+		{Start: 8, End: 9, PeakX2: 4, PeakAt: 8},
+	}
+	for i, a := range alerts {
+		if a != want[i] {
+			t.Errorf("episode %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+// TestOpenEpisodeTransitions walks one episode through its life cycle:
+// open with End = -1 and a growing peak while the statistic stays above the
+// threshold, then closed with the exact end index — and Alerts() snapshots
+// must not mutate the monitor.
+func TestOpenEpisodeTransitions(t *testing.T) {
+	mo := newMonitor(t, 2, 4, 3)
+	if err := mo.ObserveAll([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	open := mo.Alerts()
+	if len(open) != 1 || open[0].End != -1 || open[0].Start != 3 || open[0].PeakAt != 3 {
+		t.Fatalf("open episode: %+v", open)
+	}
+	// A second snapshot must agree (Alerts copies, never commits).
+	if again := mo.Alerts(); len(again) != 1 || again[0] != open[0] {
+		t.Fatalf("snapshot drifted: %+v vs %+v", again, open)
+	}
+	// Another zero keeps the episode open; the peak index stays at the
+	// first peak-attaining event on ties.
+	if _, err := mo.Observe(0); err != nil {
+		t.Fatal(err)
+	}
+	still := mo.Alerts()
+	if len(still) != 1 || still[0].End != -1 || still[0].PeakAt != 3 || still[0].PeakX2 != 4 {
+		t.Fatalf("episode after another extreme event: %+v", still)
+	}
+	// A balancing symbol closes it at the closing event's index.
+	if _, err := mo.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	closed := mo.Alerts()
+	if len(closed) != 1 || closed[0] != (Alert{Start: 3, End: 5, PeakX2: 4, PeakAt: 3}) {
+		t.Fatalf("closed episode: %+v", closed)
+	}
+}
+
 func TestObserveAllAndReset(t *testing.T) {
 	mo := newMonitor(t, 2, 10, 5)
 	if err := mo.ObserveAll([]byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {

@@ -247,7 +247,10 @@ func buildOptions(opts []Option) options {
 
 // Scanner binds a symbol string to a model for repeated queries. Building a
 // Scanner costs O(n·k) time and memory for the prefix count arrays; every
-// scan then reuses them. A Scanner is not safe for concurrent use.
+// scan then reuses them. After construction a Scanner is read-only, so any
+// number of scans — including batches — may run on it concurrently; the
+// mssd daemon serves simultaneous requests from one cached Scanner this
+// way.
 type Scanner struct {
 	sc *core.Scanner
 	k  int
@@ -305,8 +308,228 @@ func record(o options, st core.Stats) {
 	}
 }
 
+// toStats converts core work counters to the public Stats value.
+func toStats(st core.Stats) Stats {
+	return Stats{Evaluated: st.Evaluated, Skipped: st.Skipped, Starts: st.Starts}
+}
+
+// QueryKind selects the problem variant of a Query.
+type QueryKind int
+
+const (
+	// QueryMSS asks for the single most significant substring (Problem 1;
+	// combined with MinLength it is Problem 4, with a range the segment
+	// scan).
+	QueryMSS QueryKind = iota
+	// QueryTopT asks for the T largest-X² substrings (Problem 2).
+	QueryTopT
+	// QueryThreshold asks for every substring with X² > Alpha (Problem 3).
+	QueryThreshold
+	// QueryDisjoint asks for up to T pairwise non-overlapping substrings in
+	// decreasing X² order (the greedy peel behind DisjointTopT).
+	QueryDisjoint
+)
+
+// String names the kind as accepted by ParseQueryKind.
+func (k QueryKind) String() string {
+	switch k {
+	case QueryMSS:
+		return "mss"
+	case QueryTopT:
+		return "topt"
+	case QueryThreshold:
+		return "threshold"
+	case QueryDisjoint:
+		return "disjoint"
+	default:
+		return fmt.Sprintf("querykind(%d)", int(k))
+	}
+}
+
+// ParseQueryKind resolves a kind name as printed by String.
+func ParseQueryKind(name string) (QueryKind, error) {
+	for _, k := range []QueryKind{QueryMSS, QueryTopT, QueryThreshold, QueryDisjoint} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sigsub: unknown query kind %q", name)
+}
+
+// Query is the unified plan every problem variant lowers to: one kind plus
+// the knobs that compose with it. The legacy methods (MSS, TopT, Threshold,
+// MSSMinLength, …) are thin constructors over Run with the matching Query;
+// building Queries directly unlocks the combinations the methods do not
+// enumerate (top-t within a range, threshold above a length floor, …) and
+// batch execution via RunBatch.
+type Query struct {
+	// Kind selects the problem variant.
+	Kind QueryKind
+	// T is the result capacity for QueryTopT and QueryDisjoint.
+	T int
+	// Alpha is the X² cutoff (strictly above) for QueryThreshold.
+	Alpha float64
+	// MinLength restricts candidates to substrings of length ≥ MinLength
+	// (0 and 1 are equivalent: no floor). Problem 4's "strictly longer
+	// than γ" is MinLength: γ+1, which is what MSSMinLength passes.
+	MinLength int
+	// Lo, Hi restrict candidates to the segment [Lo, Hi) of the scanned
+	// string. The zero value Hi == 0 means Len() — the whole string — so
+	// the zero Query scans everything; out-of-range bounds are clamped and
+	// a range smaller than MinLength yields zero results, not an error.
+	Lo, Hi int
+	// Limit caps the collected results of a QueryThreshold (0 means the
+	// scan option's limit, default 1,000,000; negative means unlimited).
+	// Exceeding it returns the first Limit results plus an error.
+	Limit int
+}
+
+// MSSQuery plans Problem 1: the most significant substring.
+func MSSQuery() Query { return Query{Kind: QueryMSS} }
+
+// TopTQuery plans Problem 2: the t most significant substrings.
+func TopTQuery(t int) Query { return Query{Kind: QueryTopT, T: t} }
+
+// ThresholdQuery plans Problem 3: every substring with X² > alpha.
+func ThresholdQuery(alpha float64) Query { return Query{Kind: QueryThreshold, Alpha: alpha} }
+
+// DisjointQuery plans the greedy disjoint top-t peel.
+func DisjointQuery(t int) Query { return Query{Kind: QueryDisjoint, T: t} }
+
+// WithMinLength returns the query restricted to substrings of length ≥ n.
+func (q Query) WithMinLength(n int) Query { q.MinLength = n; return q }
+
+// WithRange returns the query restricted to the segment [lo, hi).
+func (q Query) WithRange(lo, hi int) Query { q.Lo, q.Hi = lo, hi; return q }
+
+// WithResultLimit returns the query with its threshold result cap set.
+func (q Query) WithResultLimit(n int) Query { q.Limit = n; return q }
+
+// QueryResult answers one Query: the scored substrings (one for QueryMSS,
+// descending X² for QueryTopT/QueryDisjoint, scan order for
+// QueryThreshold), the exact work counters of the scan that served it, and
+// the per-query error — in a batch, a failed query occupies its slot
+// without poisoning its neighbours.
+type QueryResult struct {
+	Results []Result
+	Stats   Stats
+	Err     error
+}
+
+// lower translates a public Query to its core plan, resolving the Hi == 0
+// sentinel and the option-level threshold limit.
+func (s *Scanner) lower(q Query, o options) (core.Query, error) {
+	var kind core.Kind
+	switch q.Kind {
+	case QueryMSS:
+		kind = core.KindMSS
+	case QueryTopT:
+		kind = core.KindTopT
+	case QueryThreshold:
+		kind = core.KindThreshold
+	case QueryDisjoint:
+		kind = core.KindDisjoint
+	default:
+		return core.Query{}, fmt.Errorf("sigsub: unknown query kind %v", q.Kind)
+	}
+	hi := q.Hi
+	if hi == 0 {
+		hi = s.sc.Len()
+	}
+	limit := q.Limit
+	if q.Kind == QueryThreshold && limit == 0 {
+		limit = o.limit
+	}
+	return core.Query{
+		Kind:   kind,
+		T:      q.T,
+		Alpha:  q.Alpha,
+		MinLen: q.MinLength,
+		Lo:     q.Lo,
+		Hi:     hi,
+		Limit:  limit,
+	}, nil
+}
+
+// queryResult converts a core result to the public shape.
+func (s *Scanner) queryResult(r core.QueryResult) QueryResult {
+	return QueryResult{Results: s.results(r.Results), Stats: toStats(r.Stats), Err: r.Err}
+}
+
+// Run executes one Query on the exact engine. Validation problems (unknown
+// kind, t < 1) are returned as the error; scan-level problems that still
+// produce partial output (a threshold limit overflow) are reported in
+// QueryResult.Err alongside the partial Results. Options configure the
+// engine exactly as they do for the legacy methods.
+func (s *Scanner) Run(q Query, opts ...Option) (QueryResult, error) {
+	if s.sc.Len() == 0 {
+		return QueryResult{}, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	cq, err := s.lower(q, o)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	r := s.sc.RunQuery(o.engine(), cq)
+	if r.Err != nil && len(r.Results) == 0 {
+		return QueryResult{}, r.Err
+	}
+	record(o, r.Stats)
+	return s.queryResult(r), nil
+}
+
+// RunBatch executes a batch of Queries in as few engine passes as possible:
+// every MSS, top-t, and threshold query shares ONE chain-cover traversal of
+// the Scanner's prefix counts — the count vector and X² of each evaluated
+// window are computed once and served to every query that needs them, while
+// each query keeps its own skip budget, sink, and exact Stats (Evaluated +
+// Skipped still accounts for the query's full candidate set). Disjoint
+// queries follow as individual passes over the same shared counts. The
+// returned slice is parallel to qs; per-query failures are reported in the
+// slot's Err. WithStats records the summed counters of the whole batch;
+// WithWorkers parallelizes the shared traversal itself.
+//
+// Result equivalence with the individual methods: MSS-kind and
+// threshold-kind queries return bit-identical results; top-t queries return
+// the identical X² value multiset (intervals exactly tied at the t-th-best
+// value may resolve differently, as the problem statement permits).
+func (s *Scanner) RunBatch(qs []Query, opts ...Option) ([]QueryResult, error) {
+	if s.sc.Len() == 0 {
+		return nil, errors.New("sigsub: cannot scan an empty string")
+	}
+	o := buildOptions(opts)
+	cqs := make([]core.Query, len(qs))
+	lowerErrs := make([]error, len(qs))
+	for i, q := range qs {
+		cq, err := s.lower(q, o)
+		if err != nil {
+			// Mark the slot invalid; core rejects the sentinel kind again,
+			// but the clearer public error wins below.
+			lowerErrs[i] = err
+			cq = core.Query{Kind: core.Kind(-1)}
+		}
+		cqs[i] = cq
+	}
+	rs := s.sc.RunBatch(o.engine(), cqs)
+	out := make([]QueryResult, len(rs))
+	var sum core.Stats
+	for i, r := range rs {
+		out[i] = s.queryResult(r)
+		if lowerErrs[i] != nil {
+			out[i].Err = lowerErrs[i]
+		}
+		sum.Evaluated += r.Stats.Evaluated
+		sum.Skipped += r.Stats.Skipped
+		sum.Starts += r.Stats.Starts
+	}
+	record(o, sum)
+	return out, nil
+}
+
 // MSS solves Problem 1: the substring with the maximum chi-square value.
-// An empty string yields an error.
+// An empty string yields an error. With the default AlgoExact the call is a
+// thin constructor over Run(MSSQuery()); the baseline and heuristic
+// algorithms keep their dedicated scanners.
 func (s *Scanner) MSS(opts ...Option) (Result, error) {
 	if s.sc.Len() == 0 {
 		return Result{}, errors.New("sigsub: cannot scan an empty string")
@@ -316,7 +539,11 @@ func (s *Scanner) MSS(opts ...Option) (Result, error) {
 	var st core.Stats
 	switch o.algo {
 	case AlgoExact:
-		best, st = s.sc.MSSWith(o.engine())
+		qr, err := s.Run(MSSQuery(), opts...)
+		if err != nil {
+			return Result{}, err
+		}
+		return firstOr(qr), nil
 	case AlgoTrivial:
 		best, st = s.sc.Trivial()
 	case AlgoTrivialIncremental:
@@ -334,6 +561,16 @@ func (s *Scanner) MSS(opts ...Option) (Result, error) {
 	return s.result(best), nil
 }
 
+// firstOr unwraps an MSS-style QueryResult: its single result, or the zero
+// Result (with the conservative p-value 1) when the candidate set was
+// empty.
+func firstOr(qr QueryResult) Result {
+	if len(qr.Results) > 0 {
+		return qr.Results[0]
+	}
+	return Result{PValue: 1}
+}
+
 // TopT solves Problem 2: the t substrings with the largest chi-square
 // values, in descending order. Fewer than t results are returned only when
 // the string has fewer than t substrings.
@@ -345,19 +582,19 @@ func (s *Scanner) TopT(t int, opts ...Option) ([]Result, error) {
 	if o.algo != AlgoExact && o.algo != AlgoTrivial {
 		return nil, fmt.Errorf("sigsub: top-t supports the exact and trivial algorithms, not %v", o.algo)
 	}
-	var rs []core.Scored
-	var st core.Stats
-	var err error
 	if o.algo == AlgoTrivial {
-		rs, st, err = s.sc.TrivialTopT(t)
-	} else {
-		rs, st, err = s.sc.TopTWith(o.engine(), t)
+		rs, st, err := s.sc.TrivialTopT(t)
+		if err != nil {
+			return nil, err
+		}
+		record(o, st)
+		return s.results(rs), nil
 	}
+	qr, err := s.Run(TopTQuery(t), opts...)
 	if err != nil {
 		return nil, err
 	}
-	record(o, st)
-	return s.results(rs), nil
+	return qr.Results, nil
 }
 
 // DisjointTopT returns up to t pairwise non-overlapping substrings in
@@ -368,13 +605,11 @@ func (s *Scanner) DisjointTopT(t, minLen int, opts ...Option) ([]Result, error) 
 	if s.sc.Len() == 0 {
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
-	o := buildOptions(opts)
-	rs, st, err := s.sc.DisjointTopTWith(o.engine(), t, minLen)
+	qr, err := s.Run(DisjointQuery(t).WithMinLength(minLen), opts...)
 	if err != nil {
 		return nil, err
 	}
-	record(o, st)
-	return s.results(rs), nil
+	return qr.Results, nil
 }
 
 // Threshold solves Problem 3: every substring with X² strictly above alpha,
@@ -383,13 +618,14 @@ func (s *Scanner) Threshold(alpha float64, opts ...Option) ([]Result, error) {
 	if s.sc.Len() == 0 {
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
-	o := buildOptions(opts)
-	rs, st, err := s.sc.ThresholdCollectWith(o.engine(), alpha, o.limit)
+	qr, err := s.Run(ThresholdQuery(alpha), opts...)
 	if err != nil {
 		return nil, err
 	}
-	record(o, st)
-	return s.results(rs), nil
+	if qr.Err != nil {
+		return nil, qr.Err
+	}
+	return qr.Results, nil
 }
 
 // ThresholdFunc streams every substring with X² > alpha to visit without
@@ -404,9 +640,15 @@ func (s *Scanner) ThresholdFunc(alpha float64, visit func(Result), opts ...Optio
 		return errors.New("sigsub: cannot scan an empty string")
 	}
 	o := buildOptions(opts)
-	st := s.sc.ThresholdWith(o.engine(), alpha, func(r core.Scored) { visit(s.result(r)) })
-	record(o, st)
-	return nil
+	cq, err := s.lower(ThresholdQuery(alpha), o)
+	if err != nil {
+		return err
+	}
+	cq.Limit = 0 // streaming delivery: the collect limit does not apply
+	cq.Visit = func(r core.Scored) { visit(s.result(r)) }
+	r := s.sc.RunQuery(o.engine(), cq)
+	record(o, r.Stats)
+	return r.Err
 }
 
 // TopTMinLength combines Problems 2 and 4: the t largest-X² substrings
@@ -415,13 +657,14 @@ func (s *Scanner) TopTMinLength(t, gamma int, opts ...Option) ([]Result, error) 
 	if s.sc.Len() == 0 {
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
-	o := buildOptions(opts)
-	rs, st, err := s.sc.TopTMinLengthWith(o.engine(), t, gamma)
+	if gamma < 0 {
+		gamma = 0
+	}
+	qr, err := s.Run(TopTQuery(t).WithMinLength(gamma+1), opts...)
 	if err != nil {
 		return nil, err
 	}
-	record(o, st)
-	return s.results(rs), nil
+	return qr.Results, nil
 }
 
 // ThresholdMinLength combines Problems 3 and 4: every substring longer than
@@ -430,13 +673,18 @@ func (s *Scanner) ThresholdMinLength(alpha float64, gamma int, opts ...Option) (
 	if s.sc.Len() == 0 {
 		return nil, errors.New("sigsub: cannot scan an empty string")
 	}
-	o := buildOptions(opts)
-	rs, st, err := s.sc.ThresholdMinLengthCollectWith(o.engine(), alpha, gamma, o.limit)
-	record(o, st)
-	if err != nil {
-		return s.results(rs), fmt.Errorf("sigsub: more than %d substrings exceed threshold %g", o.limit, alpha)
+	if gamma < 0 {
+		gamma = 0
 	}
-	return s.results(rs), nil
+	o := buildOptions(opts)
+	qr, err := s.Run(ThresholdQuery(alpha).WithMinLength(gamma+1), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if qr.Err != nil {
+		return qr.Results, fmt.Errorf("sigsub: more than %d substrings exceed threshold %g", o.limit, alpha)
+	}
+	return qr.Results, nil
 }
 
 // MSSRange finds the maximum-X² substring confined to [lo, hi) with length
@@ -446,10 +694,18 @@ func (s *Scanner) MSSRange(lo, hi, minLen int, opts ...Option) (Result, error) {
 	if s.sc.Len() == 0 {
 		return Result{}, errors.New("sigsub: cannot scan an empty string")
 	}
-	o := buildOptions(opts)
-	best, st := s.sc.MSSRangeWith(o.engine(), lo, hi, minLen)
-	record(o, st)
-	return s.result(best), nil
+	if hi <= 0 {
+		// An explicitly empty (or inverted) range has no candidates; handle
+		// it here because a Query's Hi == 0 means "to the end".
+		o := buildOptions(opts)
+		record(o, core.Stats{})
+		return Result{PValue: 1}, nil
+	}
+	qr, err := s.Run(MSSQuery().WithRange(lo, hi).WithMinLength(minLen), opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return firstOr(qr), nil
 }
 
 // MSSMinLength solves Problem 4: the maximum-X² substring among substrings
@@ -461,10 +717,14 @@ func (s *Scanner) MSSMinLength(gamma int, opts ...Option) (Result, error) {
 	if gamma >= s.sc.Len() {
 		return Result{}, fmt.Errorf("sigsub: no substring of length > %d in a string of length %d", gamma, s.sc.Len())
 	}
-	o := buildOptions(opts)
-	best, st := s.sc.MSSMinLengthWith(o.engine(), gamma)
-	record(o, st)
-	return s.result(best), nil
+	if gamma < 0 {
+		gamma = 0
+	}
+	qr, err := s.Run(MSSQuery().WithMinLength(gamma+1), opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return firstOr(qr), nil
 }
 
 // FindMSS is the one-shot form of Scanner.MSS.
