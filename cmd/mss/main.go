@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 1, "parallel scan workers (0 = all CPUs)")
 		warm    = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
 		format  = fs.String("format", "text", "output format: text | json")
+		layout  = fs.String("layout", "checkpointed", "count index layout: checkpointed | interleaved | prefix (identical results; memory/speed tradeoff)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,7 +112,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	sc, err := sigsub.NewScanner(symbols, model)
+	lay, err := sigsub.ParseCountsLayout(*layout)
+	if err != nil {
+		return err
+	}
+	sc, err := sigsub.NewScanner(symbols, model, sigsub.WithCountsLayout(lay))
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,18 +42,20 @@ func main() {
 	fs := flag.NewFlagSet("mssd", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8765", "listen address")
-		maxCorpora = fs.Int("max-corpora", 64, "corpus cache capacity (LRU eviction)")
+		cacheBytes = fs.Int64("cache-bytes", service.DefaultCacheBytes, "corpus cache byte budget (LRU eviction; counts index + symbols)")
 		maxQueries = fs.Int("max-queries", 64, "maximum queries per batch request")
 		maxWorkers = fs.Int("max-workers", 16, "maximum engine workers a request may ask for")
 		maxText    = fs.Int("max-text", 1<<20, "maximum corpus/inline text bytes")
+		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling; keep off in production)")
 	)
 	fs.Parse(os.Args[1:])
 
 	srv := newServer(serverConfig{
-		maxCorpora: *maxCorpora,
+		cacheBytes: *cacheBytes,
 		maxQueries: *maxQueries,
 		maxWorkers: *maxWorkers,
 		maxText:    *maxText,
+		pprof:      *pprofOn,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -78,10 +81,11 @@ func main() {
 
 // serverConfig carries the daemon's limits.
 type serverConfig struct {
-	maxCorpora int
+	cacheBytes int64
 	maxQueries int
 	maxWorkers int
 	maxText    int
+	pprof      bool
 }
 
 // server routes HTTP requests onto the service executor.
@@ -95,11 +99,19 @@ func newServer(cfg serverConfig) *server {
 	s := &server{
 		mux: http.NewServeMux(),
 		exec: &service.Executor{
-			Cache:      service.NewCache(cfg.maxCorpora),
+			Cache:      service.NewCache(cfg.cacheBytes),
 			MaxQueries: cfg.maxQueries,
 			MaxWorkers: cfg.maxWorkers,
 			MaxTextLen: cfg.maxText,
 		},
+	}
+	if cfg.pprof {
+		// Opt-in profiling endpoints; see the README's profiling section.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/corpora", s.handleListCorpora)
@@ -150,7 +162,12 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "corpora": s.exec.Cache.Len()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"corpora":     s.exec.Cache.Len(),
+		"cache_bytes": s.exec.Cache.UsedBytes(),
+		"cache_max":   s.exec.Cache.MaxBytes(),
+	})
 }
 
 func (s *server) handleListCorpora(w http.ResponseWriter, _ *http.Request) {
@@ -185,7 +202,7 @@ func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	evicted := s.exec.Cache.Put(corpus)
 	resp := map[string]any{"corpus": corpus.Info()}
-	if evicted != "" {
+	if len(evicted) > 0 {
 		resp["evicted"] = evicted
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -17,7 +17,7 @@ const demoText = "01011010111111111110010101"
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(serverConfig{maxCorpora: 4, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}))
+	ts := httptest.NewServer(newServer(serverConfig{cacheBytes: 1 << 20, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chisq"
 	"repro/internal/topheap"
 )
 
@@ -259,7 +260,8 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			vec := make([]int, sc.k)
+			cur := sc.newRoll()
+			defer sc.putRoll(cur)
 			nextPos := make([]int, ng)
 			lastConsumed := make([]int, ng)
 			best := make([]Scored, ng)
@@ -267,17 +269,27 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 				best[gi] = Scored{X2: -1}
 			}
 			stats := make([]Stats, ng)
-			stored := make([]int, ns) // per-worker threshold buffering caps
+			stored := make([]int, ns)    // per-worker threshold buffering caps
+			hits := make([][]Scored, ns) // per-chunk sink buffers, reset each chunk
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(chunks) {
 					break
 				}
-				hits := make([][]Scored, ns)
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
-					sc.batchRow(i, groups, allSinks, nextPos, lastConsumed, vec, best, stats, hits, stored)
+					sc.batchRow(cur, i, groups, allSinks, nextPos, lastConsumed, best, stats, hits, stored)
 				}
-				found[c] = hits
+				for _, h := range hits {
+					if h != nil {
+						// Hand the populated buffer to the replay structure
+						// and start a fresh one; hitless chunks (the common
+						// case away from the anomaly) allocate nothing and
+						// leave found[c] nil, which the replay skips.
+						found[c] = hits
+						hits = make([][]Scored, ns)
+						break
+					}
+				}
 			}
 			bests[wid] = best
 			statss[wid] = stats
@@ -324,19 +336,31 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 			for _, si := range g.sinks {
 				m := allSinks[si]
 				res := QueryResult{Stats: st}
-				overflow := false
+				// Size the result buffer exactly before copying: append
+				// growth would roughly double the allocation for the large
+				// result sets low thresholds produce.
+				total := 0
+				for _, hits := range found {
+					if hits != nil {
+						total += len(hits[si])
+					}
+				}
+				overflow := m.limit > 0 && total > m.limit
+				if overflow {
+					total = m.limit
+				}
+				res.Results = make([]Scored, 0, total)
 				for _, hits := range found {
 					if hits == nil {
 						continue
 					}
 					for _, r := range hits[si] {
-						if m.limit > 0 && len(res.Results) >= m.limit {
-							overflow = true
+						if len(res.Results) == total {
 							break
 						}
 						res.Results = append(res.Results, r)
 					}
-					if overflow {
+					if len(res.Results) == total {
 						break
 					}
 				}
@@ -356,9 +380,14 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 // evaluated position costs the non-consuming groups one integer compare in
 // the fused consume-and-find-minimum pass, and once a single group remains
 // live in the row — the common tail, since the loosest budget outlives the
-// rest — the traversal degrades to a tight solo loop with no scheduling at
-// all.
-func (sc *Scanner) batchRow(i int, groups []*scanGroup, allSinks []sink, nextPos, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
+// rest — the traversal degrades to the same guarded rolling loop the
+// single-query engine runs.
+//
+// While several groups are live, every evaluation is re-synced to the exact
+// value (cur.Exact) before it is served: a shared evaluation feeds sinks
+// with different boundaries, so the per-boundary guard-band reasoning of
+// the solo loops does not apply.
+func (sc *Scanner) batchRow(cur *chisq.Roll, i int, groups []*scanGroup, allSinks []sink, nextPos, lastConsumed []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
 	j := math.MaxInt
 	live := 0
 	for gi, g := range groups {
@@ -375,22 +404,25 @@ func (sc *Scanner) batchRow(i int, groups []*scanGroup, allSinks []sink, nextPos
 			j = jStart
 		}
 	}
-	for j != math.MaxInt {
+	if j == math.MaxInt {
+		return
+	}
+	cur.Begin(i, j)
+	for {
 		if live == 1 {
 			for gi, p := range nextPos {
 				if p != math.MaxInt {
-					sc.finishRowSolo(groups[gi], gi, i, p, allSinks, lastConsumed, vec, best, stats, hits, stored)
+					sc.finishRowSolo(cur, groups[gi], gi, allSinks, lastConsumed, best, stats, hits, stored)
 					return
 				}
 			}
 			return
 		}
-		sc.pre.Vector(i, j, vec)
-		x2 := sc.kern.Value(vec)
+		x2 := cur.Exact()
 		next := math.MaxInt
 		for gi, p := range nextPos {
 			if p == j {
-				p = sc.consumeAt(groups[gi], gi, i, j, x2, allSinks, lastConsumed, vec, best, stats, hits, stored)
+				p = sc.consumeAt(cur, groups[gi], gi, i, j, x2, true, allSinks, lastConsumed, best, stats, hits, stored)
 				nextPos[gi] = p
 				if p == math.MaxInt {
 					live--
@@ -400,17 +432,44 @@ func (sc *Scanner) batchRow(i int, groups []*scanGroup, allSinks []sink, nextPos
 				next = p
 			}
 		}
+		if next == math.MaxInt {
+			return
+		}
+		cur.Advance(next)
 		j = next
 	}
 }
 
+// groupBoundary is the decision boundary the guard band of a rolled value
+// must clear for the group: the running best for MSS, the mirrored t-th
+// best for top-t, the fixed cutoff for threshold.
+func groupBoundary(g *scanGroup, gi int, best []Scored) float64 {
+	switch g.kind {
+	case KindTopT:
+		return g.heap.budget.load()
+	case KindThreshold:
+		return g.alpha
+	default:
+		return best[gi].X2
+	}
+}
+
 // finishRowSolo drains the row for the single remaining group at full
-// single-query scan speed.
-func (sc *Scanner) finishRowSolo(g *scanGroup, gi, i, j int, allSinks []sink, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
-	for j != math.MaxInt {
-		sc.pre.Vector(i, j, vec)
-		x2 := sc.kern.Value(vec)
-		j = sc.consumeAt(g, gi, i, j, x2, allSinks, lastConsumed, vec, best, stats, hits, stored)
+// single-query scan speed: the guarded rolling loop of the solo engines.
+// The cursor is already positioned at the group's next needed position.
+func (sc *Scanner) finishRowSolo(cur *chisq.Roll, g *scanGroup, gi int, allSinks []sink, lastConsumed []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) {
+	i := cur.Start()
+	for {
+		j := cur.End()
+		x2, exact := 0.0, false
+		if cur.Passes(groupBoundary(g, gi, best)) {
+			x2, exact = cur.Exact(), true
+		}
+		next := sc.consumeAt(cur, g, gi, i, j, x2, exact, allSinks, lastConsumed, best, stats, hits, stored)
+		if next == math.MaxInt {
+			return
+		}
+		cur.Advance(next)
 	}
 }
 
@@ -418,34 +477,42 @@ func (sc *Scanner) finishRowSolo(g *scanGroup, gi, i, j int, allSinks []sink, la
 // evaluation in the shared traversal: account the chain-cover skip since
 // the previous one, feed the sinks, and return the next position the group
 // needs (maxInt when the rest of the row is proven irrelevant to it).
-func (sc *Scanner) consumeAt(g *scanGroup, gi, i, j int, x2 float64, allSinks []sink, lastConsumed []int, vec []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) int {
+//
+// exact reports whether x2 is the canonical value; a rolled (inexact) x2 is
+// guaranteed by the caller's guard check to lie strictly below the group's
+// decision boundary, so sinks only ever publish exact values.
+func (sc *Scanner) consumeAt(cur *chisq.Roll, g *scanGroup, gi, i, j int, x2 float64, exact bool, allSinks []sink, lastConsumed []int, best []Scored, stats []Stats, hits [][]Scored, stored []int) int {
 	stats[gi].Skipped += int64(j - lastConsumed[gi] - 1)
 	stats[gi].Evaluated++
 	lastConsumed[gi] = j
 	d := 0
 	switch g.kind {
 	case KindMSS:
-		if better(x2, i, j, best[gi]) {
+		if exact && better(x2, i, j, best[gi]) {
 			best[gi] = Scored{Interval{i, j}, x2}
 			g.budget.raise(x2)
 		}
 		if j < g.hi {
-			d = sc.kern.MaxSkip(vec, j-i, x2, soften(g.budget.load()))
+			d = cur.MaxSkip(soften(g.budget.load()))
 		}
 	case KindTopT:
-		g.heap.offer(topheap.Item{Start: i, End: j, Score: x2})
+		if exact {
+			g.heap.offer(topheap.Item{Start: i, End: j, Score: x2})
+		}
 		if j < g.hi {
-			d = sc.kern.MaxSkip(vec, j-i, x2, g.heap.budget.load())
+			d = cur.MaxSkip(g.heap.budget.load())
 		}
 	case KindThreshold:
-		for _, si := range g.sinks {
-			if x2 > allSinks[si].alpha && (allSinks[si].limit <= 0 || stored[si] <= allSinks[si].limit) {
-				hits[si] = append(hits[si], Scored{Interval{i, j}, x2})
-				stored[si]++
+		if exact {
+			for _, si := range g.sinks {
+				if x2 > allSinks[si].alpha && (allSinks[si].limit <= 0 || stored[si] <= allSinks[si].limit) {
+					hits[si] = append(hits[si], Scored{Interval{i, j}, x2})
+					stored[si]++
+				}
 			}
 		}
 		if j < g.hi {
-			d = sc.kern.MaxSkip(vec, j-i, x2, g.alpha)
+			d = cur.MaxSkip(g.alpha)
 		}
 	}
 	if j+d >= g.hi {

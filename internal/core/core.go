@@ -55,27 +55,78 @@ type Stats struct {
 // for, equal to n(n+1)/2 for complete scans.
 func (st Stats) Total() int64 { return st.Evaluated + st.Skipped }
 
-// Scanner binds a symbol string to a model and owns the prefix count arrays
-// shared by all algorithms. A Scanner is cheap to build (O(nk)) and may be
-// reused for any number of scans; after construction it is read-only, so any
+// LayoutKind selects the count-index layout a Scanner builds.
+type LayoutKind int
+
+const (
+	// LayoutCheckpointed is the default: a full cumulative k-vector every B
+	// positions plus the raw text in between — O(nk/B + n) bytes instead of
+	// the dense layouts' O(nk), at the cost of scanning at most B−1 text
+	// symbols past a checkpoint per index probe. The rolling scan engine
+	// probes the index only at row starts and chain-cover skip landings, so
+	// the layout trades a few percent of scan throughput for holding ~B×
+	// more corpora in the same RAM.
+	LayoutCheckpointed LayoutKind = iota
+	// LayoutInterleaved is the dense position-major layout: a window's count
+	// vector is two contiguous k-wide reads. Fastest index probes, O(nk)
+	// ints resident.
+	LayoutInterleaved
+	// LayoutPrefix is the paper's symbol-major layout: k cumulative arrays,
+	// one strided read per symbol. Kept for comparison and for callers that
+	// probe one symbol at a time.
+	LayoutPrefix
+)
+
+// String names the layout kind.
+func (l LayoutKind) String() string {
+	switch l {
+	case LayoutCheckpointed:
+		return "checkpointed"
+	case LayoutInterleaved:
+		return "interleaved"
+	case LayoutPrefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Config tunes Scanner construction. The zero value selects the
+// checkpointed layout at the default checkpoint interval.
+type Config struct {
+	// Layout selects the count-index layout.
+	Layout LayoutKind
+	// CheckpointInterval is the checkpoint spacing B for LayoutCheckpointed
+	// (< 1 selects counts.DefaultInterval). Other layouts ignore it.
+	CheckpointInterval int
+}
+
+// Scanner binds a symbol string to a model and owns the count index shared
+// by all algorithms. A Scanner is cheap to build (O(nk)) and may be reused
+// for any number of scans; after construction it is read-only, so any
 // number of scans (sequential or on the parallel engine) may run on one
 // Scanner concurrently — each scan allocates its own O(k) scratch, and the
 // long-lived service layer relies on this to serve simultaneous queries
 // from one cached corpus.
 //
-// The count arrays use the position-major interleaved layout
-// (counts.Interleaved): a window's count vector is two contiguous k-wide
-// reads rather than k reads strided n apart, which keeps the Vector-dominated
-// scan loops inside two cache lines per evaluation at paper-scale n. The
-// chi-square kernels run through chisq.Kernel, which hoists the reciprocal
-// probabilities out of the hot loops.
+// The count index is a counts.Layout chosen at construction (checkpointed
+// by default — see LayoutKind). The exact scans run on the rolling cursor
+// (chisq.Roll), which touches the index only at row starts and chain-cover
+// skip landings; the chi-square kernels run through chisq.Kernel, which
+// hoists the reciprocal probabilities out of the hot loops.
 type Scanner struct {
 	s     []byte
 	model *alphabet.Model
 	probs []float64
 	k     int
-	pre   *counts.Interleaved
+	pre   counts.Layout
 	kern  *chisq.Kernel
+
+	// rollPool recycles scan cursors: a composite query (the disjoint peel)
+	// or a worker pool issues many scans on one Scanner, and each cursor
+	// carries O(k) scratch that would otherwise churn per scan. Pooled
+	// cursors need no reset — Begin reinitializes every field a scan reads.
+	rollPool sync.Pool
 
 	// Cumulative deviation walks, built on first use and shared by the
 	// heuristics and the engine's warm start: they depend only on (s, model),
@@ -94,12 +145,29 @@ func (sc *Scanner) sharedWalks() (*walk.Walks, error) {
 	return sc.walks, sc.walkErr
 }
 
-// NewScanner validates s against the model and precomputes the count arrays.
+// NewScanner validates s against the model and precomputes the count index
+// with the default configuration (checkpointed layout).
 func NewScanner(s []byte, m *alphabet.Model) (*Scanner, error) {
+	return NewScannerConfig(s, m, Config{})
+}
+
+// NewScannerConfig is NewScanner with an explicit layout configuration.
+func NewScannerConfig(s []byte, m *alphabet.Model, cfg Config) (*Scanner, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
-	pre, err := counts.NewInterleaved(s, m.K())
+	var pre counts.Layout
+	var err error
+	switch cfg.Layout {
+	case LayoutCheckpointed:
+		pre, err = counts.NewCheckpointed(s, m.K(), cfg.CheckpointInterval)
+	case LayoutInterleaved:
+		pre, err = counts.NewInterleaved(s, m.K())
+	case LayoutPrefix:
+		pre, err = counts.New(s, m.K())
+	default:
+		return nil, fmt.Errorf("core: unknown count layout %v", cfg.Layout)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +181,21 @@ func NewScanner(s []byte, m *alphabet.Model) (*Scanner, error) {
 		kern:  chisq.NewKernel(probs),
 	}, nil
 }
+
+// newRoll takes a rolling cursor from the pool (or builds one) — one per
+// scan worker; putRoll returns it when the scan ends.
+func (sc *Scanner) newRoll() *chisq.Roll {
+	if r, ok := sc.rollPool.Get().(*chisq.Roll); ok {
+		return r
+	}
+	return chisq.NewRoll(sc.kern, sc.pre, sc.s)
+}
+
+func (sc *Scanner) putRoll(r *chisq.Roll) { sc.rollPool.Put(r) }
+
+// IndexBytes returns the resident size of the count index in bytes
+// (including the text a checkpointed index references).
+func (sc *Scanner) IndexBytes() int { return sc.pre.Bytes() }
 
 // Len returns the string length.
 func (sc *Scanner) Len() int { return len(sc.s) }

@@ -71,6 +71,14 @@ func (e Engine) workerCount(starts int) int {
 // pool balanced without a work-stealing scheduler.
 const chunksPerWorker = 32
 
+// gangSize is the number of start rows each scan loop (or worker) advances
+// simultaneously on independent rolling cursors. Each row's evaluation is a
+// serial dependency chain (sum → square root → cache-missing index probe),
+// so interleaving a few independent rows keeps the out-of-order core busy
+// through the stalls; beyond a handful of rows the gain flattens while
+// register pressure and cache footprint grow.
+const gangSize = 3
+
 // splitStarts partitions the inclusive start range [lo, hiStart] into at
 // most `parts` contiguous chunks {chunkHi, chunkLo}, ordered from the
 // highest starts down — the direction the sequential scan visits them.
@@ -205,7 +213,8 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			vec := make([]int, sc.k)
+			cur := sc.newRoll()
+			defer sc.putRoll(cur)
 			best := Scored{X2: -1}
 			var st Stats
 			for {
@@ -215,24 +224,30 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					st.Starts++
-					for j := i + minLen; j <= hi; j++ {
-						sc.pre.Vector(i, j, vec)
-						x2 := sc.kern.Value(vec)
+					cur.Begin(i, i+minLen)
+					for {
+						j := cur.End()
 						st.Evaluated++
-						if better(x2, i, j, best) {
-							best = Scored{Interval{i, j}, x2}
-							budget.raise(x2)
+						// The prefilter boundary is the worker-local best:
+						// any candidate that could enter the merge is
+						// evaluated exactly (the shared budget is only ever
+						// larger).
+						if cur.Passes(best.X2) {
+							if x2 := cur.Exact(); better(x2, i, j, best) {
+								best = Scored{Interval{i, j}, x2}
+								budget.raise(x2)
+							}
 						}
 						if j == hi {
 							break
 						}
-						if skip := sc.kern.MaxSkip(vec, j-i, x2, soften(budget.load())); skip > 0 {
-							if j+skip > hi {
-								skip = hi - j
-							}
-							st.Skipped += int64(skip)
-							j += skip
+						skip := cur.MaxSkip(soften(budget.load()))
+						if j+skip >= hi {
+							st.Skipped += int64(hi - j)
+							break
 						}
+						st.Skipped += int64(skip)
+						cur.Advance(j + skip + 1)
 					}
 				}
 			}
@@ -320,7 +335,8 @@ func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats,
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			vec := make([]int, sc.k)
+			cur := sc.newRoll()
+			defer sc.putRoll(cur)
 			var st Stats
 			for {
 				c := int(next.Add(1)) - 1
@@ -329,21 +345,26 @@ func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats,
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					st.Starts++
-					for j := i + minLen; j <= hi; j++ {
-						sc.pre.Vector(i, j, vec)
-						x2 := sc.kern.Value(vec)
+					cur.Begin(i, i+minLen)
+					for {
+						j := cur.End()
 						st.Evaluated++
-						shared.offer(topheap.Item{Start: i, End: j, Score: x2})
+						// Boundary: the mirrored t-th best. A window below
+						// it could never be retained, so eliding its offer
+						// is equivalent to the old always-offer-and-reject.
+						if cur.Passes(shared.budget.load()) {
+							shared.offer(topheap.Item{Start: i, End: j, Score: cur.Exact()})
+						}
 						if j == hi {
 							break
 						}
-						if skip := sc.kern.MaxSkip(vec, j-i, x2, shared.budget.load()); skip > 0 {
-							if j+skip > hi {
-								skip = hi - j
-							}
-							st.Skipped += int64(skip)
-							j += skip
+						skip := cur.MaxSkip(shared.budget.load())
+						if j+skip >= hi {
+							st.Skipped += int64(hi - j)
+							break
 						}
+						st.Skipped += int64(skip)
+						cur.Advance(j + skip + 1)
 					}
 				}
 			}
@@ -368,24 +389,27 @@ func (sc *Scanner) toptSeq(t, lo, hi, minLen int) ([]Scored, Stats, error) {
 		return nil, Stats{}, err
 	}
 	var st Stats
-	vec := make([]int, sc.k)
+	cur := sc.newRoll()
+	defer sc.putRoll(cur)
 	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
-		for j := i + minLen; j <= hi; j++ {
-			sc.pre.Vector(i, j, vec)
-			x2 := sc.kern.Value(vec)
+		cur.Begin(i, i+minLen)
+		for {
+			j := cur.End()
 			st.Evaluated++
-			h.Offer(topheap.Item{Start: i, End: j, Score: x2})
+			if cur.Passes(h.Budget()) {
+				h.Offer(topheap.Item{Start: i, End: j, Score: cur.Exact()})
+			}
 			if j == hi {
 				break
 			}
-			if skip := sc.kern.MaxSkip(vec, j-i, x2, h.Budget()); skip > 0 {
-				if j+skip > hi {
-					skip = hi - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
+			skip := cur.MaxSkip(h.Budget())
+			if j+skip >= hi {
+				st.Skipped += int64(hi - j)
+				break
 			}
+			st.Skipped += int64(skip)
+			cur.Advance(j + skip + 1)
 		}
 	}
 	return itemsToScored(h.Items()), st, nil
@@ -426,7 +450,8 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			vec := make([]int, sc.k)
+			cur := sc.newRoll()
+			defer sc.putRoll(cur)
 			var st Stats
 			stored := 0
 			for {
@@ -437,24 +462,26 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 				var hits []Scored
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					st.Starts++
-					for j := i + minLen; j <= hi; j++ {
-						sc.pre.Vector(i, j, vec)
-						x2 := sc.kern.Value(vec)
+					cur.Begin(i, i+minLen)
+					for {
+						j := cur.End()
 						st.Evaluated++
-						if x2 > alpha && (cap <= 0 || stored <= cap) {
-							hits = append(hits, Scored{Interval{i, j}, x2})
-							stored++
+						if cur.Passes(alpha) {
+							if x2 := cur.Exact(); x2 > alpha && (cap <= 0 || stored <= cap) {
+								hits = append(hits, Scored{Interval{i, j}, x2})
+								stored++
+							}
 						}
 						if j == hi {
 							break
 						}
-						if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
-							if j+skip > hi {
-								skip = hi - j
-							}
-							st.Skipped += int64(skip)
-							j += skip
+						skip := cur.MaxSkip(alpha)
+						if j+skip >= hi {
+							st.Skipped += int64(hi - j)
+							break
 						}
+						st.Skipped += int64(skip)
+						cur.Advance(j + skip + 1)
 					}
 				}
 				found[c] = hits
@@ -485,26 +512,29 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 // entry point.
 func (sc *Scanner) thresholdSeq(alpha float64, lo, hi, minLen int, visit func(Scored)) Stats {
 	var st Stats
-	vec := make([]int, sc.k)
+	cur := sc.newRoll()
+	defer sc.putRoll(cur)
 	for i := hi - minLen; i >= lo; i-- {
 		st.Starts++
-		for j := i + minLen; j <= hi; j++ {
-			sc.pre.Vector(i, j, vec)
-			x2 := sc.kern.Value(vec)
+		cur.Begin(i, i+minLen)
+		for {
+			j := cur.End()
 			st.Evaluated++
-			if x2 > alpha {
-				visit(Scored{Interval{i, j}, x2})
+			if cur.Passes(alpha) {
+				if x2 := cur.Exact(); x2 > alpha {
+					visit(Scored{Interval{i, j}, x2})
+				}
 			}
 			if j == hi {
 				break
 			}
-			if skip := sc.kern.MaxSkip(vec, j-i, x2, alpha); skip > 0 {
-				if j+skip > hi {
-					skip = hi - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
+			skip := cur.MaxSkip(alpha)
+			if j+skip >= hi {
+				st.Skipped += int64(hi - j)
+				break
 			}
+			st.Skipped += int64(skip)
+			cur.Advance(j + skip + 1)
 		}
 	}
 	return st

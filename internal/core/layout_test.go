@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+// layoutScanners builds one scanner per count layout over the same string
+// and model.
+func layoutScanners(t *testing.T, s []byte, m *alphabet.Model) map[string]*Scanner {
+	t.Helper()
+	out := make(map[string]*Scanner)
+	for name, cfg := range map[string]Config{
+		"checkpointed":    {Layout: LayoutCheckpointed},
+		"checkpointed-b4": {Layout: LayoutCheckpointed, CheckpointInterval: 4},
+		"interleaved":     {Layout: LayoutInterleaved},
+		"prefix":          {Layout: LayoutPrefix},
+	} {
+		sc, err := NewScannerConfig(s, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = sc
+	}
+	return out
+}
+
+// layoutModel draws the uniform model half the time (the integer fast
+// path) and a skewed one otherwise.
+func layoutModel(t *testing.T, rng *rand.Rand, k int) *alphabet.Model {
+	t.Helper()
+	if rng.Intn(2) == 0 {
+		return alphabet.MustUniform(k)
+	}
+	probs := make([]float64, k)
+	sum := 0.0
+	for i := range probs {
+		probs[i] = 0.05 + rng.Float64()
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	m, err := alphabet.NewModel(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestLayoutsGoldenProblems: Problems 1–4 return bit-identical results on
+// every count layout, sequentially and on the parallel engine, and agree
+// with the trivial exhaustive reference.
+func TestLayoutsGoldenProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	engines := []Engine{{Workers: 1}, {Workers: 8}, {Workers: 1, WarmStart: true}}
+	for trial := 0; trial < 12; trial++ {
+		k := 2 + rng.Intn(7)
+		n := 60 + rng.Intn(400)
+		m := layoutModel(t, rng, k)
+		s := randomString(rng, n, k)
+		scanners := layoutScanners(t, s, m)
+		ref := scanners["interleaved"]
+		refTrivial, _ := ref.Trivial()
+
+		for _, e := range engines {
+			name := fmt.Sprintf("trial=%d/workers=%d/warm=%v", trial, e.Workers, e.WarmStart)
+			wantMSS, _ := ref.MSSWith(e)
+			// The trivial scan discovers ties in the opposite start order, so
+			// only the value is comparable against it; intervals are compared
+			// bit-identically across layouts and engines below.
+			if wantMSS.X2 != refTrivial.X2 {
+				t.Fatalf("%s: engine MSS %+v != trivial %+v", name, wantMSS, refTrivial)
+			}
+			wantML, _ := ref.MSSMinLengthWith(e, 5)
+			wantTop, _, err := ref.TopTWith(e, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alpha := refTrivial.X2 * 0.8
+			wantThr, _, err := ref.ThresholdCollectWith(e, alpha, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for lay, sc := range scanners {
+				got, st := sc.MSSWith(e)
+				if got != wantMSS {
+					t.Fatalf("%s/%s: MSS %+v want %+v", name, lay, got, wantMSS)
+				}
+				if total := st.Total(); total != sc.TotalSubstrings() {
+					t.Fatalf("%s/%s: stats total %d want %d", name, lay, total, sc.TotalSubstrings())
+				}
+				if got, _ := sc.MSSMinLengthWith(e, 5); got != wantML {
+					t.Fatalf("%s/%s: MSSMinLength %+v want %+v", name, lay, got, wantML)
+				}
+				gotTop, _, err := sc.TopTWith(e, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotTop) != len(wantTop) {
+					t.Fatalf("%s/%s: top-t %d results want %d", name, lay, len(gotTop), len(wantTop))
+				}
+				for i := range gotTop {
+					// The X² multiset is the contract; intervals tied at the
+					// boundary may vary. Items() orders deterministically by
+					// (score, start, end), so direct comparison of scores works.
+					if gotTop[i].X2 != wantTop[i].X2 {
+						t.Fatalf("%s/%s: top-t score[%d] %v want %v", name, lay, i, gotTop[i].X2, wantTop[i].X2)
+					}
+				}
+				gotThr, _, err := sc.ThresholdCollectWith(e, alpha, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotThr) != len(wantThr) {
+					t.Fatalf("%s/%s: threshold %d results want %d", name, lay, len(gotThr), len(wantThr))
+				}
+				for i := range gotThr {
+					if gotThr[i] != wantThr[i] {
+						t.Fatalf("%s/%s: threshold[%d] %+v want %+v", name, lay, i, gotThr[i], wantThr[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLayoutsGoldenBatch: RunBatch answers are identical across layouts.
+func TestLayoutsGoldenBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 8; trial++ {
+		k := 2 + rng.Intn(5)
+		n := 120 + rng.Intn(300)
+		m := layoutModel(t, rng, k)
+		s := randomString(rng, n, k)
+		scanners := layoutScanners(t, s, m)
+		ref := scanners["interleaved"]
+		mss, _ := ref.MSS()
+		qs := []Query{
+			{Kind: KindMSS, Hi: n},
+			{Kind: KindMSS, MinLen: 10, Hi: n},
+			{Kind: KindTopT, T: 5, Hi: n},
+			{Kind: KindTopT, T: 12, Hi: n},
+			{Kind: KindThreshold, Alpha: mss.X2 * 0.7, Hi: n},
+			{Kind: KindThreshold, Alpha: mss.X2 * 0.9, Hi: n},
+			{Kind: KindDisjoint, T: 3, MinLen: 2, Hi: n},
+		}
+		for _, workers := range []int{1, 8} {
+			e := Engine{Workers: workers}
+			want := ref.RunBatch(e, qs)
+			for lay, sc := range scanners {
+				got := sc.RunBatch(e, qs)
+				for qi := range qs {
+					w, g := want[qi], got[qi]
+					if (w.Err == nil) != (g.Err == nil) {
+						t.Fatalf("trial %d %s w=%d q%d: err %v want %v", trial, lay, workers, qi, g.Err, w.Err)
+					}
+					if len(g.Results) != len(w.Results) {
+						t.Fatalf("trial %d %s w=%d q%d: %d results want %d", trial, lay, workers, qi, len(g.Results), len(w.Results))
+					}
+					for ri := range g.Results {
+						if qs[qi].Kind == KindTopT {
+							if g.Results[ri].X2 != w.Results[ri].X2 {
+								t.Fatalf("trial %d %s w=%d q%d: top-t score[%d] %v want %v", trial, lay, workers, qi, ri, g.Results[ri].X2, w.Results[ri].X2)
+							}
+							continue
+						}
+						if g.Results[ri] != w.Results[ri] {
+							t.Fatalf("trial %d %s w=%d q%d: result[%d] %+v want %+v", trial, lay, workers, qi, ri, g.Results[ri], w.Results[ri])
+						}
+					}
+				}
+			}
+		}
+	}
+}

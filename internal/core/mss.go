@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/chisq"
+)
 
 // This file holds the MSS-family entry points. Each is a thin constructor
 // that lowers its arguments to a Query and hands it to RunQuery — the single
@@ -49,34 +53,79 @@ func (sc *Scanner) MSSMinLengthWith(e Engine, gamma int) (Scored, Stats) {
 // the answer and therefore only removes substrings that cannot win. The
 // warm budget is softened by one ulp so exact X² ties with it are still
 // evaluated, keeping the reported interval independent of the warm start.
+//
+// The loop runs gangSize rolling cursors working that many start rows at
+// once. Each evaluation is a serial dependency chain — rolled sum → skip
+// quadratic (one square root) → chain-cover landing (one likely cache
+// miss) — so a single row leaves the core mostly waiting; independent rows
+// give out-of-order execution parallel chains to overlap into the stalls.
+// Correctness is the parallel engine's argument: the shared best only ever
+// grows, a grown budget only enlarges skips, and a skipped window provably
+// cannot beat the final best; candidates are compared under the better()
+// total order, so the reported result is bit-identical to the one-row scan
+// whatever the interleaving (exact ties stay evaluated — see
+// chisq.Roll.Passes).
 func (sc *Scanner) mssRangeWarm(lo, hi, minLen int, warm float64) (Scored, Stats) {
 	best := Scored{X2: -1}
 	var st Stats
 	floor := soften(warm)
-	vec := make([]int, sc.k)
-	for i := hi - minLen; i >= lo; i-- {
-		st.Starts++
-		for j := i + minLen; j <= hi; j++ {
-			sc.pre.Vector(i, j, vec)
-			x2 := sc.kern.Value(vec)
+	var curs [gangSize]*chisq.Roll
+	var rows [gangSize]int
+	for g := range curs {
+		curs[g] = sc.newRoll()
+		rows[g] = -1 // needs a row
+	}
+	defer func() {
+		for _, cur := range curs {
+			sc.putRoll(cur)
+		}
+	}()
+	nextRow := hi - minLen
+	for {
+		live := 0
+		for g := range curs {
+			if rows[g] < 0 {
+				if nextRow < lo {
+					continue
+				}
+				rows[g] = nextRow
+				nextRow--
+				st.Starts++
+				curs[g].Begin(rows[g], rows[g]+minLen)
+			}
+			live++
+			cur := curs[g]
+			i := rows[g]
+			j := cur.End()
 			st.Evaluated++
-			if x2 > best.X2 {
-				best = Scored{Interval{i, j}, x2}
+			if cur.Passes(best.X2) {
+				if x2 := cur.Exact(); better(x2, i, j, best) {
+					best = Scored{Interval{i, j}, x2}
+				}
 			}
 			if j == hi {
-				break
+				rows[g] = -1
+				continue
 			}
 			budget := best.X2
 			if floor > budget {
 				budget = floor
 			}
-			if skip := sc.kern.MaxSkip(vec, j-i, x2, budget); skip > 0 {
-				if j+skip > hi {
-					skip = hi - j
-				}
-				st.Skipped += int64(skip)
-				j += skip
+			// Soften like the parallel workers: with several rows live at
+			// once, a lower-start row can raise best first, and an exact-tie
+			// window in a higher-start row must still be evaluated for the
+			// better() tie-break to see it.
+			skip := cur.MaxSkip(soften(budget))
+			if j+skip >= hi {
+				st.Skipped += int64(hi - j)
+				rows[g] = -1
+				continue
 			}
+			st.Skipped += int64(skip)
+			cur.Advance(j + skip + 1)
+		}
+		if live == 0 {
+			break
 		}
 	}
 	if best.X2 < 0 {

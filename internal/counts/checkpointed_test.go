@@ -1,0 +1,157 @@
+package counts
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Compile-time interface compliance for all three layouts.
+var (
+	_ Layout = (*Prefix)(nil)
+	_ Layout = (*Interleaved)(nil)
+	_ Layout = (*Checkpointed)(nil)
+)
+
+func TestCheckpointedValidates(t *testing.T) {
+	if _, err := NewCheckpointed([]byte{0, 1, 5}, 3, 4); err == nil {
+		t.Error("NewCheckpointed with out-of-range symbol: expected error")
+	}
+	if _, err := NewCheckpointed(nil, 1, 4); err == nil {
+		t.Error("NewCheckpointed with k=1: expected error")
+	}
+}
+
+func TestCheckpointedEmptyString(t *testing.T) {
+	p, err := NewCheckpointed(nil, 2, 0)
+	if err != nil {
+		t.Fatalf("NewCheckpointed(empty): %v", err)
+	}
+	if p.Len() != 0 || p.K() != 2 || p.Interval() != DefaultInterval {
+		t.Errorf("Len = %d, K = %d, Interval = %d", p.Len(), p.K(), p.Interval())
+	}
+	if got := p.Count(0, 0, 0); got != 0 {
+		t.Errorf("Count on empty = %d", got)
+	}
+	tot := p.Total()
+	if tot[0] != 0 || tot[1] != 0 {
+		t.Errorf("Total = %v", tot)
+	}
+}
+
+// Property: Checkpointed agrees with the dense Prefix layout on every
+// Count, Vector, and CumAt query, for every checkpoint interval.
+func TestCheckpointedMatchesPrefix(t *testing.T) {
+	f := func(raw []byte, kRaw, bRaw, iRaw, jRaw uint16) bool {
+		k := int(kRaw%9) + 2
+		b := int(bRaw%40) + 1
+		s := make([]byte, len(raw))
+		for i, v := range raw {
+			s[i] = v % byte(k)
+		}
+		ref, err := New(s, k)
+		if err != nil {
+			return false
+		}
+		cp, err := NewCheckpointed(s, k, b)
+		if err != nil {
+			return false
+		}
+		n := len(s)
+		i := int(iRaw) % (n + 1)
+		j := int(jRaw) % (n + 1)
+		if i > j {
+			i, j = j, i
+		}
+		a := ref.Vector(i, j, make([]int, k))
+		g := cp.Vector(i, j, make([]int, k))
+		for c := 0; c < k; c++ {
+			if a[c] != g[c] || ref.Count(c, i, j) != cp.Count(c, i, j) {
+				return false
+			}
+		}
+		ca, cg := make([]int, k), make([]int, k)
+		ref.CumAt(j, ca)
+		cp.CumAt(j, cg)
+		for c := 0; c < k; c++ {
+			if ca[c] != cg[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 750}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The memory claim the daemon's byte-budgeted cache relies on: at the
+// default interval the checkpointed index is at least 4x smaller than the
+// dense prefix layout for every alphabet size, even counting the text it
+// references.
+func TestCheckpointedBytesReduction(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		s := randomString(100_000, k, 7)
+		ref, err := New(s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := NewCheckpointed(s, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(ref.Bytes()) / float64(cp.Bytes())
+		if ratio < 4 {
+			t.Errorf("k=%d: prefix %d bytes / checkpointed %d bytes = %.2fx, want >= 4x", k, ref.Bytes(), cp.Bytes(), ratio)
+		}
+	}
+}
+
+func BenchmarkPrefixLayoutCheckpointed(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(benchName(k), func(b *testing.B) {
+			s := randomString(100_000, k, 1)
+			p, err := NewCheckpointed(s, k, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			layoutScan(b, p.Vector, len(s), k)
+		})
+	}
+}
+
+// BenchmarkCumAt measures the probe the rolling scan engine actually issues
+// at chain-cover skip landings: one cumulative row read per landing.
+func BenchmarkCumAt(b *testing.B) {
+	const n = 100_000
+	for _, k := range []int{4, 8} {
+		s := randomString(n, k, 1)
+		ilv, err := NewInterleaved(s, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := NewCheckpointed(s, k, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, lay := range map[string]Layout{"interleaved": ilv, "checkpointed": cp} {
+			b.Run(name+"/"+benchName(k), func(b *testing.B) {
+				dst := make([]int, k)
+				rng := rand.New(rand.NewSource(2))
+				pos := make([]int, 1024)
+				for i := range pos {
+					pos[i] = rng.Intn(n + 1)
+				}
+				b.ResetTimer()
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					lay.CumAt(pos[i%len(pos)], dst)
+					sink += dst[0]
+				}
+				if sink == -1 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}

@@ -10,6 +10,36 @@ import (
 	"repro/internal/alphabet"
 )
 
+// Layout is the interface every count-index layout satisfies: O(k)-ish
+// access to the count vector of any window plus the bookkeeping the scan
+// engine and the daemon's byte-budgeted cache need. Three implementations
+// exist, trading memory for per-query cost:
+//
+//   - Prefix: symbol-major dense cumulative arrays (O(nk) ints, k strided
+//     reads per Vector) — the paper's layout, kept for single-symbol probes.
+//   - Interleaved: position-major dense rows (O(nk) ints, two contiguous
+//     k-wide reads per Vector) — fastest for Vector-dominated loops.
+//   - Checkpointed: a full k-vector every B positions plus the raw text in
+//     between (O(nk/B + n) bytes) — ~B× smaller, reconstructs by scanning at
+//     most B-1 text symbols past the nearest checkpoint.
+type Layout interface {
+	// K returns the alphabet size.
+	K() int
+	// Len returns the length of the indexed string.
+	Len() int
+	// Count returns the occurrences of symbol c in the window s[i:j).
+	Count(c, i, j int) int
+	// Vector fills dst (length k) with the count vector of s[i:j).
+	Vector(i, j int, dst []int) []int
+	// CumAt fills dst (length k) with the cumulative counts of s[0:pos].
+	CumAt(pos int, dst []int)
+	// Total returns the count vector of the whole string.
+	Total() []int
+	// Bytes returns the resident size of the index in bytes, including any
+	// text the layout keeps a reference to.
+	Bytes() int
+}
+
 // Prefix holds per-symbol cumulative counts of a symbol string.
 type Prefix struct {
 	k   int
@@ -65,8 +95,21 @@ func (p *Prefix) Vector(i, j int, dst []int) []int {
 	return dst
 }
 
+// CumAt fills dst (which must have length k) with the cumulative counts of
+// s[0:pos].
+func (p *Prefix) CumAt(pos int, dst []int) {
+	for c := 0; c < p.k; c++ {
+		dst[c] = int(p.cum[c][pos])
+	}
+}
+
 // Total returns the count vector of the whole string.
 func (p *Prefix) Total() []int {
 	dst := make([]int, p.k)
 	return p.Vector(0, p.n, dst)
+}
+
+// Bytes returns the resident index size: k·(n+1) int32 counters.
+func (p *Prefix) Bytes() int {
+	return p.k * (p.n + 1) * 4
 }

@@ -70,8 +70,29 @@ func (p *Interleaved) Vector(i, j int, dst []int) []int {
 	return dst
 }
 
+// CumAt fills dst (which must have length k) with the cumulative counts of
+// s[0:pos]: one contiguous k-wide read.
+func (p *Interleaved) CumAt(pos int, dst []int) {
+	row := p.ilv[pos*p.k : pos*p.k+p.k]
+	for c, v := range row {
+		dst[c] = int(v)
+	}
+}
+
+// Row returns the contiguous cumulative-count row of s[0:pos] (shared
+// storage; do not modify). It is the zero-copy form of CumAt for fused
+// consumers like the rolling cursor's reconstruction path.
+func (p *Interleaved) Row(pos int) []int32 {
+	return p.ilv[pos*p.k : pos*p.k+p.k]
+}
+
 // Total returns the count vector of the whole string.
 func (p *Interleaved) Total() []int {
 	dst := make([]int, p.k)
 	return p.Vector(0, p.n, dst)
+}
+
+// Bytes returns the resident index size: (n+1)·k int32 counters.
+func (p *Interleaved) Bytes() int {
+	return len(p.ilv) * 4
 }

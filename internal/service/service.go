@@ -171,17 +171,27 @@ type Corpus struct {
 	symbols []byte
 }
 
+// Bytes returns the corpus's resident footprint: the count index plus the
+// encoded symbol string (snippets decode from the symbols, so no raw text
+// is kept). This is what the byte-budgeted cache charges for admission.
+func (c *Corpus) Bytes() int64 {
+	return int64(c.Scanner.IndexBytes()) + int64(len(c.symbols))
+}
+
 // Info summarizes a corpus for listings and responses.
 type Info struct {
 	Name  string `json:"name"`
 	N     int    `json:"n"`
 	K     int    `json:"k"`
 	Model string `json:"model"`
+	// Bytes is the corpus's resident footprint charged against the cache
+	// byte budget.
+	Bytes int64 `json:"bytes"`
 }
 
 // Info returns the corpus summary.
 func (c *Corpus) Info() Info {
-	return Info{Name: c.Name, N: c.Scanner.Len(), K: c.Model.K(), Model: c.Model.String()}
+	return Info{Name: c.Name, N: c.Scanner.Len(), K: c.Model.K(), Model: c.Model.String(), Bytes: c.Bytes()}
 }
 
 // Snippet decodes the corpus characters of [start, end), for result
@@ -237,22 +247,32 @@ func BuildCorpus(name, text string, spec ModelSpec) (*Corpus, error) {
 	return &Corpus{Name: name, Codec: codec, Model: model, Scanner: sc, symbols: symbols}, nil
 }
 
-// Cache is a bounded LRU map of named corpora. All methods are safe for
-// concurrent use; the corpora themselves are immutable, so a Get result
-// stays valid (and scannable) even after eviction.
+// DefaultCacheBytes is the default corpus-cache byte budget (256 MiB).
+const DefaultCacheBytes = 256 << 20
+
+// Cache is a byte-budgeted LRU map of named corpora: capacity is measured
+// in resident bytes (Corpus.Bytes), not entries, so the budget translates
+// directly to the daemon's memory ceiling — with the checkpointed count
+// layout the same budget holds roughly 5× the corpora the dense layouts
+// did. All methods are safe for concurrent use; the corpora themselves are
+// immutable, so a Get result stays valid (and scannable) even after
+// eviction.
 type Cache struct {
 	mu    sync.Mutex
-	max   int
+	max   int64
+	used  int64
 	m     map[string]*Corpus
 	order []string // least recently used first
 }
 
-// NewCache builds a cache holding at most max corpora (max < 1 means 1).
-func NewCache(max int) *Cache {
-	if max < 1 {
-		max = 1
+// NewCache builds a cache with the given byte budget (maxBytes < 1 selects
+// DefaultCacheBytes). A corpus larger than the whole budget is still
+// admitted — alone — so a legal upload never becomes uncacheable.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes < 1 {
+		maxBytes = DefaultCacheBytes
 	}
-	return &Cache{max: max, m: make(map[string]*Corpus)}
+	return &Cache{max: maxBytes, m: make(map[string]*Corpus)}
 }
 
 // touch moves name to the most-recently-used tail. Callers hold mu.
@@ -266,20 +286,40 @@ func (c *Cache) touch(name string) {
 	c.order = append(c.order, name)
 }
 
-// Put stores the corpus under its name, evicting the least recently used
-// entry when full. It returns the evicted name, if any.
-func (c *Cache) Put(corpus *Corpus) (evicted string) {
+// Put stores the corpus under its name, evicting least-recently-used
+// entries until the byte budget holds (the new corpus itself is never
+// evicted). It returns the evicted names, oldest first.
+func (c *Cache) Put(corpus *Corpus) (evicted []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.m[corpus.Name]; !ok && len(c.m) >= c.max {
-		evicted = c.order[0]
-		c.order = c.order[1:]
-		delete(c.m, evicted)
+	if old, ok := c.m[corpus.Name]; ok {
+		c.used -= old.Bytes()
 	}
+	c.used += corpus.Bytes()
 	c.m[corpus.Name] = corpus
 	c.touch(corpus.Name)
+	for c.used > c.max && len(c.order) > 1 {
+		victim := c.order[0]
+		if victim == corpus.Name {
+			break
+		}
+		c.order = c.order[1:]
+		c.used -= c.m[victim].Bytes()
+		delete(c.m, victim)
+		evicted = append(evicted, victim)
+	}
 	return evicted
 }
+
+// UsedBytes returns the bytes currently charged against the budget.
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// MaxBytes returns the cache byte budget.
+func (c *Cache) MaxBytes() int64 { return c.max }
 
 // Get fetches a corpus and marks it recently used.
 func (c *Cache) Get(name string) (*Corpus, bool) {
@@ -296,9 +336,11 @@ func (c *Cache) Get(name string) (*Corpus, bool) {
 func (c *Cache) Delete(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.m[name]; !ok {
+	corpus, ok := c.m[name]
+	if !ok {
 		return false
 	}
+	c.used -= corpus.Bytes()
 	delete(c.m, name)
 	for i, n := range c.order {
 		if n == name {

@@ -123,7 +123,12 @@ func TestExecutorLimits(t *testing.T) {
 }
 
 func TestCacheLRU(t *testing.T) {
-	c := NewCache(2)
+	// Budget the cache in bytes for exactly two copies of the test corpus.
+	probe, err := BuildCorpus("probe", testText, ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(2 * probe.Bytes())
 	put := func(name string) {
 		t.Helper()
 		corpus, err := BuildCorpus(name, testText, ModelSpec{})

@@ -18,6 +18,30 @@ import (
 
 var parallelWorkerGrid = []int{1, 2, 4, 8}
 
+// BenchmarkSeqMSSLayouts is the headline single-thread number of the
+// rolling-kernel engine: the sequential exact MSS scan at n=100k across
+// alphabet sizes, on the default checkpointed count index and the dense
+// interleaved one. BENCH_3.json records a measured run together with the
+// kernel and index microbenchmarks (internal/chisq, internal/counts) and
+// the PR2-engine baseline it was compared against.
+func BenchmarkSeqMSSLayouts(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		for _, lay := range []core.LayoutKind{core.LayoutCheckpointed, core.LayoutInterleaved} {
+			rng := rand.New(rand.NewSource(1))
+			g := strgen.MustNull(k)
+			sc, err := core.NewScannerConfig(g.Generate(100_000, rng), g.Model(), core.Config{Layout: lay})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%v/n=100k/k=%d", lay, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc.MSSWith(core.Engine{Workers: 1})
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParallelMSS is the headline number: the Problem 1 scan at
 // n=100k, k=4 sharded over 1..8 workers.
 func BenchmarkParallelMSS(b *testing.B) {

@@ -245,29 +245,116 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// CountsLayout selects the count-index layout a Scanner builds — the
+// memory/speed tradeoff of the scan stack.
+type CountsLayout int
+
+const (
+	// CountsCheckpointed is the default: cumulative counts every B
+	// positions plus per-position nibble deltas — O(nk/B + nk/2) bytes, ~5×
+	// smaller than the dense layouts, with the scan engine reading the
+	// index only at row starts and chain-cover skip landings. The layout
+	// the daemon's byte-budgeted corpus cache relies on.
+	CountsCheckpointed CountsLayout = iota
+	// CountsInterleaved is the dense position-major layout: fastest index
+	// probes, O(nk) int32 resident.
+	CountsInterleaved
+	// CountsPrefix is the paper's symbol-major dense layout, kept for
+	// comparison.
+	CountsPrefix
+)
+
+// String names the layout as accepted by ParseCountsLayout.
+func (l CountsLayout) String() string {
+	switch l {
+	case CountsCheckpointed:
+		return "checkpointed"
+	case CountsInterleaved:
+		return "interleaved"
+	case CountsPrefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("countslayout(%d)", int(l))
+	}
+}
+
+// ParseCountsLayout resolves a layout name as printed by String.
+func ParseCountsLayout(name string) (CountsLayout, error) {
+	for _, l := range []CountsLayout{CountsCheckpointed, CountsInterleaved, CountsPrefix} {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("sigsub: unknown counts layout %q", name)
+}
+
+// ScannerOption configures Scanner construction.
+type ScannerOption func(*scannerOptions)
+
+type scannerOptions struct {
+	layout   CountsLayout
+	interval int
+}
+
+// WithCountsLayout selects the count-index layout (default
+// CountsCheckpointed). All layouts produce bit-identical scan results; they
+// trade resident index bytes against index-probe speed.
+func WithCountsLayout(l CountsLayout) ScannerOption {
+	return func(o *scannerOptions) { o.layout = l }
+}
+
+// WithCheckpointInterval sets the checkpoint spacing B of the checkpointed
+// layout (rounded to a power of two and clamped to [4, 16]; 0 means the
+// default). Larger B shrinks the index; the probe cost is unaffected, so
+// the default is the maximum.
+func WithCheckpointInterval(b int) ScannerOption {
+	return func(o *scannerOptions) { o.interval = b }
+}
+
 // Scanner binds a symbol string to a model for repeated queries. Building a
-// Scanner costs O(n·k) time and memory for the prefix count arrays; every
-// scan then reuses them. After construction a Scanner is read-only, so any
-// number of scans — including batches — may run on it concurrently; the
-// mssd daemon serves simultaneous requests from one cached Scanner this
-// way.
+// Scanner costs O(n·k) time plus the count index (checkpointed by default —
+// see CountsLayout); every scan then reuses it. After construction a
+// Scanner is read-only, so any number of scans — including batches — may
+// run on it concurrently; the mssd daemon serves simultaneous requests from
+// one cached Scanner this way.
 type Scanner struct {
 	sc *core.Scanner
 	k  int
 }
 
 // NewScanner validates the string against the model (every symbol must be
-// < model.K()) and prepares the count arrays.
-func NewScanner(s []byte, m *Model) (*Scanner, error) {
+// < model.K()) and prepares the count index. Options select the index
+// layout; results are identical for all of them.
+func NewScanner(s []byte, m *Model, opts ...ScannerOption) (*Scanner, error) {
 	if m == nil {
 		return nil, errNilModel
 	}
-	sc, err := core.NewScanner(s, m.m)
+	var o scannerOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	cfg := core.Config{CheckpointInterval: o.interval}
+	switch o.layout {
+	case CountsCheckpointed:
+		cfg.Layout = core.LayoutCheckpointed
+	case CountsInterleaved:
+		cfg.Layout = core.LayoutInterleaved
+	case CountsPrefix:
+		cfg.Layout = core.LayoutPrefix
+	default:
+		return nil, fmt.Errorf("sigsub: unknown counts layout %v", o.layout)
+	}
+	sc, err := core.NewScannerConfig(s, m.m, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Scanner{sc: sc, k: m.K()}, nil
 }
+
+// IndexBytes returns the resident size of the scanner's count index in
+// bytes — what the daemon's byte-budgeted corpus cache charges a corpus
+// for, alongside its text.
+func (s *Scanner) IndexBytes() int { return s.sc.IndexBytes() }
 
 // Len returns the length of the scanned string.
 func (s *Scanner) Len() int { return s.sc.Len() }
