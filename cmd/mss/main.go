@@ -21,6 +21,15 @@
 // -format json emits machine-consumable output using the same result schema
 // the mssd daemon serves (internal/service), so pipelines can consume both
 // interchangeably.
+//
+// Snapshots connect the CLI to the daemon's durable store: -snapshot-out
+// writes the built corpus (codec, model, symbols, count index) as a
+// checksummed snapshot file (combine with -mode none to build offline
+// indexes without running a query), and -snapshot-in scans straight from
+// such a file, mmap-served, skipping the O(n·k) build:
+//
+//	mss -file corpus.txt -mle -snapshot-out corpus.snap -mode none
+//	mss -snapshot-in corpus.snap -mode topt -t 5
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -50,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		file    = fs.String("file", "", "read the input string from a file (whitespace is stripped)")
 		probsCS = fs.String("probs", "", "comma-separated model probabilities in sorted character order")
 		mle     = fs.Bool("mle", false, "estimate the model from the input (overrides -probs)")
-		mode    = fs.String("mode", "mss", "mss | topt | disjoint | threshold | minlen")
+		mode    = fs.String("mode", "mss", "mss | topt | disjoint | threshold | minlen | none (none: with -snapshot-out, build and write the index only)")
 		algName = fs.String("alg", "exact", "algorithm for mss mode: exact|trivial|trivial-incremental|heap-pruned|arlm|agmm")
 		tFlag   = fs.Int("t", 5, "number of results for topt/disjoint modes")
 		alpha   = fs.Float64("alpha", 10, "chi-square threshold for threshold mode")
@@ -62,63 +72,102 @@ func run(args []string, out io.Writer) error {
 		warm    = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
 		format  = fs.String("format", "text", "output format: text | json")
 		layout  = fs.String("layout", "checkpointed", "count index layout: checkpointed | interleaved | prefix (identical results; memory/speed tradeoff)")
+		snapOut = fs.String("snapshot-out", "", "write the built corpus (codec, model, symbols, count index) to this snapshot file — the offline index build mssd -data-dir serves directly")
+		snapIn  = fs.String("snapshot-in", "", "scan a corpus from a snapshot file (mmap-served) instead of -text/-file; the model and codec come from the snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	raw := *text
-	if *file != "" {
-		data, err := os.ReadFile(*file)
+	var (
+		codec   *sigsub.TextCodec
+		symbols []byte
+		model   *sigsub.Model
+		sc      *sigsub.Scanner
+	)
+	if *snapIn != "" {
+		if *text != "" || *file != "" {
+			return fmt.Errorf("-snapshot-in replaces -text/-file; use one input")
+		}
+		if *mle || *probsCS != "" {
+			return fmt.Errorf("a snapshot's model is fixed at write time; drop -mle/-probs")
+		}
+		if *layout != "checkpointed" {
+			return fmt.Errorf("a snapshot always serves the checkpointed layout; drop -layout")
+		}
+		sn, err := sigsub.OpenSnapshot(*snapIn)
 		if err != nil {
 			return err
 		}
-		raw = strings.Join(strings.Fields(string(data)), "")
-	}
-	if raw == "" {
-		return fmt.Errorf("no input: use -text or -file")
-	}
-
-	codec, err := sigsub.NewTextCodecSorted(raw)
-	if err != nil {
-		return err
-	}
-	symbols, err := codec.Encode(raw)
-	if err != nil {
-		return err
-	}
-
-	var model *sigsub.Model
-	switch {
-	case *mle:
-		model, err = sigsub.ModelFromSample(symbols, codec.K())
-	case *probsCS != "":
-		var probs []float64
-		for _, f := range strings.Split(*probsCS, ",") {
-			v, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if perr != nil {
-				return fmt.Errorf("bad probability %q: %v", f, perr)
+		defer sn.Close()
+		sc, model, codec = sn.Scanner(), sn.Model(), sn.Codec()
+		symbols = sc.Symbols()
+	} else {
+		raw := *text
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				return err
 			}
-			probs = append(probs, v)
+			raw = strings.Join(strings.Fields(string(data)), "")
 		}
-		if len(probs) != codec.K() {
-			return fmt.Errorf("-probs has %d entries but the input uses %d distinct characters", len(probs), codec.K())
+		if raw == "" {
+			return fmt.Errorf("no input: use -text, -file, or -snapshot-in")
 		}
-		model, err = sigsub.NewModel(probs)
-	default:
-		model, err = codec.UniformModel()
-	}
-	if err != nil {
-		return err
+
+		var err error
+		codec, err = sigsub.NewTextCodecSorted(raw)
+		if err != nil {
+			return err
+		}
+		symbols, err = codec.Encode(raw)
+		if err != nil {
+			return err
+		}
+
+		switch {
+		case *mle:
+			model, err = sigsub.ModelFromSample(symbols, codec.K())
+		case *probsCS != "":
+			var probs []float64
+			for _, f := range strings.Split(*probsCS, ",") {
+				v, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if perr != nil {
+					return fmt.Errorf("bad probability %q: %v", f, perr)
+				}
+				probs = append(probs, v)
+			}
+			if len(probs) != codec.K() {
+				return fmt.Errorf("-probs has %d entries but the input uses %d distinct characters", len(probs), codec.K())
+			}
+			model, err = sigsub.NewModel(probs)
+		default:
+			model, err = codec.UniformModel()
+		}
+		if err != nil {
+			return err
+		}
+
+		lay, err := sigsub.ParseCountsLayout(*layout)
+		if err != nil {
+			return err
+		}
+		sc, err = sigsub.NewScanner(symbols, model, sigsub.WithCountsLayout(lay))
+		if err != nil {
+			return err
+		}
 	}
 
-	lay, err := sigsub.ParseCountsLayout(*layout)
-	if err != nil {
-		return err
+	if *snapOut != "" {
+		if err := writeSnapshotFile(*snapOut, sc, codec); err != nil {
+			return err
+		}
+		if *mode == "none" {
+			return nil
+		}
 	}
-	sc, err := sigsub.NewScanner(symbols, model, sigsub.WithCountsLayout(lay))
-	if err != nil {
-		return err
+	if *mode == "none" {
+		return fmt.Errorf("-mode none requires -snapshot-out (build the index, run no query)")
 	}
 
 	asJSON := false
@@ -131,13 +180,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if !asJSON {
-		fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), codec.K(), model)
+		fmt.Fprintf(out, "input: n=%d k=%d model=%s\n", len(symbols), model.K(), model)
 	}
 
 	var st sigsub.Stats
 	opts := []sigsub.Option{sigsub.WithStats(&st), sigsub.WithWorkers(*workers), sigsub.WithWarmStart(*warm)}
 
 	decode := func(r sigsub.Result, cap int) string {
+		if codec == nil {
+			// Codec-less snapshots scan fine; they just cannot echo text.
+			return ""
+		}
 		end := r.End
 		if cap > 0 && r.Length > cap {
 			end = r.Start + cap
@@ -205,7 +258,7 @@ func run(args []string, out io.Writer) error {
 		// The result/stats schema is shared with the mssd daemon
 		// (internal/service), so the CLI and the service encode alike.
 		doc := outputJSON{
-			Input:       inputJSON{N: len(symbols), K: codec.K(), Model: model.String()},
+			Input:       inputJSON{N: len(symbols), K: model.K(), Model: model.String()},
 			Mode:        *mode,
 			Results:     make([]service.Result, len(results)),
 			Calibration: calibration,
@@ -255,6 +308,32 @@ func run(args []string, out io.Writer) error {
 	}
 	if *stats {
 		fmt.Fprintf(out, "evaluated %d substrings, skipped %d\n", st.Evaluated, st.Skipped)
+	}
+	return nil
+}
+
+// writeSnapshotFile writes the corpus snapshot via a temp file plus rename,
+// so an interrupted build never leaves a torn file where a daemon's
+// -data-dir might pick it up.
+func writeSnapshotFile(path string, sc *sigsub.Scanner, codec *sigsub.TextCodec) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".mss-snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := sigsub.WriteSnapshot(f, sc, codec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
 	}
 	return nil
 }

@@ -137,6 +137,44 @@ func TestInputErrors(t *testing.T) {
 	runErr(t, "-text", "0101", "-format", "yaml")
 }
 
+// TestSnapshotOutIn: build a snapshot offline, rescan from it, and compare
+// the JSON answers against the direct scan — they must match exactly,
+// snippets included (the codec rides in the snapshot).
+func TestSnapshotOutIn(t *testing.T) {
+	const text = "0101011111111111110101001"
+	snap := filepath.Join(t.TempDir(), "c.snap")
+
+	direct := runOK(t, "-text", text, "-mle", "-mode", "topt", "-t", "3", "-format", "json")
+	if out := runOK(t, "-text", text, "-mle", "-snapshot-out", snap, "-mode", "none"); out != "" {
+		t.Errorf("-mode none emitted output: %q", out)
+	}
+	if st, err := os.Stat(snap); err != nil || st.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	fromSnap := runOK(t, "-snapshot-in", snap, "-mode", "topt", "-t", "3", "-format", "json")
+	if direct != fromSnap {
+		t.Fatalf("snapshot scan diverged:\n direct %s\n snap   %s", direct, fromSnap)
+	}
+
+	// Flag conflicts and bad inputs are errors, not silent fallbacks.
+	runErr(t, "-snapshot-in", snap, "-text", "01")
+	runErr(t, "-snapshot-in", snap, "-mle")
+	runErr(t, "-snapshot-in", snap, "-layout", "interleaved")
+	runErr(t, "-text", "01", "-mode", "none")
+	runErr(t, "-snapshot-in", filepath.Join(t.TempDir(), "absent.snap"))
+
+	// A truncated snapshot is rejected with an error.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.snap")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runErr(t, "-snapshot-in", trunc)
+}
+
 func TestJSONFormat(t *testing.T) {
 	text := "01011010111111111110010101"
 	out := runOK(t, "-text", text, "-mode", "mss", "-stats", "-format", "json")

@@ -17,6 +17,12 @@
 // knobs t, alpha, min_length, lo, hi, limit. Requests may carry inline
 // "text" instead of a corpus name for one-shot scans. See the README's
 // daemon section for curl examples.
+//
+// With -data-dir the daemon is durable: uploads persist as checksummed
+// snapshot files, a restart reloads the whole catalog (mmap-served, so
+// startup cost is per-corpus overhead rather than corpus bytes), cache
+// misses reopen from disk instead of returning 404, and DELETE removes the
+// file. Without it the daemon is purely in-memory, as before.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8765", "listen address")
 		cacheBytes = fs.Int64("cache-bytes", service.DefaultCacheBytes, "corpus cache byte budget (LRU eviction; counts index + symbols)")
+		dataDir    = fs.String("data-dir", "", "snapshot directory for durable corpora: uploads persist, restarts reload the catalog, cache misses reopen from disk (mmap-served); empty keeps the daemon purely in-memory")
 		maxQueries = fs.Int("max-queries", 64, "maximum queries per batch request")
 		maxWorkers = fs.Int("max-workers", 16, "maximum engine workers a request may ask for")
 		maxText    = fs.Int("max-text", 1<<20, "maximum corpus/inline text bytes")
@@ -50,13 +57,17 @@ func main() {
 	)
 	fs.Parse(os.Args[1:])
 
-	srv := newServer(serverConfig{
+	srv, err := newServer(serverConfig{
 		cacheBytes: *cacheBytes,
+		dataDir:    *dataDir,
 		maxQueries: *maxQueries,
 		maxWorkers: *maxWorkers,
 		maxText:    *maxText,
 		pprof:      *pprofOn,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -82,6 +93,7 @@ func main() {
 // serverConfig carries the daemon's limits.
 type serverConfig struct {
 	cacheBytes int64
+	dataDir    string
 	maxQueries int
 	maxWorkers int
 	maxText    int
@@ -95,11 +107,20 @@ type server struct {
 }
 
 // newServer wires the routes; it is the unit the tests drive via httptest.
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
+	var store *service.Store
+	if cfg.dataDir != "" {
+		var err error
+		store, err = service.NewStore(cfg.dataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &server{
 		mux: http.NewServeMux(),
 		exec: &service.Executor{
 			Cache:      service.NewCache(cfg.cacheBytes),
+			Store:      store,
 			MaxQueries: cfg.maxQueries,
 			MaxWorkers: cfg.maxWorkers,
 			MaxTextLen: cfg.maxText,
@@ -119,7 +140,14 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return s
+	if store != nil {
+		// Replay the persisted catalog so a restart is transparent to
+		// clients: every previously uploaded corpus answers queries again,
+		// mmap-served, with no re-upload.
+		loaded := s.exec.LoadCatalog(log.Printf)
+		log.Printf("mssd loaded %d persisted corpora from %s", loaded, store.Dir())
+	}
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -162,12 +190,20 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"corpora":     s.exec.Cache.Len(),
-		"cache_bytes": s.exec.Cache.UsedBytes(),
-		"cache_max":   s.exec.Cache.MaxBytes(),
-	})
+	body := map[string]any{
+		"status":  "ok",
+		"corpora": s.exec.Cache.Len(),
+		// cache_bytes is the resident heap charge; mapped_bytes the
+		// file-backed footprint of mmap-served corpora (kernel-paged, not
+		// budgeted).
+		"cache_bytes":  s.exec.Cache.UsedBytes(),
+		"cache_max":    s.exec.Cache.MaxBytes(),
+		"mapped_bytes": s.exec.Cache.MappedBytes(),
+	}
+	if s.exec.Store != nil {
+		body["data_dir"] = s.exec.Store.Dir()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleListCorpora(w http.ResponseWriter, _ *http.Request) {
@@ -195,12 +231,11 @@ func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("corpus text of %d bytes exceeds the %d byte limit", len(req.Text), s.exec.TextLimit())})
 		return
 	}
-	corpus, err := service.BuildCorpus(name, req.Text, req.Model)
+	corpus, evicted, err := s.exec.AddCorpus(name, req.Text, req.Model)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	evicted := s.exec.Cache.Put(corpus)
 	resp := map[string]any{"corpus": corpus.Info()}
 	if len(evicted) > 0 {
 		resp["evicted"] = evicted
@@ -210,7 +245,12 @@ func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDeleteCorpus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.exec.Cache.Delete(name) {
+	deleted, err := s.exec.DeleteCorpus(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !deleted {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("corpus %q not found", name)})
 		return
 	}

@@ -17,7 +17,16 @@ const demoText = "01011010111111111110010101"
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(serverConfig{cacheBytes: 1 << 20, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}))
+	return testServerConfig(t, serverConfig{cacheBytes: 1 << 20, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16})
+}
+
+func testServerConfig(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -228,6 +237,102 @@ func TestDaemonInlineQueryAndModels(t *testing.T) {
 	rows := n - minLen + 1
 	if got, want := resp.Result.Stats.Evaluated+resp.Result.Stats.Skipped, rows*(rows+1)/2; got != want {
 		t.Errorf("stats account for %d candidates, want %d", got, want)
+	}
+}
+
+// TestDaemonRestartPersistence is the in-process restart check: a daemon
+// with -data-dir is torn down and rebuilt over the same directory, and the
+// previously uploaded corpus must answer every query bit-identically with
+// no re-upload, now served from an mmap'd snapshot.
+func TestDaemonRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serverConfig{cacheBytes: 1 << 20, dataDir: dir, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}
+	batch := map[string]any{
+		"corpus":       "games",
+		"include_text": true,
+		"queries": []map[string]any{
+			{"kind": "mss"},
+			{"kind": "topt", "t": 5},
+			{"kind": "threshold", "alpha": 8},
+			{"kind": "mss", "min_length": 5},
+		},
+	}
+
+	ts := testServerConfig(t, cfg)
+	do(t, "PUT", ts.URL+"/v1/corpora/games", map[string]any{"text": demoText, "model": map[string]any{"mle": true}}, http.StatusOK, nil)
+	var before service.BatchResponse
+	do(t, "POST", ts.URL+"/v1/batch", batch, http.StatusOK, &before)
+	ts.Close() // the "kill"
+
+	ts2 := testServerConfig(t, cfg) // the restart: no re-upload
+	var list struct {
+		Corpora []service.Info `json:"corpora"`
+	}
+	do(t, "GET", ts2.URL+"/v1/corpora", nil, http.StatusOK, &list)
+	if len(list.Corpora) != 1 || list.Corpora[0].Name != "games" {
+		t.Fatalf("catalog after restart: %+v", list.Corpora)
+	}
+	if list.Corpora[0].MappedBytes == 0 {
+		t.Error("restarted corpus is not mmap-served")
+	}
+	var after service.BatchResponse
+	do(t, "POST", ts2.URL+"/v1/batch", batch, http.StatusOK, &after)
+	b1, _ := json.Marshal(before.Results)
+	b2, _ := json.Marshal(after.Results)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("post-restart answers differ:\n before %s\n after  %s", b1, b2)
+	}
+	if after.Corpus.Model != before.Corpus.Model {
+		t.Fatalf("model drifted across restart: %q -> %q", before.Corpus.Model, after.Corpus.Model)
+	}
+
+	// healthz reports the mapped footprint and the data dir.
+	var health struct {
+		MappedBytes int64  `json:"mapped_bytes"`
+		DataDir     string `json:"data_dir"`
+	}
+	do(t, "GET", ts2.URL+"/v1/healthz", nil, http.StatusOK, &health)
+	if health.MappedBytes == 0 || health.DataDir != dir {
+		t.Errorf("healthz: %+v", health)
+	}
+
+	// Delete tombstones the file: a third daemon sees nothing.
+	do(t, "DELETE", ts2.URL+"/v1/corpora/games", nil, http.StatusOK, nil)
+	ts2.Close()
+	ts3 := testServerConfig(t, cfg)
+	do(t, "GET", ts3.URL+"/v1/corpora", nil, http.StatusOK, &list)
+	if len(list.Corpora) != 0 {
+		t.Fatalf("deleted corpus resurrected: %+v", list.Corpora)
+	}
+}
+
+// TestDaemonCacheMissReloadsFromDisk: a persisted corpus evicted by the
+// byte budget must not 404 subsequent queries — the store reloads it.
+func TestDaemonCacheMissReloadsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	// A 1-byte budget makes every corpus oversized: each upload evicts the
+	// previous resident, forcing the named-corpus path through the store.
+	ts := testServerConfig(t, serverConfig{cacheBytes: 1, dataDir: dir, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16})
+	do(t, "PUT", ts.URL+"/v1/corpora/a", map[string]any{"text": demoText}, http.StatusOK, nil)
+
+	var one struct {
+		Result service.QueryResult `json:"result"`
+	}
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "a", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &one)
+	want := one.Result
+
+	// Uploading b evicts a from the 1-byte cache; a must still answer.
+	do(t, "PUT", ts.URL+"/v1/corpora/b", map[string]any{"text": demoText}, http.StatusOK, nil)
+
+	// Oversized names cannot be persisted: 400, not a filesystem error.
+	long := strings.Repeat("n", service.MaxStoredNameBytes+1)
+	do(t, "PUT", ts.URL+"/v1/corpora/"+long, map[string]any{"text": demoText}, http.StatusBadRequest, nil)
+
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "a", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &one)
+	b1, _ := json.Marshal(want)
+	b2, _ := json.Marshal(one.Result)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("reload drifted: %s vs %s", b1, b2)
 	}
 }
 

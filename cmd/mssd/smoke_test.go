@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -153,4 +155,174 @@ func TestMSSDSmoke(t *testing.T) {
 		}
 	}
 	fmt.Println("mssd smoke: daemon answers match the library for 3 mixed queries")
+}
+
+// TestMSSDSnapshotSmoke is the snapshot-compatibility smoke check CI runs
+// (MSSD_SMOKE=1): an offline index built by the real `mss -snapshot-out`
+// binary is dropped into a -data-dir, a real `mssd` serves it over HTTP, the
+// daemon is then KILLED and restarted — and both the offline corpus and one
+// uploaded over HTTP must answer bit-identically to the library, with no
+// re-upload after the restart.
+func TestMSSDSnapshotSmoke(t *testing.T) {
+	if os.Getenv("MSSD_SMOKE") == "" {
+		t.Skip("set MSSD_SMOKE=1 to run the snapshot smoke test")
+	}
+	tmp := t.TempDir()
+	mssdBin := filepath.Join(tmp, "mssd")
+	mssBin := filepath.Join(tmp, "mss")
+	for bin, dir := range map[string]string{mssdBin: ".", mssBin: "../mss"} {
+		build := exec.Command("go", "build", "-o", bin, dir)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", bin, err)
+		}
+	}
+
+	// Offline build: mss -snapshot-out writes the snapshot under the file
+	// name the daemon's store uses for the corpus name "offline".
+	text := strings.Repeat("0101101011111111111001010100100111", 40)
+	corpusFile := filepath.Join(tmp, "corpus.txt")
+	if err := os.WriteFile(corpusFile, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(tmp, "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snapName := base64.RawURLEncoding.EncodeToString([]byte("offline")) + ".snap"
+	build := exec.Command(mssBin, "-file", corpusFile, "-mle",
+		"-snapshot-out", filepath.Join(dataDir, snapName), "-mode", "none")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("mss -snapshot-out: %v", err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	startDaemon := func() *exec.Cmd {
+		t.Helper()
+		daemon := exec.Command(mssdBin, "-addr", addr, "-data-dir", dataDir)
+		daemon.Stdout = os.Stderr
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return daemon
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	queryBatch := func(corpus string) service.BatchResponse {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"corpus": corpus,
+			"queries": []map[string]any{
+				{"kind": "mss"},
+				{"kind": "topt", "t": 5},
+				{"kind": "threshold", "alpha": 10},
+				{"kind": "mss", "min_length": 8},
+			},
+		})
+		resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch against %q: status %d", corpus, resp.StatusCode)
+		}
+		var batch service.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+			t.Fatal(err)
+		}
+		return batch
+	}
+
+	daemon := startDaemon()
+	kill := func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}
+	defer kill()
+
+	// Round 1: the offline snapshot serves immediately; upload a second
+	// corpus over HTTP.
+	first := queryBatch("offline")
+	body, _ := json.Marshal(map[string]any{"text": text, "model": map[string]any{"mle": true}})
+	req, _ := http.NewRequest("PUT", base+"/v1/corpora/live", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	liveFirst := queryBatch("live")
+
+	// Kill hard and restart over the same directory.
+	kill()
+	daemon = startDaemon()
+
+	second := queryBatch("offline")
+	liveSecond := queryBatch("live")
+	b1, _ := json.Marshal(first.Results)
+	b2, _ := json.Marshal(second.Results)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("offline corpus drifted across restart:\n %s\n %s", b1, b2)
+	}
+	b1, _ = json.Marshal(liveFirst.Results)
+	b2, _ = json.Marshal(liveSecond.Results)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("uploaded corpus drifted across restart:\n %s\n %s", b1, b2)
+	}
+
+	// Library ground truth for the offline corpus (MLE model, as built).
+	codec, err := sigsub.NewTextCodecSorted(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, err := codec.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sigsub.ModelFromSample(symbols, codec.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mss, err := sc.MSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Results[0].Results[0]; got.Start != mss.Start || got.End != mss.End || got.X2 != mss.X2 {
+		t.Errorf("post-restart MSS %+v, library %+v", got, mss)
+	}
+	top, err := sc.TopT(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range top {
+		if second.Results[1].Results[i].X2 != top[i].X2 {
+			t.Errorf("post-restart top-t %d: %v vs %v", i, second.Results[1].Results[i].X2, top[i].X2)
+		}
+	}
+	fmt.Println("mssd snapshot smoke: offline snapshot + uploaded corpus survive a kill-and-restart bit-identically")
 }

@@ -12,6 +12,9 @@ type TextCodec struct {
 
 // NewTextCodec builds a codec whose alphabet is the set of distinct
 // characters of sample in first-appearance order (at least two required).
+// The sample must be valid UTF-8: invalid bytes are rejected with an error
+// rather than silently canonicalized to U+FFFD, so Decode(Encode(x)) == x
+// holds for every accepted input.
 func NewTextCodec(sample string) (*TextCodec, error) {
 	enc, err := alphabet.NewEncoder(sample)
 	if err != nil {
@@ -34,7 +37,8 @@ func NewTextCodecSorted(sample string) (*TextCodec, error) {
 func (c *TextCodec) K() int { return c.enc.K() }
 
 // Encode converts text to symbol indices; characters outside the codec's
-// alphabet are an error.
+// alphabet are an error, as is text that is not valid UTF-8 (which would
+// otherwise canonicalize to U+FFFD and break the round-trip).
 func (c *TextCodec) Encode(text string) ([]byte, error) { return c.enc.Encode(text) }
 
 // Decode converts symbol indices back to text.
@@ -42,6 +46,11 @@ func (c *TextCodec) Decode(s []byte) (string, error) { return c.enc.Decode(s) }
 
 // Symbol returns the character assigned to symbol index i.
 func (c *TextCodec) Symbol(i int) rune { return c.enc.Rune(i) }
+
+// Alphabet returns the codec's characters in symbol order as one string.
+// NewTextCodec(c.Alphabet()) reconstructs an identical codec; snapshots use
+// this to persist the text↔symbol mapping.
+func (c *TextCodec) Alphabet() string { return c.enc.Alphabet() }
 
 // UniformModelFor returns the uniform model matching the codec's alphabet.
 func (c *TextCodec) UniformModel() (*Model, error) {

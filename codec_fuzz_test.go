@@ -8,12 +8,12 @@ import (
 )
 
 // FuzzTextCodecRoundTrip checks the codec invariant the scanners rely on:
-// for any alphabet sample and any valid-UTF-8 input drawn from it,
-// Decode(Encode(input)) == input, in both the first-appearance and sorted
-// codecs — and no input, valid or not, may panic the codec. (Invalid UTF-8
-// is excluded from the equality check only: Go string iteration folds every
-// invalid byte to U+FFFD, so such inputs canonicalize rather than
-// round-trip; they must still encode or error without panicking.)
+// for ANY accepted alphabet sample and ANY input Encode accepts,
+// Decode(Encode(input)) == input exactly, in both the first-appearance and
+// sorted codecs — and no input may panic the codec. Invalid UTF-8 no longer
+// canonicalizes to U+FFFD: the constructors reject invalid samples and
+// Encode rejects invalid text with a descriptive error, so every successful
+// encode is a strict round-trip.
 func FuzzTextCodecRoundTrip(f *testing.F) {
 	f.Add("01", "0110100011")
 	f.Add("ACGT", "GATTACA")
@@ -23,6 +23,9 @@ func FuzzTextCodecRoundTrip(f *testing.F) {
 	f.Add("01", "012")  // character outside the alphabet
 	f.Add("aaaa", "aa") // single-symbol alphabet: constructor must reject
 	f.Add("", "whatever")
+	f.Add("\xff\xfe", "\xff") // invalid sample: constructor must reject
+	f.Add("ab", "a\x80b")     // invalid input: Encode must reject
+	f.Add("�a", "a�a")        // literal U+FFFD is valid UTF-8 and fine
 	f.Fuzz(func(t *testing.T, sample, input string) {
 		for _, build := range []func(string) (*sigsub.TextCodec, error){
 			sigsub.NewTextCodec,
@@ -30,14 +33,20 @@ func FuzzTextCodecRoundTrip(f *testing.F) {
 		} {
 			codec, err := build(sample)
 			if err != nil {
-				continue // fewer than two distinct characters: rejected, not panicked
+				continue // invalid UTF-8 or < 2 distinct characters: rejected, not panicked
+			}
+			if !utf8.ValidString(sample) {
+				t.Fatalf("codec accepted invalid-UTF-8 sample %q", sample)
 			}
 			if codec.K() < 2 {
 				t.Fatalf("codec of %q accepted with k=%d", sample, codec.K())
 			}
 			syms, err := codec.Encode(input)
 			if err != nil {
-				continue // input uses characters outside the alphabet
+				continue // invalid UTF-8 or characters outside the alphabet
+			}
+			if !utf8.ValidString(input) {
+				t.Fatalf("Encode under %q accepted invalid-UTF-8 input %q", sample, input)
 			}
 			if len(syms) != len([]rune(input)) {
 				t.Fatalf("Encode(%q) under %q: %d symbols for %d runes", input, sample, len(syms), len([]rune(input)))
@@ -51,7 +60,7 @@ func FuzzTextCodecRoundTrip(f *testing.F) {
 			if err != nil {
 				t.Fatalf("Decode(Encode(%q)) under %q failed: %v", input, sample, err)
 			}
-			if utf8.ValidString(input) && out != input {
+			if out != input {
 				t.Fatalf("round trip under %q: %q -> %q", sample, input, out)
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // MaxK is the largest supported alphabet size. Symbol indices are stored in
@@ -229,10 +230,28 @@ type Encoder struct {
 	toRune   []rune
 }
 
+// invalidUTF8 locates the first invalid byte of s, for error reporting.
+// Callers have already established that s is not valid UTF-8.
+func invalidUTF8(kind, s string) error {
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size <= 1 {
+			return fmt.Errorf("alphabet: %s is not valid UTF-8 at byte %d (0x%02x)", kind, i, s[i])
+		}
+		i += size
+	}
+	return fmt.Errorf("alphabet: %s is not valid UTF-8", kind)
+}
+
 // NewEncoder builds an encoder whose alphabet is the set of distinct runes
 // of sample in first-appearance order. At least two distinct runes are
-// required.
+// required, and the sample must be valid UTF-8: silently folding invalid
+// bytes to U+FFFD (what Go string iteration does) would make Decode∘Encode
+// canonicalize instead of round-trip, so invalid input is an error.
 func NewEncoder(sample string) (*Encoder, error) {
+	if !utf8.ValidString(sample) {
+		return nil, invalidUTF8("alphabet sample", sample)
+	}
 	e := &Encoder{toSymbol: make(map[rune]byte)}
 	for _, r := range sample {
 		if _, ok := e.toSymbol[r]; ok {
@@ -251,8 +270,12 @@ func NewEncoder(sample string) (*Encoder, error) {
 }
 
 // NewEncoderSorted is NewEncoder but with the alphabet in sorted rune order,
-// so that the symbol numbering does not depend on first appearance.
+// so that the symbol numbering does not depend on first appearance. Like
+// NewEncoder it rejects samples that are not valid UTF-8.
 func NewEncoderSorted(sample string) (*Encoder, error) {
+	if !utf8.ValidString(sample) {
+		return nil, invalidUTF8("alphabet sample", sample)
+	}
 	seen := make(map[rune]bool)
 	var runes []rune
 	for _, r := range sample {
@@ -279,15 +302,22 @@ func NewEncoderSorted(sample string) (*Encoder, error) {
 func (e *Encoder) K() int { return len(e.toRune) }
 
 // Encode converts text to symbol indices. Characters outside the encoder's
-// alphabet produce an error.
+// alphabet produce an error, as does text that is not valid UTF-8 — the
+// invalid bytes would otherwise fold to U+FFFD and decode to a different
+// string than was encoded, silently corrupting round-trips.
 func (e *Encoder) Encode(text string) ([]byte, error) {
 	out := make([]byte, 0, len(text))
-	for i, r := range text {
+	for i := 0; i < len(text); {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		if r == utf8.RuneError && size <= 1 {
+			return nil, fmt.Errorf("alphabet: text is not valid UTF-8 at byte %d (0x%02x)", i, text[i])
+		}
 		sym, ok := e.toSymbol[r]
 		if !ok {
 			return nil, fmt.Errorf("alphabet: character %q at byte %d not in alphabet", r, i)
 		}
 		out = append(out, sym)
+		i += size
 	}
 	return out, nil
 }
@@ -306,3 +336,8 @@ func (e *Encoder) Decode(s []byte) (string, error) {
 
 // Rune returns the rune for symbol i.
 func (e *Encoder) Rune(i int) rune { return e.toRune[i] }
+
+// Alphabet returns the encoder's runes in symbol order as one string.
+// Feeding it back to NewEncoder reconstructs an identical encoder, which is
+// how snapshots persist a codec.
+func (e *Encoder) Alphabet() string { return string(e.toRune) }

@@ -254,6 +254,62 @@ func TestEncoderSorted(t *testing.T) {
 	}
 }
 
+func TestEncoderInvalidUTF8(t *testing.T) {
+	// Constructors reject invalid samples: folding the bad byte to U+FFFD
+	// would silently build an alphabet the input never contained.
+	for _, sample := range []string{"\xff\xfe", "a\x80b", "\xc3("} {
+		if _, err := NewEncoder(sample); err == nil {
+			t.Errorf("NewEncoder(%q): expected invalid-UTF-8 error", sample)
+		}
+		if _, err := NewEncoderSorted(sample); err == nil {
+			t.Errorf("NewEncoderSorted(%q): expected invalid-UTF-8 error", sample)
+		}
+	}
+	// Encode rejects invalid text even when every valid rune is in-alphabet.
+	e, err := NewEncoder("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"\xff", "a\x80b", "ab\xc3"} {
+		if _, err := e.Encode(text); err == nil {
+			t.Errorf("Encode(%q): expected invalid-UTF-8 error", text)
+		}
+	}
+	// A literal U+FFFD is valid UTF-8 and round-trips exactly.
+	e2, err := NewEncoder("�x")
+	if err != nil {
+		t.Fatalf("NewEncoder with literal U+FFFD: %v", err)
+	}
+	syms, err := e2.Encode("x��x")
+	if err != nil {
+		t.Fatalf("Encode literal U+FFFD: %v", err)
+	}
+	back, err := e2.Decode(syms)
+	if err != nil || back != "x��x" {
+		t.Errorf("round trip = %q, err %v", back, err)
+	}
+}
+
+func TestEncoderAlphabet(t *testing.T) {
+	e, err := NewEncoder("banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Alphabet(); got != "ban" {
+		t.Fatalf("Alphabet() = %q, want %q", got, "ban")
+	}
+	// Reconstructing from the alphabet string yields the identical mapping.
+	e2, err := NewEncoder(e.Alphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e.K(); i++ {
+		if e.Rune(i) != e2.Rune(i) {
+			t.Fatalf("symbol %d: %q vs %q", i, e.Rune(i), e2.Rune(i))
+		}
+	}
+}
+
 func TestEncoderUnicode(t *testing.T) {
 	e, err := NewEncoder("↑↓→")
 	if err != nil {

@@ -238,6 +238,82 @@ func (r *Roll) reconstruct(to int) {
 		} else {
 			group = (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
 		}
+		switch k {
+		case 2:
+			rb := r.base
+			y0 := int(int32(row[0])) - rb[0] + int(group&15)
+			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
+			vec[0], vec[1] = y0, y1
+			s := int64(y0)*int64(y0) + int64(y1)*int64(y1)
+			if y1 > y0 {
+				y0 = y1
+			}
+			r.sumInt, r.maxY = s, y0
+			r.drift = 1
+			return
+		case 4:
+			// Fully unrolled with constant-shift nibble extraction: the four
+			// lanes are independent the moment the group word arrives, so the
+			// post-fetch dependency chain matches the dense layout's.
+			rb := r.base
+			y0 := int(int32(row[0])) - rb[0] + int(group&15)
+			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
+			y2 := int(int32(row[2])) - rb[2] + int(group>>8&15)
+			y3 := int(int32(row[3])) - rb[3] + int(group>>12&15)
+			vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+			s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2)
+			s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3)
+			if y1 > y0 {
+				y0 = y1
+			}
+			if y3 > y2 {
+				y2 = y3
+			}
+			if y2 > y0 {
+				y0 = y2
+			}
+			r.sumInt, r.maxY = s0+s1, y0
+			r.drift = 1
+			return
+		case 8:
+			rb := r.base
+			y0 := int(int32(row[0])) - rb[0] + int(group&15)
+			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
+			y2 := int(int32(row[2])) - rb[2] + int(group>>8&15)
+			y3 := int(int32(row[3])) - rb[3] + int(group>>12&15)
+			y4 := int(int32(row[4])) - rb[4] + int(group>>16&15)
+			y5 := int(int32(row[5])) - rb[5] + int(group>>20&15)
+			y6 := int(int32(row[6])) - rb[6] + int(group>>24&15)
+			y7 := int(int32(row[7])) - rb[7] + int(group>>28&15)
+			vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+			vec[4], vec[5], vec[6], vec[7] = y4, y5, y6, y7
+			s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2) + int64(y4)*int64(y4) + int64(y6)*int64(y6)
+			s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3) + int64(y5)*int64(y5) + int64(y7)*int64(y7)
+			if y1 > y0 {
+				y0 = y1
+			}
+			if y3 > y2 {
+				y2 = y3
+			}
+			if y5 > y4 {
+				y4 = y5
+			}
+			if y7 > y6 {
+				y6 = y7
+			}
+			if y2 > y0 {
+				y0 = y2
+			}
+			if y6 > y4 {
+				y4 = y6
+			}
+			if y4 > y0 {
+				y0 = y4
+			}
+			r.sumInt, r.maxY = s0+s1, y0
+			r.drift = 1
+			return
+		}
 		var s0, s1 int64
 		m0, m1 := 0, 0
 		c := 0
@@ -280,7 +356,8 @@ func (r *Roll) reconstruct(to int) {
 		// One block probe, no walk: the checkpoint row plus the position's
 		// nibble-delta group, grabbed as a single two-word read (the group is
 		// at most k·4 ≤ 60 bits and the storage carries a padding word, so
-		// the read never straddles out of bounds).
+		// the read never straddles out of bounds). The common alphabets are
+		// unrolled with constant-shift extraction — see the uniform path.
 		k := len(vec)
 		base, off := r.cp.BlockIndex(to)
 		words := r.cpWords
@@ -288,9 +365,30 @@ func (r *Roll) reconstruct(to int) {
 		bit := off * k * 4
 		di := base + k + bit>>5
 		group := (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
-		for c, b := range r.base {
-			vec[c] = int(int32(row[c])) - b + int(group&15)
-			group >>= 4
+		rb := r.base
+		switch k {
+		case 2:
+			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
+			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
+		case 4:
+			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
+			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
+			vec[2] = int(int32(row[2])) - rb[2] + int(group>>8&15)
+			vec[3] = int(int32(row[3])) - rb[3] + int(group>>12&15)
+		case 8:
+			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
+			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
+			vec[2] = int(int32(row[2])) - rb[2] + int(group>>8&15)
+			vec[3] = int(int32(row[3])) - rb[3] + int(group>>12&15)
+			vec[4] = int(int32(row[4])) - rb[4] + int(group>>16&15)
+			vec[5] = int(int32(row[5])) - rb[5] + int(group>>20&15)
+			vec[6] = int(int32(row[6])) - rb[6] + int(group>>24&15)
+			vec[7] = int(int32(row[7])) - rb[7] + int(group>>28&15)
+		default:
+			for c, b := range rb {
+				vec[c] = int(int32(row[c])) - b + int(group&15)
+				group >>= 4
+			}
 		}
 	case r.cp != nil:
 		base, off := r.cp.BlockIndex(to)

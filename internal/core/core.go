@@ -182,6 +182,38 @@ func NewScannerConfig(s []byte, m *alphabet.Model, cfg Config) (*Scanner, error)
 	}, nil
 }
 
+// NewScannerFromIndex builds a Scanner over an existing count index — the
+// zero-copy path snapshots use: s and pre may alias an mmap'd file, and no
+// index is rebuilt. The symbols are validated against the model (the index
+// geometry was validated by whoever built pre), and the index must describe
+// exactly this string: same length, same alphabet size.
+func NewScannerFromIndex(s []byte, m *alphabet.Model, pre counts.Layout) (*Scanner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if pre == nil {
+		return nil, fmt.Errorf("core: nil count index")
+	}
+	if err := alphabet.Validate(s, m.K()); err != nil {
+		return nil, err
+	}
+	if pre.Len() != len(s) || pre.K() != m.K() {
+		return nil, fmt.Errorf("core: count index covers n=%d k=%d, string has n=%d k=%d", pre.Len(), pre.K(), len(s), m.K())
+	}
+	probs := m.Probs()
+	return &Scanner{
+		s:     s,
+		model: m,
+		probs: probs,
+		k:     m.K(),
+		pre:   pre,
+		kern:  chisq.NewKernel(probs),
+	}, nil
+}
+
+// Index returns the scanner's count index (shared; read-only).
+func (sc *Scanner) Index() counts.Layout { return sc.pre }
+
 // newRoll takes a rolling cursor from the pool (or builds one) — one per
 // scan worker; putRoll returns it when the scan ends.
 func (sc *Scanner) newRoll() *chisq.Roll {

@@ -1,7 +1,9 @@
 package counts
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 
 	"repro/internal/alphabet"
 )
@@ -97,6 +99,83 @@ func NewCheckpointed(s []byte, k, interval int) (*Checkpointed, error) {
 		}
 	}
 	return &Checkpointed{k: k, n: n, b: interval, shift: shift, stride: stride, blocks: blocks}, nil
+}
+
+// CheckpointedWords returns the exact length of the packed block array of a
+// checkpointed index over n positions and k symbols at the given interval —
+// the size contract FromWords enforces and snapshots record.
+func CheckpointedWords(n, k, interval int) int {
+	deltaWords := (interval*k*4 + 31) / 32
+	stride := k + deltaWords
+	return (n/interval+1)*stride + 1
+}
+
+// FromWords reconstructs a Checkpointed index directly over an existing
+// packed block array, sharing (not copying) words. It is the zero-copy path
+// snapshots use to serve an index straight from an mmap'd file: no text
+// walk, no rebuild, no heap copy of the blocks.
+//
+// The geometry is fully validated — k within the alphabet bounds, interval
+// a power of two in [4, 16], and len(words) exactly the size NewCheckpointed
+// would have produced — so a corrupt or truncated block array is rejected
+// here rather than panicking in a probe. The word CONTENTS are trusted:
+// callers feeding untrusted bytes must authenticate them first (the
+// snapshot layer checksums the whole file), since a forged-but-well-sized
+// array yields wrong counts, though never out-of-bounds access (every probe
+// offset is derived from the validated geometry).
+func FromWords(n, k, interval int, words []uint32) (*Checkpointed, error) {
+	if k < 2 || k > alphabet.MaxK {
+		return nil, fmt.Errorf("counts: invalid alphabet size %d", k)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("counts: negative length %d", n)
+	}
+	if interval < 4 || interval > DefaultInterval || interval&(interval-1) != 0 {
+		return nil, fmt.Errorf("counts: checkpoint interval %d is not a power of two in [4, %d]", interval, DefaultInterval)
+	}
+	shift := uint(2)
+	for 1<<shift < interval {
+		shift++
+	}
+	deltaWords := (interval*k*4 + 31) / 32
+	stride := k + deltaWords
+	if want := CheckpointedWords(n, k, interval); len(words) != want {
+		return nil, fmt.Errorf("counts: block array has %d words, want %d for n=%d k=%d interval=%d", len(words), want, n, k, interval)
+	}
+	return &Checkpointed{k: k, n: n, b: interval, shift: shift, stride: stride, blocks: words}, nil
+}
+
+// WriteWords streams a packed word array to w as little-endian uint32s, in
+// chunks so no O(len) buffer is allocated — the single serialization loop
+// shared by Checkpointed.WriteTo and the snapshot encoder.
+func WriteWords(w io.Writer, words []uint32) (int64, error) {
+	const chunkWords = 8192
+	buf := make([]byte, chunkWords*4)
+	var written int64
+	for off := 0; off < len(words); off += chunkWords {
+		end := off + chunkWords
+		if end > len(words) {
+			end = len(words)
+		}
+		b := buf[:(end-off)*4]
+		for i, v := range words[off:end] {
+			binary.LittleEndian.PutUint32(b[i*4:], v)
+		}
+		n, err := w.Write(b)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// WriteTo streams the packed block array to w as little-endian uint32
+// words. Together with FromWords it forms the serialization contract of
+// the layout: writing Words() and reconstructing from the same words
+// yields a bit-identical index.
+func (p *Checkpointed) WriteTo(w io.Writer) (int64, error) {
+	return WriteWords(w, p.blocks)
 }
 
 // K returns the alphabet size.

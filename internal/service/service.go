@@ -163,19 +163,45 @@ type ModelSpec struct {
 // Corpus is a cached, query-ready text: the codec mapping characters to
 // symbols, the null model, and the prefix-counted scanner. All fields are
 // read-only after construction.
+//
+// A corpus is either heap-built (BuildCorpus: the index and symbols live on
+// the Go heap) or mmap-backed (the Store loads it from a snapshot file and
+// the index and symbols are served straight from the page cache). The
+// distinction matters only for accounting: the cache budget charges
+// resident heap bytes, while mapped bytes are reported separately.
 type Corpus struct {
 	Name    string
 	Codec   *sigsub.TextCodec
 	Model   *sigsub.Model
 	Scanner *sigsub.Scanner
 	symbols []byte
+
+	// snap pins the snapshot mapping for mmap-backed corpora: the Scanner
+	// and symbols alias the mapped file, which stays valid exactly as long
+	// as the Corpus (and hence snap) is reachable.
+	snap *sigsub.Snapshot
 }
 
-// Bytes returns the corpus's resident footprint: the count index plus the
-// encoded symbol string (snippets decode from the symbols, so no raw text
-// is kept). This is what the byte-budgeted cache charges for admission.
+// Bytes returns the corpus's resident heap footprint — what the
+// byte-budgeted cache charges for admission. Heap-built corpora charge the
+// count index plus the encoded symbol string (snippets decode from the
+// symbols, so no raw text is kept); mmap-backed corpora charge only their
+// small heap overhead, since their index and symbols live in the page
+// cache and are evictable by the kernel.
 func (c *Corpus) Bytes() int64 {
+	if c.snap != nil {
+		return c.snap.HeapBytes()
+	}
 	return int64(c.Scanner.IndexBytes()) + int64(len(c.symbols))
+}
+
+// MappedBytes returns the file-backed bytes an mmap-backed corpus is served
+// from (0 for heap-built corpora).
+func (c *Corpus) MappedBytes() int64 {
+	if c.snap != nil {
+		return c.snap.MappedBytes()
+	}
+	return 0
 }
 
 // Info summarizes a corpus for listings and responses.
@@ -184,14 +210,25 @@ type Info struct {
 	N     int    `json:"n"`
 	K     int    `json:"k"`
 	Model string `json:"model"`
-	// Bytes is the corpus's resident footprint charged against the cache
-	// byte budget.
+	// Bytes is the corpus's resident heap footprint charged against the
+	// cache byte budget.
 	Bytes int64 `json:"bytes"`
+	// MappedBytes is the file-backed footprint of an mmap-served corpus
+	// (0 when the corpus was built on the heap). Mapped bytes are paged in
+	// and out by the kernel and are not charged against the cache budget.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 }
 
 // Info returns the corpus summary.
 func (c *Corpus) Info() Info {
-	return Info{Name: c.Name, N: c.Scanner.Len(), K: c.Model.K(), Model: c.Model.String(), Bytes: c.Bytes()}
+	return Info{
+		Name:        c.Name,
+		N:           c.Scanner.Len(),
+		K:           c.Model.K(),
+		Model:       c.Model.String(),
+		Bytes:       c.Bytes(),
+		MappedBytes: c.MappedBytes(),
+	}
 }
 
 // Snippet decodes the corpus characters of [start, end), for result
@@ -250,19 +287,35 @@ func BuildCorpus(name, text string, spec ModelSpec) (*Corpus, error) {
 // DefaultCacheBytes is the default corpus-cache byte budget (256 MiB).
 const DefaultCacheBytes = 256 << 20
 
+// cacheEntry is one resident corpus threaded on the intrusive LRU list.
+// prev points toward the least-recently-used head, next toward the
+// most-recently-used tail.
+type cacheEntry struct {
+	corpus     *Corpus
+	prev, next *cacheEntry
+}
+
 // Cache is a byte-budgeted LRU map of named corpora: capacity is measured
 // in resident bytes (Corpus.Bytes), not entries, so the budget translates
 // directly to the daemon's memory ceiling — with the checkpointed count
 // layout the same budget holds roughly 5× the corpora the dense layouts
-// did. All methods are safe for concurrent use; the corpora themselves are
+// did, and mmap-backed corpora charge only their small heap overhead. All
+// methods are safe for concurrent use; the corpora themselves are
 // immutable, so a Get result stays valid (and scannable) even after
 // eviction.
+//
+// Recency is an intrusive doubly-linked list over the map entries, so the
+// hot-path touch on every Get/Put is O(1) regardless of how many corpora
+// are resident (the previous order-slice scan made a busy daemon's lookup
+// path quadratic in the corpus count).
 type Cache struct {
-	mu    sync.Mutex
-	max   int64
-	used  int64
-	m     map[string]*Corpus
-	order []string // least recently used first
+	mu   sync.Mutex
+	max  int64
+	used int64
+	m    map[string]*cacheEntry
+	// head is the least recently used entry, tail the most recent; both nil
+	// iff the cache is empty.
+	head, tail *cacheEntry
 }
 
 // NewCache builds a cache with the given byte budget (maxBytes < 1 selects
@@ -272,18 +325,43 @@ func NewCache(maxBytes int64) *Cache {
 	if maxBytes < 1 {
 		maxBytes = DefaultCacheBytes
 	}
-	return &Cache{max: maxBytes, m: make(map[string]*Corpus)}
+	return &Cache{max: maxBytes, m: make(map[string]*cacheEntry)}
 }
 
-// touch moves name to the most-recently-used tail. Callers hold mu.
-func (c *Cache) touch(name string) {
-	for i, n := range c.order {
-		if n == name {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
-			return
-		}
+// unlink removes e from the recency list. Callers hold mu.
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
 	}
-	c.order = append(c.order, name)
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushTail appends e at the most-recently-used tail. Callers hold mu.
+func (c *Cache) pushTail(e *cacheEntry) {
+	e.prev = c.tail
+	e.next = nil
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+}
+
+// touch moves e to the most-recently-used tail in O(1). Callers hold mu.
+func (c *Cache) touch(e *cacheEntry) {
+	if c.tail == e {
+		return
+	}
+	c.unlink(e)
+	c.pushTail(e)
 }
 
 // Put stores the corpus under its name, evicting least-recently-used
@@ -292,21 +370,26 @@ func (c *Cache) touch(name string) {
 func (c *Cache) Put(corpus *Corpus) (evicted []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, ok := c.m[corpus.Name]; ok {
-		c.used -= old.Bytes()
+	e, ok := c.m[corpus.Name]
+	if ok {
+		c.used -= e.corpus.Bytes()
+		e.corpus = corpus
+		c.touch(e)
+	} else {
+		e = &cacheEntry{corpus: corpus}
+		c.m[corpus.Name] = e
+		c.pushTail(e)
 	}
 	c.used += corpus.Bytes()
-	c.m[corpus.Name] = corpus
-	c.touch(corpus.Name)
-	for c.used > c.max && len(c.order) > 1 {
-		victim := c.order[0]
-		if victim == corpus.Name {
+	for c.used > c.max && c.head != c.tail {
+		victim := c.head
+		if victim.corpus.Name == corpus.Name {
 			break
 		}
-		c.order = c.order[1:]
-		c.used -= c.m[victim].Bytes()
-		delete(c.m, victim)
-		evicted = append(evicted, victim)
+		c.unlink(victim)
+		c.used -= victim.corpus.Bytes()
+		delete(c.m, victim.corpus.Name)
+		evicted = append(evicted, victim.corpus.Name)
 	}
 	return evicted
 }
@@ -318,6 +401,20 @@ func (c *Cache) UsedBytes() int64 {
 	return c.used
 }
 
+// MappedBytes returns the file-backed (mmap-served) bytes of the resident
+// corpora. They are not charged against the budget — the kernel pages them
+// in and out on demand — but operators watching /v1/healthz want both
+// numbers.
+func (c *Cache) MappedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for e := c.head; e != nil; e = e.next {
+		total += e.corpus.MappedBytes()
+	}
+	return total
+}
+
 // MaxBytes returns the cache byte budget.
 func (c *Cache) MaxBytes() int64 { return c.max }
 
@@ -325,29 +422,25 @@ func (c *Cache) MaxBytes() int64 { return c.max }
 func (c *Cache) Get(name string) (*Corpus, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	corpus, ok := c.m[name]
-	if ok {
-		c.touch(name)
+	e, ok := c.m[name]
+	if !ok {
+		return nil, false
 	}
-	return corpus, ok
+	c.touch(e)
+	return e.corpus, true
 }
 
 // Delete removes a corpus, reporting whether it was present.
 func (c *Cache) Delete(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	corpus, ok := c.m[name]
+	e, ok := c.m[name]
 	if !ok {
 		return false
 	}
-	c.used -= corpus.Bytes()
+	c.used -= e.corpus.Bytes()
+	c.unlink(e)
 	delete(c.m, name)
-	for i, n := range c.order {
-		if n == name {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
-	}
 	return true
 }
 
@@ -355,9 +448,9 @@ func (c *Cache) Delete(name string) bool {
 func (c *Cache) List() []Info {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Info, 0, len(c.order))
-	for _, name := range c.order {
-		out = append(out, c.m[name].Info())
+	out := make([]Info, 0, len(c.m))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.corpus.Info())
 	}
 	return out
 }
@@ -419,6 +512,15 @@ type BatchResponse struct {
 // shared daemon against oversized requests; zero values mean defaults.
 type Executor struct {
 	Cache *Cache
+	// Store, when non-nil, is the durable corpus layer behind the cache:
+	// uploads persist to it, cache misses reload from it (mmap-served)
+	// instead of returning not-found, and deletes remove the file.
+	Store *Store
+	// storeMu serializes store mutations against cache admission: without
+	// it, a cache-miss reload racing a DELETE could re-admit the corpus
+	// after its file is gone, resurrecting a deleted corpus until the next
+	// eviction. Queries against cached corpora never take it.
+	storeMu sync.Mutex
 	// MaxQueries bounds the queries per batch (default 64).
 	MaxQueries int
 	// MaxWorkers bounds the per-request engine parallelism (default 16).
@@ -468,11 +570,7 @@ func (e *Executor) resolve(corpusName, text string, spec ModelSpec) (*Corpus, er
 			// different null model than the client asked for.
 			return nil, badRequest("request names corpus %q and a model spec; a cached corpus's model is fixed at upload time", corpusName)
 		}
-		corpus, ok := e.Cache.Get(corpusName)
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, corpusName)
-		}
-		return corpus, nil
+		return e.lookup(corpusName)
 	case text != "":
 		if len(text) > e.maxTextLen() {
 			return nil, badRequest("inline text of %d bytes exceeds the %d byte limit; upload it as a corpus", len(text), e.maxTextLen())
@@ -481,6 +579,104 @@ func (e *Executor) resolve(corpusName, text string, spec ModelSpec) (*Corpus, er
 	default:
 		return nil, badRequest("request must name a corpus or carry inline text")
 	}
+}
+
+// lookup resolves a named corpus: cache first, then — when a store is
+// configured — a reload from disk, which re-admits the mmap-served corpus
+// to the cache so the next request hits.
+func (e *Executor) lookup(name string) (*Corpus, error) {
+	if corpus, ok := e.Cache.Get(name); ok {
+		return corpus, nil
+	}
+	if e.Store == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// Load-and-admit runs under storeMu so a concurrent DeleteCorpus
+	// cannot interleave between the file read and the cache put.
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	if corpus, ok := e.Cache.Get(name); ok {
+		return corpus, nil
+	}
+	corpus, err := e.Store.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	e.Cache.Put(corpus)
+	return corpus, nil
+}
+
+// AddCorpus builds a corpus from text, persists it when a store is
+// configured, and admits it to the cache. It returns the names the
+// admission evicted from the cache (they remain on disk and reload on
+// demand).
+func (e *Executor) AddCorpus(name, text string, spec ModelSpec) (*Corpus, []string, error) {
+	if e.Store != nil {
+		if err := checkName(name); err != nil {
+			return nil, nil, err
+		}
+	}
+	corpus, err := BuildCorpus(name, text, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.Store != nil {
+		// Persist before caching — an upload the daemon acknowledged must
+		// survive a crash-restart — and hold storeMu across save+admit so a
+		// concurrent delete removes either the old corpus or this one, never
+		// a torn half.
+		e.storeMu.Lock()
+		defer e.storeMu.Unlock()
+		if err := e.Store.Save(corpus); err != nil {
+			return nil, nil, err
+		}
+	}
+	evicted := e.Cache.Put(corpus)
+	return corpus, evicted, nil
+}
+
+// DeleteCorpus removes a corpus from the cache and, when a store is
+// configured, from disk; it reports whether anything existed under the
+// name.
+func (e *Executor) DeleteCorpus(name string) (bool, error) {
+	if e.Store == nil {
+		return e.Cache.Delete(name), nil
+	}
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	cached := e.Cache.Delete(name)
+	stored, err := e.Store.Delete(name)
+	return cached || stored, err
+}
+
+// LoadCatalog reopens every persisted corpus and admits it to the cache —
+// the startup path that makes a daemon restart transparent to clients.
+// Corpora are mmap-served, so the catalog's resident cost is per-corpus
+// overhead, not corpus bytes. Unloadable files are reported through logf
+// and skipped; the daemon still serves everything else.
+func (e *Executor) LoadCatalog(logf func(format string, args ...any)) int {
+	if e.Store == nil {
+		return 0
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	names, err := e.Store.List()
+	if err != nil {
+		logf("corpus catalog: %v", err)
+		return 0
+	}
+	loaded := 0
+	for _, name := range names {
+		corpus, err := e.Store.Load(name)
+		if err != nil {
+			logf("corpus catalog: skipping %q: %v", name, err)
+			continue
+		}
+		e.Cache.Put(corpus)
+		loaded++
+	}
+	return loaded
 }
 
 // Execute runs a batch request: every query is validated and lowered to the

@@ -164,6 +164,151 @@ func TestCacheLRU(t *testing.T) {
 	}
 }
 
+// TestBuildCorpusInvalidUTF8: the codec's strict UTF-8 rejection must
+// surface as a client error (HTTP 400 at the daemon), not a server fault —
+// previously such text silently canonicalized to U+FFFD and the stored
+// corpus no longer round-tripped the upload.
+func TestBuildCorpusInvalidUTF8(t *testing.T) {
+	for _, text := range []string{"a\x80b", "\xff\xfe01", "01\xc3"} {
+		_, err := BuildCorpus("x", text, ModelSpec{})
+		if err == nil {
+			t.Fatalf("BuildCorpus(%q): invalid UTF-8 accepted", text)
+		}
+		if !IsValidation(err) {
+			t.Fatalf("BuildCorpus(%q): %v is not a validation error", text, err)
+		}
+		if !strings.Contains(err.Error(), "UTF-8") {
+			t.Errorf("BuildCorpus(%q): error %q does not name the cause", text, err)
+		}
+	}
+	// A literal U+FFFD is valid UTF-8 and remains accepted.
+	if _, err := BuildCorpus("x", "0101�1�0", ModelSpec{}); err != nil {
+		t.Fatalf("literal U+FFFD rejected: %v", err)
+	}
+}
+
+// TestCacheRePutSameName: replacing a corpus under the same name must
+// charge the budget for exactly one copy (the regression the order-slice
+// rewrite guards: double-charging or double-linking the renamed entry).
+func TestCacheRePutSameName(t *testing.T) {
+	probe, err := BuildCorpus("x", testText, ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(10 * probe.Bytes())
+	for i := 0; i < 5; i++ {
+		corpus, err := BuildCorpus("x", testText, ModelSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evicted := c.Put(corpus); len(evicted) != 0 {
+			t.Fatalf("re-put %d evicted %v", i, evicted)
+		}
+	}
+	if got := c.UsedBytes(); got != probe.Bytes() {
+		t.Errorf("5 re-puts charge %d bytes, want one copy = %d", got, probe.Bytes())
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("cache holds %d entries, want 1", got)
+	}
+	if got := len(c.List()); got != 1 {
+		t.Errorf("recency list holds %d entries, want 1", got)
+	}
+	// The refreshed entry must still be evictable in order.
+	big, err := BuildCorpus("big", strings.Repeat(testText, 40), ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := c.Put(big)
+	if len(evicted) != 1 || evicted[0] != "x" {
+		t.Errorf("evicted %v, want [x]", evicted)
+	}
+	if got := c.UsedBytes(); got != big.Bytes() {
+		t.Errorf("after eviction %d bytes, want %d", got, big.Bytes())
+	}
+}
+
+// TestCacheOversizedAdmission: a corpus larger than the whole budget is
+// admitted alone, every prior resident is evicted, and accounting stays
+// consistent through its later eviction.
+func TestCacheOversizedAdmission(t *testing.T) {
+	small, err := BuildCorpus("small", testText, ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(2 * small.Bytes())
+	c.Put(small)
+	huge, err := BuildCorpus("huge", strings.Repeat(testText, 100), ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Bytes() <= c.MaxBytes() {
+		t.Fatalf("test corpus not oversized: %d <= %d", huge.Bytes(), c.MaxBytes())
+	}
+	evicted := c.Put(huge)
+	if len(evicted) != 1 || evicted[0] != "small" {
+		t.Fatalf("evicted %v, want [small]", evicted)
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("cache holds %d, want the oversized corpus alone", got)
+	}
+	if got := c.UsedBytes(); got != huge.Bytes() {
+		t.Errorf("used %d, want %d", got, huge.Bytes())
+	}
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized corpus not admitted")
+	}
+	// A subsequent small put evicts the oversized resident and the books
+	// return to exactly the small corpus.
+	small2, err := BuildCorpus("small2", testText, ModelSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted = c.Put(small2)
+	if len(evicted) != 1 || evicted[0] != "huge" {
+		t.Fatalf("evicted %v, want [huge]", evicted)
+	}
+	if got := c.UsedBytes(); got != small2.Bytes() {
+		t.Errorf("used %d, want %d", got, small2.Bytes())
+	}
+}
+
+// TestCacheTouchManyResidents drives Get/Put across many resident corpora —
+// the pattern the linked-list recency makes O(1) per operation — and then
+// verifies the recency order end to end.
+func TestCacheTouchManyResidents(t *testing.T) {
+	c := NewCache(1 << 40)
+	const n = 200
+	for i := 0; i < n; i++ {
+		corpus, err := BuildCorpus(fmt.Sprintf("c%03d", i), testText, ModelSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put(corpus)
+	}
+	// Touch the even corpora in reverse; the odd ones keep insertion order
+	// at the LRU end.
+	for i := n - 2; i >= 0; i -= 2 {
+		if _, ok := c.Get(fmt.Sprintf("c%03d", i)); !ok {
+			t.Fatalf("c%03d missing", i)
+		}
+	}
+	list := c.List()
+	if len(list) != n {
+		t.Fatalf("%d resident, want %d", len(list), n)
+	}
+	for i := 0; i < n/2; i++ {
+		if want := fmt.Sprintf("c%03d", 2*i+1); list[i].Name != want {
+			t.Fatalf("LRU slot %d is %s, want %s", i, list[i].Name, want)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		if want := fmt.Sprintf("c%03d", n-2-2*i); list[n/2+i].Name != want {
+			t.Fatalf("MRU slot %d is %s, want %s", n/2+i, list[n/2+i].Name, want)
+		}
+	}
+}
+
 // TestExecuteMatchesLibrary: the executor's answers must equal direct
 // library calls on the same corpus and model.
 func TestExecuteMatchesLibrary(t *testing.T) {

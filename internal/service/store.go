@@ -1,0 +1,178 @@
+// Disk-backed corpus store: the durable layer behind the daemon's in-memory
+// LRU. Every uploaded corpus is serialized to a versioned snapshot file
+// (internal/snapshot via sigsub.WriteSnapshot) under one directory; cache
+// misses reopen the file mmap'd instead of returning 404, and a daemon
+// restart replays the whole catalog, so clients never re-upload.
+package service
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sigsub "repro"
+)
+
+// MaxStoredNameBytes caps corpus names a store will persist: names are
+// base64url-encoded into file names, and 180 input bytes keep the encoded
+// name under every common filesystem's 255-byte component limit.
+const MaxStoredNameBytes = 180
+
+// snapExt is the snapshot file extension.
+const snapExt = ".snap"
+
+// Store persists corpora as snapshot files in a single directory. Writes
+// go through a temp file plus rename, so a crash mid-upload leaves either
+// the old file or the new one, never a torn snapshot; the checksum catches
+// any other corruption at load time.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a snapshot directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("service: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating store directory: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName encodes a corpus name into a safe file name; decodeName inverts
+// it. base64url handles path separators, dots, and every other hostile
+// byte a URL path segment can smuggle in.
+func fileName(name string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(name)) + snapExt
+}
+
+func decodeName(file string) (string, bool) {
+	base, ok := strings.CutSuffix(file, snapExt)
+	if !ok {
+		return "", false
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(base)
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+// path returns the snapshot path for a corpus name.
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, fileName(name))
+}
+
+// checkName validates a corpus name for persistence.
+func checkName(name string) error {
+	if name == "" {
+		return badRequest("empty corpus name")
+	}
+	if len(name) > MaxStoredNameBytes {
+		return badRequest("corpus name of %d bytes exceeds the %d byte limit for persisted corpora", len(name), MaxStoredNameBytes)
+	}
+	return nil
+}
+
+// Save persists the corpus durably: snapshot to a temp file in the same
+// directory, fsync, then atomic rename over the final name.
+func (s *Store) Save(c *Corpus) error {
+	if err := checkName(c.Name); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
+	}
+	if err := sigsub.WriteSnapshot(f, c.Scanner, c.Codec); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
+	}
+	if err := os.Rename(tmp, s.path(c.Name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
+	}
+	return nil
+}
+
+// Load reopens a persisted corpus, served from an mmap of its snapshot
+// file. A missing file reports ErrNotFound.
+func (s *Store) Load(name string) (*Corpus, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	sn, err := sigsub.OpenSnapshot(s.path(name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("service: loading corpus %q: %w", name, err)
+	}
+	codec := sn.Codec()
+	if codec == nil {
+		sn.Close()
+		return nil, fmt.Errorf("service: snapshot of corpus %q carries no codec table", name)
+	}
+	return &Corpus{
+		Name:    name,
+		Codec:   codec,
+		Model:   sn.Model(),
+		Scanner: sn.Scanner(),
+		symbols: sn.Scanner().Symbols(),
+		snap:    sn,
+	}, nil
+}
+
+// Delete removes the persisted snapshot, reporting whether one existed.
+func (s *Store) Delete(name string) (bool, error) {
+	if err := checkName(name); err != nil {
+		return false, err
+	}
+	err := os.Remove(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("service: deleting corpus %q: %w", name, err)
+	}
+	return true, nil
+}
+
+// List returns the names of every persisted corpus, in directory order.
+// Files that are not well-formed snapshot names (temp files, strays) are
+// skipped.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name, ok := decodeName(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}

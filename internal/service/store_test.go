@@ -1,0 +1,216 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// storeQueries is the query battery used to compare served corpora.
+var storeQueries = []Query{
+	{Kind: "mss"},
+	{Kind: "topt", T: 5},
+	{Kind: "threshold", Alpha: 8},
+	{Kind: "mss", MinLength: 5},
+}
+
+// answers runs the battery through an executor against a named corpus.
+func answers(t *testing.T, e *Executor, corpus string) []QueryResult {
+	t.Helper()
+	resp, err := e.Execute(BatchRequest{Corpus: corpus, Queries: storeQueries, IncludeText: true})
+	if err != nil {
+		t.Fatalf("executing against %q: %v", corpus, err)
+	}
+	return resp.Results
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if _, _, err := e.AddCorpus("demo", testText, ModelSpec{MLE: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := answers(t, e, "demo")
+
+	// A fresh executor over the same directory — the restart — must answer
+	// bit-identically with no re-upload, serving from the snapshot.
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &Executor{Cache: NewCache(1 << 20), Store: store2}
+	if loaded := e2.LoadCatalog(t.Logf); loaded != 1 {
+		t.Fatalf("catalog loaded %d corpora, want 1", loaded)
+	}
+	got := answers(t, e2, "demo")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-restart answers differ:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The reloaded corpus reports its mapped footprint and a small heap
+	// charge.
+	corpus, ok := e2.Cache.Get("demo")
+	if !ok {
+		t.Fatal("reloaded corpus not cached")
+	}
+	if corpus.MappedBytes() == 0 {
+		t.Error("reloaded corpus reports no mapped bytes")
+	}
+	if corpus.Bytes() >= corpus.MappedBytes() {
+		t.Errorf("mapped corpus charges %d heap bytes against %d mapped", corpus.Bytes(), corpus.MappedBytes())
+	}
+}
+
+func TestStoreCacheMissReloads(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if _, _, err := e.AddCorpus("demo", testText, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	want := answers(t, e, "demo")
+	// Simulate eviction: drop from the cache only. The next query must
+	// reload from disk instead of 404ing.
+	if !e.Cache.Delete("demo") {
+		t.Fatal("cache delete failed")
+	}
+	got := answers(t, e, "demo")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("reloaded-corpus answers differ from original")
+	}
+	if e.Cache.Len() != 1 {
+		t.Error("reload did not re-admit the corpus")
+	}
+}
+
+func TestStoreDeleteTombstones(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if _, _, err := e.AddCorpus("demo", testText, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := e.DeleteCorpus("demo")
+	if err != nil || !deleted {
+		t.Fatalf("delete: %v %v", deleted, err)
+	}
+	// Gone from cache AND disk: no resurrection on lookup or catalog load.
+	if _, err := e.Execute(BatchRequest{Corpus: "demo", Queries: storeQueries[:1]}); err == nil {
+		t.Fatal("deleted corpus still answers")
+	}
+	if names, _ := store.List(); len(names) != 0 {
+		t.Fatalf("store still lists %v", names)
+	}
+	deleted, err = e.DeleteCorpus("demo")
+	if err != nil || deleted {
+		t.Fatalf("second delete: %v %v", deleted, err)
+	}
+}
+
+func TestStoreHostileNames(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	for _, name := range []string{"../escape", "a/b", ".hidden", "d o t s..", "ünïcodé", strings.Repeat("x", MaxStoredNameBytes)} {
+		if _, _, err := e.AddCorpus(name, testText, ModelSpec{}); err != nil {
+			t.Fatalf("AddCorpus(%q): %v", name, err)
+		}
+	}
+	// Every file must live directly inside the store directory.
+	entries, err := os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, en := range entries {
+		if en.IsDir() || !strings.HasSuffix(en.Name(), ".snap") {
+			t.Errorf("unexpected store entry %q", en.Name())
+		}
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	want := []string{"../escape", ".hidden", "a/b", "d o t s..", "ünïcodé", strings.Repeat("x", MaxStoredNameBytes)}
+	sort.Strings(want)
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	// Over-long names are a validation error, not a filesystem surprise.
+	if _, _, err := e.AddCorpus(strings.Repeat("x", MaxStoredNameBytes+1), testText, ModelSpec{}); !IsValidation(err) {
+		t.Fatalf("oversized name: got %v, want validation error", err)
+	}
+}
+
+func TestStoreRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if _, _, err := e.AddCorpus("good", testText, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a copy under another name plus a stray non-snapshot file.
+	entries, _ := os.ReadDir(dir)
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 1
+	badName := "bad"
+	if err := os.WriteFile(filepath.Join(dir, fileName(badName)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray.txt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.Load(badName); err == nil {
+		t.Fatal("corrupt snapshot loaded")
+	}
+	// Catalog load skips the corrupt file and serves the good corpus.
+	e2 := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if loaded := e2.LoadCatalog(t.Logf); loaded != 1 {
+		t.Fatalf("catalog loaded %d, want 1 (good only)", loaded)
+	}
+	if _, ok := e2.Cache.Get("good"); !ok {
+		t.Fatal("good corpus missing after catalog load")
+	}
+}
+
+// TestStoreSnippetsFromMapped: result snippets decode from the mmap'd
+// symbol section through the persisted codec table.
+func TestStoreSnippetsFromMapped(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(1 << 20), Store: store}
+	if _, _, err := e.AddCorpus("demo", testText, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Cache.Delete("demo")
+	resp, err := e.Execute(BatchRequest{Corpus: "demo", Queries: []Query{{Kind: "mss"}}, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Results[0].Results[0]
+	if r.Text == "" || r.Text != testText[r.Start:r.End] {
+		t.Fatalf("snippet %q, want %q", r.Text, testText[r.Start:r.End])
+	}
+}

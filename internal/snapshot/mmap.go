@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Mapping owns the backing storage of an opened snapshot: an mmap'd
+// read-only file region on platforms that support it, or a heap buffer on
+// the fallback path. The Files decoded from it view this storage, so the
+// Mapping must stay reachable (and unclosed) for as long as any of those
+// views — including scanners built over them — is in use.
+//
+// A finalizer releases the region when the Mapping becomes unreachable, so
+// long-lived servers that drop corpora (cache eviction) reclaim address
+// space without having to sequence an explicit Close against in-flight
+// scans. Close remains available for deterministic release in short-lived
+// tools.
+type Mapping struct {
+	data  []byte
+	unmap func([]byte) error // nil for heap-backed storage
+}
+
+// Data returns the raw snapshot image.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Size returns the image size in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Mapped reports whether the image is served from a file mapping rather
+// than the heap.
+func (m *Mapping) Mapped() bool { return m.unmap != nil }
+
+// Close releases the mapping. After Close every view into the mapping —
+// Symbols, Words, and any scanner over them — is invalid; callers must
+// sequence Close after the last use. Heap-backed mappings are released by
+// the garbage collector and Close is a no-op.
+func (m *Mapping) Close() error {
+	if m.unmap == nil {
+		return nil
+	}
+	runtime.SetFinalizer(m, nil)
+	unmap := m.unmap
+	m.unmap = nil
+	data := m.data
+	m.data = nil
+	return unmap(data)
+}
+
+// newMapping wraps data, registering the finalizer for real mappings.
+func newMapping(data []byte, unmap func([]byte) error) *Mapping {
+	m := &Mapping{data: data, unmap: unmap}
+	if unmap != nil {
+		runtime.SetFinalizer(m, func(m *Mapping) { m.Close() })
+	}
+	return m
+}
+
+// Open maps (or, where mmap is unavailable, reads) the snapshot at path and
+// decodes it. The returned File's symbol and block sections are served
+// directly from the returned Mapping — zero heap copy on the mmap path.
+func Open(path string) (*File, *Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size < headerSize+trailerSize {
+		return nil, nil, corruptf("%s: %d bytes is smaller than the %d-byte header plus trailer", path, size, headerSize+trailerSize)
+	}
+	if size > MaxFileSize || int64(int(size)) != size {
+		// The second clause guards 32-bit platforms, where a file under the
+		// format cap can still overflow int; truncating would turn it into a
+		// negative make/mmap length and a panic instead of an error.
+		return nil, nil, corruptf("%s: %d bytes exceeds the %d-byte format cap", path, size, int64(MaxFileSize))
+	}
+	m, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: mapping %s: %w", path, err)
+	}
+	file, err := Decode(m.Data())
+	if err != nil {
+		m.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return file, m, nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the file into the heap;
+// the Mapping then reports Mapped() == false and serving is heap-backed.
+func mapFile(f *os.File, size int) (*Mapping, error) {
+	return readFallback(f, size)
+}

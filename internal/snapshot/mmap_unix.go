@@ -1,0 +1,20 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. The mapping survives the file descriptor
+// being closed, so callers may close f immediately after.
+func mapFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a heap read rather
+		// than failing the open.
+		return readFallback(f, size)
+	}
+	return newMapping(data, syscall.Munmap), nil
+}

@@ -1,0 +1,16 @@
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback loads the file image onto the heap — the portable serving
+// path used when mmap is unavailable or refused by the filesystem.
+func readFallback(f *os.File, size int) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return newMapping(data, nil), nil
+}

@@ -1,0 +1,394 @@
+// Package snapshot defines the durable on-disk format of a scannable
+// corpus: everything cmd/mssd needs to answer queries — codec table, model
+// probabilities, encoded symbol string, and the checkpointed count index —
+// in one versioned, checksummed, alignment-padded file.
+//
+// Layout (all integers little-endian):
+//
+//	offset   size  field
+//	0        8     magic "MSSSNAP1"
+//	8        4     format version (currently 1)
+//	12       4     flags (bit 0: codec table present)
+//	16       8     n — symbol count
+//	24       4     k — alphabet size
+//	28       4     count-index layout (0 = checkpointed; the only v1 layout)
+//	32       4     checkpoint interval B
+//	36       4     reserved (0)
+//	40       16    alphabet section offset, length
+//	56       16    model section offset, length (8·k bytes of float64 bits)
+//	72       16    symbols section offset, length (n bytes)
+//	88       16    blocks section offset, length (4·CheckpointedWords bytes)
+//	104      8     total file size, including the 8-byte checksum trailer
+//	112      8     reserved (0)
+//	120      —     sections, each beginning on a 64-byte boundary
+//	size−8   8     CRC-64/ECMA of every preceding byte
+//
+// Every section offset is 64-byte aligned so that, when the file is mmap'd
+// (page-aligned base), the symbol and block sections can be served in place:
+// the symbol section is used as the scanner's []byte directly and the block
+// section is reinterpreted as the checkpointed index's []uint32 with no heap
+// copy and no rebuild.
+//
+// Decode treats its input as untrusted: the checksum is verified before any
+// section is parsed, every offset and length is bounds-checked against the
+// file, the geometry fields are cross-checked against the section sizes,
+// and every symbol is validated against k — corrupt input yields an error,
+// never a panic and never an out-of-range index probe.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"unsafe"
+
+	"repro/internal/alphabet"
+	"repro/internal/counts"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "MSSSNAP1"
+
+// Version is the current (and only) format version.
+const Version = 1
+
+// LayoutCheckpointed is the only count-index layout v1 files carry.
+const LayoutCheckpointed = 0
+
+// flagCodec marks a file carrying a codec (alphabet) table.
+const flagCodec = 1
+
+// headerSize is the fixed header length; the first section starts at the
+// next 64-byte boundary (which headerSize already is, by chance of design:
+// 120 is not 64-aligned, so sections start at 128).
+const headerSize = 120
+
+// sectionAlign is the alignment of every section offset. 64 bytes covers
+// both the cache-line granularity the block probes want and the 4-byte
+// alignment the []uint32 reinterpretation requires.
+const sectionAlign = 64
+
+// trailerSize is the CRC-64 trailer length.
+const trailerSize = 8
+
+// MaxFileSize caps how large a snapshot Decode accepts (16 GiB) — a
+// corrupt size field must not drive allocations or offsets past int range.
+const MaxFileSize = 16 << 30
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt wraps every malformed-input failure so callers can distinguish
+// a damaged file from an I/O error with errors.Is.
+var ErrCorrupt = errors.New("snapshot: corrupt file")
+
+// corruptf builds an ErrCorrupt with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// File is a decoded snapshot. After Decode, Symbols and Words are views
+// into the decoded buffer wherever alignment allows — they stay valid
+// exactly as long as that buffer does (for mmap'd files, until the Mapping
+// is closed).
+type File struct {
+	// K is the alphabet size, N the symbol count.
+	K, N int
+	// Interval is the checkpoint spacing B of the stored count index.
+	Interval int
+	// HasCodec reports whether the file carries a codec table; Alphabet is
+	// then the codec's characters in symbol order.
+	HasCodec bool
+	Alphabet string
+	// Probs is the model's probability vector (validated by the caller via
+	// alphabet.NewModel; Decode only checks finiteness and count).
+	Probs []float64
+	// Symbols is the encoded corpus (every byte < K, validated).
+	Symbols []byte
+	// Words is the checkpointed index's packed block array, sized exactly
+	// counts.CheckpointedWords(N, K, Interval).
+	Words []uint32
+}
+
+// hostLittleEndian reports whether uint32 loads see little-endian bytes —
+// the condition for reinterpreting the mapped block section in place.
+var hostLittleEndian = func() bool {
+	x := uint32(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// align64 rounds n up to the next multiple of sectionAlign.
+func align64(n int64) int64 {
+	return (n + sectionAlign - 1) &^ (sectionAlign - 1)
+}
+
+// Size returns the encoded byte size of f, exactly what Encode will write.
+func (f *File) Size() int64 {
+	off := align64(headerSize)
+	off = align64(off + int64(len(f.Alphabet)))
+	off = align64(off + int64(8*len(f.Probs)))
+	off = align64(off + int64(len(f.Symbols)))
+	off += int64(4 * len(f.Words))
+	return off + trailerSize
+}
+
+// crcWriter tees writes into the running checksum.
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc64.Update(cw.crc, crcTable, p)
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+var zeroPad [sectionAlign]byte
+
+// pad writes zero bytes until cw.n reaches off.
+func (cw *crcWriter) pad(off int64) error {
+	for cw.n < off {
+		chunk := off - cw.n
+		if chunk > sectionAlign {
+			chunk = sectionAlign
+		}
+		if _, err := cw.Write(zeroPad[:chunk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode writes f to w in the versioned format, streaming the sections in
+// order and appending the checksum trailer. It validates the same geometry
+// Decode will, so a File that encodes successfully is guaranteed to decode.
+func Encode(w io.Writer, f *File) error {
+	if f.K < 2 || f.K > alphabet.MaxK {
+		return fmt.Errorf("snapshot: invalid alphabet size %d", f.K)
+	}
+	if f.N < 0 || f.N != len(f.Symbols) {
+		return fmt.Errorf("snapshot: n=%d does not match %d symbols", f.N, len(f.Symbols))
+	}
+	if len(f.Probs) != f.K {
+		return fmt.Errorf("snapshot: %d probabilities for alphabet size %d", len(f.Probs), f.K)
+	}
+	if f.Interval < 4 || f.Interval > 16 || f.Interval&(f.Interval-1) != 0 {
+		return fmt.Errorf("snapshot: checkpoint interval %d is not a power of two in [4, 16]", f.Interval)
+	}
+	if want := counts.CheckpointedWords(f.N, f.K, f.Interval); len(f.Words) != want {
+		return fmt.Errorf("snapshot: block array has %d words, want %d for n=%d k=%d interval=%d", len(f.Words), want, f.N, f.K, f.Interval)
+	}
+	if f.HasCodec == (f.Alphabet == "") {
+		return fmt.Errorf("snapshot: codec flag and alphabet table disagree (flag %v, %d alphabet bytes)", f.HasCodec, len(f.Alphabet))
+	}
+
+	alphaOff := align64(headerSize)
+	modelOff := align64(alphaOff + int64(len(f.Alphabet)))
+	symOff := align64(modelOff + int64(8*f.K))
+	blockOff := align64(symOff + int64(f.N))
+	total := blockOff + int64(4*len(f.Words)) + trailerSize
+
+	var hdr [headerSize]byte
+	copy(hdr[0:8], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[8:], Version)
+	flags := uint32(0)
+	if f.HasCodec {
+		flags |= flagCodec
+	}
+	le.PutUint32(hdr[12:], flags)
+	le.PutUint64(hdr[16:], uint64(f.N))
+	le.PutUint32(hdr[24:], uint32(f.K))
+	le.PutUint32(hdr[28:], LayoutCheckpointed)
+	le.PutUint32(hdr[32:], uint32(f.Interval))
+	le.PutUint64(hdr[40:], uint64(alphaOff))
+	le.PutUint64(hdr[48:], uint64(len(f.Alphabet)))
+	le.PutUint64(hdr[56:], uint64(modelOff))
+	le.PutUint64(hdr[64:], uint64(8*f.K))
+	le.PutUint64(hdr[72:], uint64(symOff))
+	le.PutUint64(hdr[80:], uint64(f.N))
+	le.PutUint64(hdr[88:], uint64(blockOff))
+	le.PutUint64(hdr[96:], uint64(4*len(f.Words)))
+	le.PutUint64(hdr[104:], uint64(total))
+
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := cw.pad(alphaOff); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(cw, f.Alphabet); err != nil {
+		return err
+	}
+	if err := cw.pad(modelOff); err != nil {
+		return err
+	}
+	var pb [8]byte
+	for _, p := range f.Probs {
+		le.PutUint64(pb[:], math.Float64bits(p))
+		if _, err := cw.Write(pb[:]); err != nil {
+			return err
+		}
+	}
+	if err := cw.pad(symOff); err != nil {
+		return err
+	}
+	if _, err := cw.Write(f.Symbols); err != nil {
+		return err
+	}
+	if err := cw.pad(blockOff); err != nil {
+		return err
+	}
+	if _, err := counts.WriteWords(cw, f.Words); err != nil {
+		return err
+	}
+	le.PutUint64(pb[:], cw.crc)
+	_, err := w.Write(pb[:])
+	return err
+}
+
+// section bounds-checks one (offset, length) pair against the payload area
+// [headerSize, size−trailerSize) and returns the view.
+func section(data []byte, off, length uint64, name string) ([]byte, error) {
+	payloadEnd := uint64(len(data) - trailerSize)
+	if off%sectionAlign != 0 {
+		return nil, corruptf("%s section offset %d is not %d-byte aligned", name, off, sectionAlign)
+	}
+	if off < headerSize || off > payloadEnd || length > payloadEnd-off {
+		return nil, corruptf("%s section [%d, %d+%d) outside file of %d bytes", name, off, off, length, len(data))
+	}
+	return data[off : off+length : off+length], nil
+}
+
+// Decode parses an untrusted snapshot image. On success the returned File's
+// Symbols (always) and Words (when the block section is 4-byte aligned on a
+// little-endian host — true for every mmap'd file) alias data, so data must
+// outlive the File.
+func Decode(data []byte) (*File, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, corruptf("%d bytes is smaller than the %d-byte header plus trailer", len(data), headerSize+trailerSize)
+	}
+	if int64(len(data)) > MaxFileSize {
+		return nil, corruptf("%d bytes exceeds the %d-byte format cap", len(data), int64(MaxFileSize))
+	}
+	if string(data[0:8]) != Magic {
+		return nil, corruptf("bad magic %q", data[0:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != Version {
+		return nil, corruptf("unsupported format version %d", v)
+	}
+	flags := le.Uint32(data[12:])
+	if flags&^uint32(flagCodec) != 0 {
+		return nil, corruptf("unknown flags %#x", flags)
+	}
+	if size := le.Uint64(data[104:]); size != uint64(len(data)) {
+		return nil, corruptf("header records %d bytes but the file has %d (truncated or padded)", size, len(data))
+	}
+	// Authenticate before trusting any further field.
+	if want, got := le.Uint64(data[len(data)-trailerSize:]), crc64.Checksum(data[:len(data)-trailerSize], crcTable); want != got {
+		return nil, corruptf("checksum mismatch: file records %#x, content hashes to %#x", want, got)
+	}
+
+	n64 := le.Uint64(data[16:])
+	k := int(le.Uint32(data[24:]))
+	layout := le.Uint32(data[28:])
+	interval := int(le.Uint32(data[32:]))
+	if layout != LayoutCheckpointed {
+		return nil, corruptf("unknown count-index layout %d", layout)
+	}
+	if k < 2 || k > alphabet.MaxK {
+		return nil, corruptf("alphabet size %d outside [2, %d]", k, alphabet.MaxK)
+	}
+	if n64 > uint64(len(data)) {
+		return nil, corruptf("symbol count %d exceeds the file size", n64)
+	}
+	n := int(n64)
+	if interval < 4 || interval > 16 || interval&(interval-1) != 0 {
+		return nil, corruptf("checkpoint interval %d is not a power of two in [4, 16]", interval)
+	}
+
+	alpha, err := section(data, le.Uint64(data[40:]), le.Uint64(data[48:]), "alphabet")
+	if err != nil {
+		return nil, err
+	}
+	model, err := section(data, le.Uint64(data[56:]), le.Uint64(data[64:]), "model")
+	if err != nil {
+		return nil, err
+	}
+	syms, err := section(data, le.Uint64(data[72:]), le.Uint64(data[80:]), "symbols")
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := section(data, le.Uint64(data[88:]), le.Uint64(data[96:]), "blocks")
+	if err != nil {
+		return nil, err
+	}
+
+	hasCodec := flags&flagCodec != 0
+	if hasCodec == (len(alpha) == 0) {
+		return nil, corruptf("codec flag and alphabet section disagree (flag %v, %d bytes)", hasCodec, len(alpha))
+	}
+	if len(model) != 8*k {
+		return nil, corruptf("model section has %d bytes, want %d for k=%d", len(model), 8*k, k)
+	}
+	if len(syms) != n {
+		return nil, corruptf("symbol section has %d bytes, want n=%d", len(syms), n)
+	}
+	wantWords := counts.CheckpointedWords(n, k, interval)
+	if len(blocks) != 4*wantWords {
+		return nil, corruptf("block section has %d bytes, want %d for n=%d k=%d interval=%d", len(blocks), 4*wantWords, n, k, interval)
+	}
+
+	probs := make([]float64, k)
+	for i := range probs {
+		probs[i] = math.Float64frombits(le.Uint64(model[8*i:]))
+		if math.IsNaN(probs[i]) || math.IsInf(probs[i], 0) {
+			return nil, corruptf("model probability %d is not finite", i)
+		}
+	}
+	for i, c := range syms {
+		if int(c) >= k {
+			return nil, corruptf("symbol %d at position %d outside alphabet of size %d", c, i, k)
+		}
+	}
+
+	var words []uint32
+	if wantWords > 0 && hostLittleEndian && uintptr(unsafe.Pointer(&blocks[0]))%4 == 0 {
+		// Serve the block array in place: the file stores little-endian
+		// uint32 words, so on an aligned little-endian mapping the bytes ARE
+		// the index.
+		words = unsafe.Slice((*uint32)(unsafe.Pointer(&blocks[0])), wantWords)
+	} else {
+		words = make([]uint32, wantWords)
+		for i := range words {
+			words[i] = le.Uint32(blocks[4*i:])
+		}
+	}
+
+	return &File{
+		K:        k,
+		N:        n,
+		Interval: interval,
+		HasCodec: hasCodec,
+		Alphabet: string(alpha),
+		Probs:    probs,
+		Symbols:  syms,
+		Words:    words,
+	}, nil
+}
+
+// Read decodes a snapshot from a stream into heap-backed storage.
+func Read(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxFileSize+1))
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

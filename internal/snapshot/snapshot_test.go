@@ -1,0 +1,269 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/counts"
+)
+
+// buildFile assembles a valid File over a random corpus.
+func buildFile(t testing.TB, n, k, interval int, withCodec bool) *File {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n*31 + k)))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(k))
+	}
+	cp, err := counts.NewCheckpointed(s, k, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, k)
+	for i := range probs {
+		probs[i] = 1 / float64(k)
+	}
+	f := &File{K: k, N: n, Interval: cp.Interval(), Probs: probs, Symbols: s, Words: cp.Words()}
+	if withCodec {
+		alpha := []rune("abcdefghijklmnopqrstuvwxyzαβγδεζηθικλμ")
+		f.HasCodec = true
+		f.Alphabet = string(alpha[:k])
+	}
+	return f
+}
+
+func encode(t testing.TB, f *File) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n, k, interval int
+		codec          bool
+	}{
+		{0, 2, 16, false},
+		{1, 2, 16, true},
+		{100, 4, 16, true},
+		{1000, 3, 8, true},
+		{4096, 8, 4, false},
+		{5000, 26, 16, true},
+	} {
+		f := buildFile(t, tc.n, tc.k, tc.interval, tc.codec)
+		data := encode(t, f)
+		if got := f.Size(); got != int64(len(data)) {
+			t.Errorf("n=%d k=%d: Size()=%d but Encode wrote %d", tc.n, tc.k, got, len(data))
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: Decode: %v", tc.n, tc.k, err)
+		}
+		if got.K != f.K || got.N != f.N || got.Interval != f.Interval || got.HasCodec != f.HasCodec || got.Alphabet != f.Alphabet {
+			t.Fatalf("n=%d k=%d: header round trip: got %+v", tc.n, tc.k, got)
+		}
+		if !reflect.DeepEqual(got.Probs, f.Probs) {
+			t.Fatalf("n=%d k=%d: probs drifted", tc.n, tc.k)
+		}
+		if !bytes.Equal(got.Symbols, f.Symbols) {
+			t.Fatalf("n=%d k=%d: symbols drifted", tc.n, tc.k)
+		}
+		if !reflect.DeepEqual(got.Words, f.Words) {
+			t.Fatalf("n=%d k=%d: block words drifted", tc.n, tc.k)
+		}
+		// The reconstructed index must answer every probe identically.
+		cp, err := counts.FromWords(got.N, got.K, got.Interval, got.Words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := counts.NewCheckpointed(f.Symbols, f.K, f.Interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, vb := make([]int, f.K), make([]int, f.K)
+		for trial := 0; trial < 200 && f.N > 0; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			i := rng.Intn(f.N)
+			j := i + 1 + rng.Intn(f.N-i)
+			if !reflect.DeepEqual(orig.Vector(i, j, va), cp.Vector(i, j, vb)) {
+				t.Fatalf("n=%d k=%d: Vector(%d,%d) drifted", tc.n, tc.k, i, j)
+			}
+		}
+	}
+}
+
+func TestOpenServesFromMapping(t *testing.T) {
+	f := buildFile(t, 10_000, 4, 16, true)
+	path := filepath.Join(t.TempDir(), "c.snap")
+	if err := os.WriteFile(path, encode(t, f), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(got.Symbols, f.Symbols) {
+		t.Fatal("symbols drifted through Open")
+	}
+	if !reflect.DeepEqual(got.Words, f.Words) {
+		t.Fatal("words drifted through Open")
+	}
+	if m.Size() != f.Size() {
+		t.Fatalf("mapping size %d, want %d", m.Size(), f.Size())
+	}
+	// On unix the sections must be served in place: views point inside the
+	// mapping, not at fresh heap copies.
+	if m.Mapped() {
+		data := m.Data()
+		symOff := binary.LittleEndian.Uint64(data[72:])
+		if &got.Symbols[0] != &data[symOff] {
+			t.Error("symbol section was copied, want zero-copy view")
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips, truncates, and rewrites a valid image
+// and asserts every mutation is rejected with an error, never a panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	f := buildFile(t, 2000, 4, 16, true)
+	good := encode(t, f)
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		img := mutate(append([]byte(nil), good...))
+		if _, err := Decode(img); err == nil {
+			t.Errorf("%s: corrupt image accepted", name)
+		}
+	}
+
+	check("empty", func(b []byte) []byte { return nil })
+	check("tiny", func(b []byte) []byte { return b[:64] })
+	check("truncated-header", func(b []byte) []byte { return b[:headerSize-1] })
+	check("truncated-tail", func(b []byte) []byte { return b[:len(b)-1] })
+	check("truncated-half", func(b []byte) []byte { return b[:len(b)/2] })
+	check("extended", func(b []byte) []byte { return append(b, 0) })
+	// Header-field corruption, rehashed so the targeted validation (not the
+	// checksum) is what rejects it.
+	check("bad-magic", func(b []byte) []byte { b[0] ^= 0xff; rehash(b); return b })
+	check("bad-version", func(b []byte) []byte { b[8] = 99; rehash(b); return b })
+	check("unknown-flags", func(b []byte) []byte { b[12] |= 0x80; rehash(b); return b })
+	check("bad-layout", func(b []byte) []byte { b[28] = 7; rehash(b); return b })
+	check("bad-interval", func(b []byte) []byte { b[32] = 5; rehash(b); return b })
+	check("zero-k", func(b []byte) []byte { b[24] = 0; rehash(b); return b })
+	check("giant-n", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 1<<40)
+		rehash(b)
+		return b
+	})
+	check("misaligned-section", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[72:], binary.LittleEndian.Uint64(b[72:])+1)
+		rehash(b)
+		return b
+	})
+	check("section-past-eof", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[88:], uint64(len(b))+sectionAlign)
+		rehash(b)
+		return b
+	})
+	check("oversized-section", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[96:], uint64(len(b))*2)
+		rehash(b)
+		return b
+	})
+	check("overflowing-section", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[88:], ^uint64(0)-63)
+		binary.LittleEndian.PutUint64(b[96:], 1<<40)
+		rehash(b)
+		return b
+	})
+	check("wrong-size-field-rehashed", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[104:], uint64(len(b))+1)
+		rehash(b)
+		return b
+	})
+	check("blocks-geometry-mismatch", func(b []byte) []byte {
+		// Halve the recorded interval: the block section no longer matches
+		// CheckpointedWords for the new geometry.
+		b[32] = 8
+		rehash(b)
+		return b
+	})
+	// Any single bit flip anywhere in the payload must trip the checksum
+	// (or an earlier header check); sample positions across the file.
+	for _, pos := range []int{9, 40, headerSize + 3, len(good) / 3, len(good) / 2, len(good) - trailerSize - 1, len(good) - 1} {
+		check("bit-flip", func(b []byte) []byte { b[pos] ^= 0x10; return b })
+	}
+	// Out-of-range symbol with a recomputed checksum: the post-checksum
+	// validation must still catch it.
+	check("symbol-out-of-range-rehashed", func(b []byte) []byte {
+		symOff := binary.LittleEndian.Uint64(b[72:])
+		b[symOff] = 200
+		rehash(b)
+		return b
+	})
+	check("nonfinite-prob-rehashed", func(b []byte) []byte {
+		modelOff := binary.LittleEndian.Uint64(b[56:])
+		binary.LittleEndian.PutUint64(b[modelOff:], 0x7ff8000000000001) // NaN
+		rehash(b)
+		return b
+	})
+}
+
+// rehash rewrites the checksum trailer after a deliberate payload edit.
+func rehash(b []byte) {
+	h := crc64.Checksum(b[:len(b)-trailerSize], crcTable)
+	binary.LittleEndian.PutUint64(b[len(b)-trailerSize:], h)
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, _, err := Open(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// FuzzOpenSnapshot drives the decoder with arbitrary bytes (seeded with a
+// valid image and targeted mutations): any input must either decode or
+// return an error — never panic, never index out of range.
+func FuzzOpenSnapshot(f *testing.F) {
+	good := encode(f, buildFile(f, 300, 3, 8, true))
+	f.Add(good)
+	f.Add(good[:headerSize])
+	f.Add(good[:len(good)-trailerSize])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(mutated[88:], 1<<35)
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted files must be internally consistent enough to build and
+		// probe an index without panicking.
+		cp, err := counts.FromWords(file.N, file.K, file.Interval, file.Words)
+		if err != nil {
+			t.Fatalf("decoded file rejected by FromWords: %v", err)
+		}
+		vec := make([]int, file.K)
+		cp.Vector(0, file.N, vec)
+		for _, c := range file.Symbols {
+			if int(c) >= file.K {
+				t.Fatalf("accepted symbol %d outside alphabet %d", c, file.K)
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package sigsub
+
+// Paired layout measurement: the checkpointed-vs-interleaved scan penalty
+// on a noisy host. Benchmarking the two layouts in separate runs lets
+// noisy-neighbor drift land on one side only; this harness alternates
+// single full scans of the two layouts within one process and compares
+// minima, so both sides see the same machine. BENCH_4.json records a run.
+//
+// Run with:
+//
+//	MSS_PAIRED_BENCH=1 go test -run TestPairedLayoutPenalty -v .
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/strgen"
+)
+
+func TestPairedLayoutPenalty(t *testing.T) {
+	if os.Getenv("MSS_PAIRED_BENCH") == "" {
+		t.Skip("set MSS_PAIRED_BENCH=1 to run the paired layout measurement")
+	}
+	const n = 100_000
+	const rounds = 8
+	for _, k := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(1))
+		g := strgen.MustNull(k)
+		s := g.Generate(n, rng)
+		cp, err := core.NewScannerConfig(s, g.Model(), core.Config{Layout: core.LayoutCheckpointed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ilv, err := core.NewScannerConfig(s, g.Model(), core.Config{Layout: core.LayoutInterleaved})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := func(sc *core.Scanner) time.Duration {
+			start := time.Now()
+			sc.MSSWith(core.Engine{Workers: 1})
+			return time.Since(start)
+		}
+		// Warm both paths (page-in, branch predictors) before timing.
+		scan(cp)
+		scan(ilv)
+		minCP, minILV := time.Duration(1<<62), time.Duration(1<<62)
+		for r := 0; r < rounds; r++ {
+			if d := scan(cp); d < minCP {
+				minCP = d
+			}
+			if d := scan(ilv); d < minILV {
+				minILV = d
+			}
+		}
+		penalty := float64(minCP)/float64(minILV) - 1
+		fmt.Printf("paired/n=100k/k=%d checkpointed=%dms interleaved=%dms penalty=%+.1f%%\n",
+			k, minCP.Milliseconds(), minILV.Milliseconds(), 100*penalty)
+	}
+}

@@ -320,6 +320,10 @@ func WithCheckpointInterval(b int) ScannerOption {
 type Scanner struct {
 	sc *core.Scanner
 	k  int
+	// pin keeps the backing storage of a snapshot-served scanner reachable:
+	// the symbol string and count index may alias an mmap'd file, which must
+	// not be unmapped while this Scanner can still probe it.
+	pin any
 }
 
 // NewScanner validates the string against the model (every symbol must be
@@ -358,6 +362,10 @@ func (s *Scanner) IndexBytes() int { return s.sc.IndexBytes() }
 
 // Len returns the length of the scanned string.
 func (s *Scanner) Len() int { return s.sc.Len() }
+
+// Symbols returns the scanned symbol string (shared storage — possibly an
+// mmap'd snapshot section; do not modify).
+func (s *Scanner) Symbols() []byte { return s.sc.Symbols() }
 
 // X2 returns the chi-square value of the window [i, j). Indices must satisfy
 // 0 ≤ i < j ≤ Len().
