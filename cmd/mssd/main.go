@@ -6,12 +6,14 @@
 //
 // Endpoints:
 //
-//	GET    /v1/healthz          liveness probe
-//	GET    /v1/corpora          list cached corpora
-//	PUT    /v1/corpora/{name}   upload {"text": "...", "model": {"mle": true}}
-//	DELETE /v1/corpora/{name}   evict a corpus
-//	POST   /v1/query            one query: {"corpus": "x", "query": {"kind": "mss"}}
-//	POST   /v1/batch            many queries: {"corpus": "x", "queries": [...]}
+//	GET    /v1/healthz                  liveness probe (+ per-corpus epochs)
+//	GET    /v1/corpora                  list cached + live corpora
+//	PUT    /v1/corpora/{name}           upload {"text": "...", "model": {"mle": true}}
+//	POST   /v1/corpora/{name}/append    append {"text": "..."} to a live corpus
+//	POST   /v1/corpora/{name}/compact   fold a live corpus's log into a sealed base
+//	DELETE /v1/corpora/{name}           evict a corpus
+//	POST   /v1/query                    one query: {"corpus": "x", "query": {"kind": "mss"}}
+//	POST   /v1/batch                    many queries: {"corpus": "x", "queries": [...]}
 //
 // Query objects take {"kind": "mss"|"topt"|"threshold"|"disjoint"} plus the
 // knobs t, alpha, min_length, lo, hi, limit. Requests may carry inline
@@ -23,6 +25,15 @@
 // startup cost is per-corpus overhead rather than corpus bytes), cache
 // misses reopen from disk instead of returning 404, and DELETE removes the
 // file. Without it the daemon is purely in-memory, as before.
+//
+// The first append to a corpus makes it LIVE: with -data-dir its snapshot
+// becomes a sealed base plus a write-ahead log (the appended batch is
+// fsynced to the log before the append is acknowledged; a kill-and-restart
+// replays the full appended history bit-identically), without -data-dir it
+// becomes appendable in memory. Appends are serialized per corpus but never
+// block in-flight scans — every query runs on the immutable epoch published
+// by the last completed append; corpus info reports the epoch it answered
+// from.
 package main
 
 import (
@@ -137,6 +148,8 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/corpora", s.handleListCorpora)
 	s.mux.HandleFunc("PUT /v1/corpora/{name}", s.handlePutCorpus)
+	s.mux.HandleFunc("POST /v1/corpora/{name}/append", s.handleAppendCorpus)
+	s.mux.HandleFunc("POST /v1/corpora/{name}/compact", s.handleCompactCorpus)
 	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -190,15 +203,28 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	live := s.exec.LiveInfos()
+	// Per-corpus append epochs: what an operator (or the append smoke test)
+	// watches to confirm a restart resumed the full appended history.
+	epochs := make(map[string]uint64, len(live))
+	var liveBytes int64
+	for _, info := range live {
+		epochs[info.Name] = info.Epoch
+		liveBytes += info.Bytes
+	}
 	body := map[string]any{
 		"status":  "ok",
-		"corpora": s.exec.Cache.Len(),
+		"corpora": s.exec.Cache.Len() + len(live),
 		// cache_bytes is the resident heap charge; mapped_bytes the
 		// file-backed footprint of mmap-served corpora (kernel-paged, not
-		// budgeted).
+		// budgeted). Live corpora are pinned outside the LRU budget; their
+		// resident bytes and epochs are reported separately.
 		"cache_bytes":  s.exec.Cache.UsedBytes(),
 		"cache_max":    s.exec.Cache.MaxBytes(),
 		"mapped_bytes": s.exec.Cache.MappedBytes(),
+		"live_corpora": len(live),
+		"live_bytes":   liveBytes,
+		"epochs":       epochs,
 	}
 	if s.exec.Store != nil {
 		body["data_dir"] = s.exec.Store.Dir()
@@ -207,7 +233,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleListCorpora(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"corpora": s.exec.Cache.List()})
+	infos := s.exec.Cache.List()
+	infos = append(infos, s.exec.LiveInfos()...)
+	writeJSON(w, http.StatusOK, map[string]any{"corpora": infos})
 }
 
 // putCorpusRequest is the corpus upload body.
@@ -241,6 +269,40 @@ func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
 		resp["evicted"] = evicted
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendCorpusRequest is the append body: text encoded with the corpus's
+// codec (its alphabet is fixed at upload time).
+type appendCorpusRequest struct {
+	Text string `json:"text"`
+}
+
+func (s *server) handleAppendCorpus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req appendCorpusRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Text) > s.exec.TextLimit() {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("append text of %d bytes exceeds the %d byte limit", len(req.Text), s.exec.TextLimit())})
+		return
+	}
+	info, err := s.exec.Append(name, req.Text)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
+}
+
+func (s *server) handleCompactCorpus(w http.ResponseWriter, r *http.Request) {
+	info, err := s.exec.Compact(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
 }
 
 func (s *server) handleDeleteCorpus(w http.ResponseWriter, r *http.Request) {

@@ -375,3 +375,178 @@ func TestDaemonConcurrentQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonAppendLifecycle drives the live path end to end in-process:
+// upload → appends (epoch/n advance, answers track the library) → kill →
+// restart (full history replayed from base + WAL) → more appends → compact
+// → restart again.
+func TestDaemonAppendLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serverConfig{cacheBytes: 1 << 20, dataDir: dir, maxQueries: 16, maxWorkers: 8, maxText: 1 << 16}
+	ts := testServerConfig(t, cfg)
+
+	do(t, "PUT", ts.URL+"/v1/corpora/live", map[string]any{"text": demoText}, http.StatusOK, nil)
+
+	full := demoText
+	var appendResp struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	for i, chunk := range []string{"1111111111", "010101", "000000111"} {
+		do(t, "POST", ts.URL+"/v1/corpora/live/append", map[string]any{"text": chunk}, http.StatusOK, &appendResp)
+		full += chunk
+		if appendResp.Corpus.N != len(full) || !appendResp.Corpus.Live || appendResp.Corpus.Epoch != uint64(i+1) {
+			t.Fatalf("append %d: %+v, want n=%d live epoch=%d", i, appendResp.Corpus, len(full), i+1)
+		}
+	}
+
+	// Ground truth over the concatenation.
+	wantMSS := func(text string) sigsub.Result {
+		t.Helper()
+		codec, err := sigsub.NewTextCodecSorted(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syms, err := codec.Encode(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := codec.UniformModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sigsub.NewScanner(syms, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sc.MSS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var q struct {
+		Result service.QueryResult `json:"result"`
+	}
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "live", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &q)
+	if want := wantMSS(full); q.Result.Results[0].Start != want.Start || q.Result.Results[0].X2 != want.X2 {
+		t.Fatalf("live MSS %+v, want %+v", q.Result.Results[0], want)
+	}
+
+	// Appending characters outside the upload alphabet is a 400 and does
+	// not advance the epoch.
+	do(t, "POST", ts.URL+"/v1/corpora/live/append", map[string]any{"text": "01x"}, http.StatusBadRequest, nil)
+	var health struct {
+		Epochs      map[string]uint64 `json:"epochs"`
+		LiveCorpora int               `json:"live_corpora"`
+	}
+	do(t, "GET", ts.URL+"/v1/healthz", nil, http.StatusOK, &health)
+	if health.LiveCorpora != 1 || health.Epochs["live"] != 3 {
+		t.Fatalf("healthz live state: %+v", health)
+	}
+
+	// Kill and restart: the appended history replays without re-upload.
+	ts.Close()
+	ts2 := testServerConfig(t, cfg)
+	do(t, "GET", ts2.URL+"/v1/healthz", nil, http.StatusOK, &health)
+	if health.LiveCorpora != 1 || health.Epochs["live"] != 3 {
+		t.Fatalf("healthz after restart: %+v", health)
+	}
+	do(t, "POST", ts2.URL+"/v1/query", map[string]any{"corpus": "live", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &q)
+	if want := wantMSS(full); q.Result.Results[0].Start != want.Start || q.Result.Results[0].X2 != want.X2 {
+		t.Fatalf("post-restart MSS %+v, want %+v", q.Result.Results[0], want)
+	}
+
+	// Append more, compact, restart: still the full history.
+	do(t, "POST", ts2.URL+"/v1/corpora/live/append", map[string]any{"text": "1101"}, http.StatusOK, nil)
+	full += "1101"
+	var compacted struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	do(t, "POST", ts2.URL+"/v1/corpora/live/compact", map[string]any{}, http.StatusOK, &compacted)
+	if compacted.Corpus.N != len(full) {
+		t.Fatalf("compacted info %+v, want n=%d", compacted.Corpus, len(full))
+	}
+	ts2.Close()
+	ts3 := testServerConfig(t, cfg)
+	do(t, "POST", ts3.URL+"/v1/query", map[string]any{"corpus": "live", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &q)
+	if want := wantMSS(full); q.Result.Results[0].Start != want.Start || q.Result.Results[0].X2 != want.X2 {
+		t.Fatalf("post-compact restart MSS %+v, want %+v", q.Result.Results[0], want)
+	}
+
+	// The listing marks the corpus live with its epoch.
+	var list struct {
+		Corpora []service.Info `json:"corpora"`
+	}
+	do(t, "GET", ts3.URL+"/v1/corpora", nil, http.StatusOK, &list)
+	if len(list.Corpora) != 1 || !list.Corpora[0].Live || list.Corpora[0].N != len(full) {
+		t.Fatalf("live listing: %+v", list.Corpora)
+	}
+}
+
+// TestDaemonAppendMemoryOnly: a daemon without -data-dir still supports
+// appends (in-memory promotion); unknown corpora 404.
+func TestDaemonAppendMemoryOnly(t *testing.T) {
+	ts := testServer(t)
+	do(t, "POST", ts.URL+"/v1/corpora/none/append", map[string]any{"text": "01"}, http.StatusNotFound, nil)
+	do(t, "PUT", ts.URL+"/v1/corpora/mem", map[string]any{"text": demoText}, http.StatusOK, nil)
+	var appendResp struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	do(t, "POST", ts.URL+"/v1/corpora/mem/append", map[string]any{"text": "111111"}, http.StatusOK, &appendResp)
+	if appendResp.Corpus.N != len(demoText)+6 || !appendResp.Corpus.Live {
+		t.Fatalf("memory-only append: %+v", appendResp.Corpus)
+	}
+	// No store → nothing to compact.
+	do(t, "POST", ts.URL+"/v1/corpora/mem/compact", map[string]any{}, http.StatusBadRequest, nil)
+	// The appended corpus answers queries at its new length.
+	var q struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "mem", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &q)
+	if q.Corpus.N != len(demoText)+6 {
+		t.Fatalf("query after memory-only append: %+v", q.Corpus)
+	}
+}
+
+// TestDaemonAppendConcurrentWithQueries floods a live corpus with appends
+// while queries run against it — the epoch-published-view contract over
+// HTTP.
+func TestDaemonAppendConcurrentWithQueries(t *testing.T) {
+	ts := testServer(t)
+	do(t, "PUT", ts.URL+"/v1/corpora/hot", map[string]any{"text": demoText}, http.StatusOK, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			do(t, "POST", ts.URL+"/v1/corpora/hot/append", map[string]any{"text": "0110101101"}, http.StatusOK, nil)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			var q struct {
+				Corpus service.Info `json:"corpus"`
+			}
+			do(t, "POST", ts.URL+"/v1/query", map[string]any{"corpus": "hot", "query": map[string]any{"kind": "mss"}}, http.StatusOK, &q)
+			if q.Corpus.N != len(demoText)+400 || q.Corpus.Epoch != 40 {
+				t.Fatalf("final corpus %+v, want n=%d epoch=40", q.Corpus, len(demoText)+400)
+			}
+			return
+		default:
+			var resp struct {
+				Corpus  service.Info          `json:"corpus"`
+				Results []service.QueryResult `json:"results"`
+			}
+			do(t, "POST", ts.URL+"/v1/batch", map[string]any{
+				"corpus":  "hot",
+				"workers": 2,
+				"queries": []map[string]any{{"kind": "mss"}, {"kind": "topt", "t": 3}},
+			}, http.StatusOK, &resp)
+			// Each answer is computed against one self-consistent epoch.
+			if resp.Corpus.N < len(demoText) || len(resp.Results) != 2 {
+				t.Fatalf("mid-append batch: %+v", resp.Corpus)
+			}
+		}
+	}
+}

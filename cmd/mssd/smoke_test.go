@@ -326,3 +326,183 @@ func TestMSSDSnapshotSmoke(t *testing.T) {
 	}
 	fmt.Println("mssd snapshot smoke: offline snapshot + uploaded corpus survive a kill-and-restart bit-identically")
 }
+
+// TestMSSDAppendSmoke is the live-corpus smoke check CI runs (MSSD_SMOKE=1):
+// a real mssd with a -data-dir takes an upload plus a stream of appends, is
+// KILLED mid-flight, restarted over the same directory — and must serve the
+// complete appended history, answering bit-identically to the library over
+// the full concatenated string, with no re-upload.
+func TestMSSDAppendSmoke(t *testing.T) {
+	if os.Getenv("MSSD_SMOKE") == "" {
+		t.Skip("set MSSD_SMOKE=1 to run the append smoke test")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "mssd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	startDaemon := func() *exec.Cmd {
+		t.Helper()
+		daemon := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+		daemon.Stdout = os.Stderr
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return daemon
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	post := func(path string, body map[string]any, out any) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var raw bytes.Buffer
+			raw.ReadFrom(resp.Body)
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, raw.String())
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	daemon := startDaemon()
+	kill := func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}
+	defer kill()
+
+	text := "0101101011111111111001010100100111"
+	body, _ := json.Marshal(map[string]any{"text": text})
+	req, _ := http.NewRequest("PUT", base+"/v1/corpora/stream", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	// Stream of appends (N batches of varying shape).
+	full := text
+	chunks := []string{"1111111111", "0101010101", "1", "0011001100110011", "000000", "1011011101111", "01", "1110001110"}
+	for _, chunk := range chunks {
+		post("/v1/corpora/stream/append", map[string]any{"text": chunk}, nil)
+		full += chunk
+	}
+
+	// Kill hard, restart over the same directory.
+	kill()
+	daemon = startDaemon()
+
+	var health struct {
+		Epochs map[string]uint64 `json:"epochs"`
+	}
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Epochs["stream"] != uint64(len(chunks)) {
+		t.Fatalf("post-restart epoch %d, want %d", health.Epochs["stream"], len(chunks))
+	}
+
+	var batch service.BatchResponse
+	post("/v1/batch", map[string]any{
+		"corpus": "stream",
+		"queries": []map[string]any{
+			{"kind": "mss"},
+			{"kind": "topt", "t": 5},
+			{"kind": "threshold", "alpha": 10},
+			{"kind": "mss", "min_length": 8},
+		},
+	}, &batch)
+
+	// Library ground truth over the full concatenated string.
+	codec, err := sigsub.NewTextCodecSorted(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, err := codec.Encode(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := codec.UniformModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sigsub.NewScanner(symbols, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mss, err := sc.MSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch.Results[0].Results[0]; got.Start != mss.Start || got.End != mss.End || got.X2 != mss.X2 {
+		t.Errorf("post-restart MSS %+v, library %+v", got, mss)
+	}
+	top, err := sc.TopT(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range top {
+		if batch.Results[1].Results[i].X2 != top[i].X2 {
+			t.Errorf("post-restart top-t %d: %v vs %v", i, batch.Results[1].Results[i].X2, top[i].X2)
+		}
+	}
+	th, err := sc.Threshold(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results[2].Results) != len(th) {
+		t.Fatalf("threshold sizes %d vs %d", len(batch.Results[2].Results), len(th))
+	}
+	for i := range th {
+		got := batch.Results[2].Results[i]
+		if got.Start != th[i].Start || got.End != th[i].End || got.X2 != th[i].X2 {
+			t.Errorf("threshold %d: %+v vs %+v", i, got, th[i])
+		}
+	}
+	mssMin, err := sc.MSSMinLength(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch.Results[3].Results[0]; got.Start != mssMin.Start || got.End != mssMin.End || got.X2 != mssMin.X2 {
+		t.Errorf("post-restart min-length MSS %+v, library %+v", got, mssMin)
+	}
+	fmt.Println("mssd append smoke: appended history survives a kill-and-restart and matches the library over the full string")
+}

@@ -9,17 +9,31 @@
 //	ssgen -type markov -n 50000 -k 5
 //	ssgen -type correlated -n 20000 -p 0.8
 //	ssgen -type planted -n 10000 -k 2 -window 4000:500:0.9
+//
+// With -stream the generator becomes a live event source: the string is
+// emitted as rate-limited batches rather than one blob, either to stdout
+// (one batch per line) or — with -append-url — POSTed to an mssd live
+// corpus's append endpoint, which is how the daemon's append path is demoed
+// and load-tested end to end:
+//
+//	ssgen -type planted -n 100000 -window 60000:800:0.95 \
+//	      -stream -batch 500 -rate 10000 \
+//	      -append-url http://127.0.0.1:8765/v1/corpora/events/append
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/strgen"
@@ -45,6 +59,11 @@ func run(args []string, stdout io.Writer) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		window = fs.String("window", "", "planted window start:len:p0 (repeatable via comma) for -type planted")
 		outF   = fs.String("o", "", "output file (default stdout)")
+
+		stream    = fs.Bool("stream", false, "emit the string as rate-limited event batches instead of one blob")
+		batchSize = fs.Int("batch", 100, "events per batch in -stream mode")
+		rate      = fs.Float64("rate", 0, "events per second in -stream mode (0 = unthrottled)")
+		appendURL = fs.String("append-url", "", "mssd append endpoint to POST batches to in -stream mode (e.g. http://127.0.0.1:8765/v1/corpora/events/append); default: one batch per stdout line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +109,12 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		out = f
 	}
+	if *stream {
+		// -o applies to stream mode too: batches (or the append-mode
+		// summary line) land in the file instead of stdout.
+		return streamOut(out, s, *batchSize, *rate, *appendURL)
+	}
+
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	for _, sym := range s {
@@ -98,6 +123,73 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return w.WriteByte('\n')
+}
+
+// streamOut emits s as rate-limited batches: POSTed to an mssd append
+// endpoint when url is set, one batch per output line otherwise. The rate
+// limit paces WHOLE batches so the average event rate matches -rate; the
+// daemon sees the same serialized-append traffic a live event source would
+// produce.
+func streamOut(out io.Writer, s []byte, batchSize int, rate float64, url string) error {
+	if batchSize < 1 {
+		return fmt.Errorf("batch size must be >= 1, got %d", batchSize)
+	}
+	if rate < 0 {
+		return fmt.Errorf("negative rate %g", rate)
+	}
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+	}
+	chars := make([]byte, 0, batchSize)
+	next := time.Now()
+	emitted := 0
+	for off := 0; off < len(s); off += batchSize {
+		end := off + batchSize
+		if end > len(s) {
+			end = len(s)
+		}
+		chars = chars[:0]
+		for _, sym := range s[off:end] {
+			chars = append(chars, symbolChars[sym])
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		if url == "" {
+			if _, err := fmt.Fprintf(out, "%s\n", chars); err != nil {
+				return err
+			}
+		} else if err := postAppend(url, string(chars)); err != nil {
+			return fmt.Errorf("after %d events: %w", emitted, err)
+		}
+		emitted += end - off
+	}
+	if url != "" {
+		fmt.Fprintf(out, "streamed %d events to %s\n", emitted, url)
+	}
+	return nil
+}
+
+// postAppend sends one batch to an mssd append endpoint.
+func postAppend(url, text string) error {
+	body, err := json.Marshal(map[string]string{"text": text})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("append endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
 }
 
 // plantedGenerator parses "start:len:p0[,start:len:p0...]" into a planted

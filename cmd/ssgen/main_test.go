@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func genOK(t *testing.T, args ...string) string {
@@ -97,4 +102,103 @@ func TestErrors(t *testing.T) {
 	genErr(t, "-type", "planted", "-window", "1:2")
 	genErr(t, "-type", "planted", "-window", "x:2:0.5")
 	genErr(t, "-type", "planted", "-window", "10:5:0.5,12:5:0.5") // overlap
+}
+
+// TestStreamStdout: -stream emits the same events as the blob mode, batched
+// one per line.
+func TestStreamStdout(t *testing.T) {
+	blob := strings.TrimSpace(genOK(t, "-type", "null", "-n", "250", "-k", "3", "-seed", "9"))
+	streamed := genOK(t, "-type", "null", "-n", "250", "-k", "3", "-seed", "9", "-stream", "-batch", "64")
+	lines := strings.Split(strings.TrimSpace(streamed), "\n")
+	if len(lines) != 4 { // ceil(250/64)
+		t.Fatalf("%d batches, want 4", len(lines))
+	}
+	if joined := strings.Join(lines, ""); joined != blob {
+		t.Fatalf("streamed events diverge from blob output")
+	}
+	for i, line := range lines[:3] {
+		if len(line) != 64 {
+			t.Fatalf("batch %d has %d events, want 64", i, len(line))
+		}
+	}
+}
+
+// TestStreamRate: a finite -rate paces batches; the run takes at least the
+// implied duration (coarse bound, no flakiness margin).
+func TestStreamRate(t *testing.T) {
+	start := time.Now()
+	genOK(t, "-type", "null", "-n", "200", "-k", "2", "-stream", "-batch", "50", "-rate", "2000")
+	// 200 events at 2000/s = 100ms of pacing across 4 batches (the first
+	// fires immediately, so ≥ 3 intervals of 25ms).
+	if elapsed := time.Since(start); elapsed < 75*time.Millisecond {
+		t.Fatalf("rate limiting too fast: %v", elapsed)
+	}
+}
+
+// TestStreamAppendEndpoint drives the full live loop against an in-process
+// mssd-shaped endpoint: every batch arrives as {"text": ...} and the
+// concatenation equals the generated string.
+func TestStreamAppendEndpoint(t *testing.T) {
+	var mu sync.Mutex
+	var got strings.Builder
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			t.Errorf("method %s", r.Method)
+		}
+		var body struct {
+			Text string `json:"text"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		got.WriteString(body.Text)
+		calls++
+		mu.Unlock()
+		w.Write([]byte(`{"corpus":{"name":"events"}}`))
+	}))
+	defer ts.Close()
+
+	blob := strings.TrimSpace(genOK(t, "-type", "null", "-n", "333", "-k", "4", "-seed", "3"))
+	out := genOK(t, "-type", "null", "-n", "333", "-k", "4", "-seed", "3",
+		"-stream", "-batch", "100", "-append-url", ts.URL+"/v1/corpora/events/append")
+	if got.String() != blob {
+		t.Fatalf("appended events diverge from blob output")
+	}
+	if calls != 4 {
+		t.Fatalf("%d POSTs, want 4", calls)
+	}
+	if !strings.Contains(out, "streamed 333 events") {
+		t.Fatalf("summary line missing: %q", out)
+	}
+}
+
+// TestStreamErrors: bad batch sizes, rates, and a rejecting endpoint all
+// surface as errors.
+func TestStreamErrors(t *testing.T) {
+	genErr(t, "-stream", "-batch", "0", "-n", "10")
+	genErr(t, "-stream", "-rate", "-1", "-n", "10")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"corpus not found"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	genErr(t, "-stream", "-n", "10", "-append-url", ts.URL)
+}
+
+// TestStreamOutputFile: -o applies in -stream mode (regression: it used to
+// be silently ignored).
+func TestStreamOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.txt")
+	if out := genOK(t, "-type", "null", "-n", "120", "-k", "2", "-seed", "2", "-stream", "-batch", "40", "-o", path); out != "" {
+		t.Fatalf("stream with -o wrote to stdout: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 || len(lines[0]) != 40 {
+		t.Fatalf("file batches: %d lines, first %d chars", len(lines), len(lines[0]))
+	}
 }

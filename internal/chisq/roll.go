@@ -1,6 +1,8 @@
 package chisq
 
 import (
+	"math"
+
 	"repro/internal/counts"
 )
 
@@ -46,6 +48,16 @@ type Roll struct {
 	cpWords []uint32 // cp's packed blocks, held directly for the hot loop
 	cpLanes bool     // cp nibble group fits one two-word read (k ≤ 15)
 	cpOne   bool     // cp nibble group always fits ONE word (k = 2, 4, 8)
+	// tailStart is the first position NOT servable from cpWords directly:
+	// an appender-published epoch keeps its final (partial) block outside
+	// the shared block array (see counts.Checkpointed.Storage), so probes
+	// landing there take the layout-generic slow path instead. Contiguous
+	// indexes — every frozen corpus — set it to MaxInt: the fast paths pay
+	// one never-taken comparison and are otherwise byte-for-byte the code
+	// they ran before live corpora existed. At most B−1 positions of a
+	// live epoch land in the tail, so the slow path is off every measured
+	// profile.
+	tailStart int
 
 	base []int // cumulative counts at the row start i
 	vec  []int // window count vector, always exact (integer updates)
@@ -77,14 +89,15 @@ type Roll struct {
 func NewRoll(kern *Kernel, pre counts.Layout, s []byte) *Roll {
 	k := kern.K()
 	r := &Roll{
-		kern:    kern,
-		pre:     pre,
-		s:       s,
-		base:    make([]int, k),
-		vec:     make([]int, k),
-		recost:  k + 4,
-		uniform: kern.uniform,
-		uinv:    kern.inv[0],
+		kern:      kern,
+		pre:       pre,
+		s:         s,
+		base:      make([]int, k),
+		vec:       make([]int, k),
+		recost:    k + 4,
+		uniform:   kern.uniform,
+		uinv:      kern.inv[0],
+		tailStart: math.MaxInt,
 	}
 	switch l := pre.(type) {
 	case *counts.Interleaved:
@@ -92,6 +105,9 @@ func NewRoll(kern *Kernel, pre counts.Layout, s []byte) *Roll {
 	case *counts.Checkpointed:
 		r.cp = l
 		r.cpWords = l.Words()
+		if lo, relocated := l.RelocatedTailStart(); relocated {
+			r.tailStart = lo
+		}
 		// The single two-word group read needs the group's word offset plus
 		// its 4k bits to fit 64 bits for every block position: offsets are
 		// multiples of gcd(4k, 32), so the condition is 32−gcd+4k ≤ 64 —
@@ -186,6 +202,12 @@ func (r *Roll) Advance(to int) {
 // drift: decisions near a boundary re-sync via Exact exactly as they do for
 // rolled updates, and published values stay canonical.
 func (r *Roll) reconstruct(to int) {
+	if to >= r.tailStart {
+		// Relocated-tail epoch probe (live corpora only; MaxInt otherwise):
+		// serve it through the dispatching accessor off the fast paths.
+		r.reconstructTail(to)
+		return
+	}
 	vec := r.vec
 	switch {
 	case r.ilv != nil && r.uniform:
@@ -423,6 +445,25 @@ func (r *Roll) reconstruct(to int) {
 		s0 += fy * fy * inv[c]
 	}
 	r.sum = s0 + s1
+	r.drift = 1
+}
+
+// reconstructTail is the relocated-tail landing path: the probe goes
+// through the index's dispatching accessor, which serves the epoch's
+// private tail-block copy. Only positions inside a live epoch's final
+// partial block (fewer than B of them) ever land here; the sums it leaves
+// behind are canonical, so the usual one-unit drift and guard-band
+// machinery apply unchanged.
+func (r *Roll) reconstructTail(to int) {
+	r.cp.CumAt(to, r.vec)
+	for c, b := range r.base {
+		r.vec[c] -= b
+	}
+	if r.uniform {
+		r.statsUniform()
+		return
+	}
+	r.sum = r.kern.SumYsqOverP(r.vec)
 	r.drift = 1
 }
 

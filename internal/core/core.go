@@ -188,14 +188,25 @@ func NewScannerConfig(s []byte, m *alphabet.Model, cfg Config) (*Scanner, error)
 // geometry was validated by whoever built pre), and the index must describe
 // exactly this string: same length, same alphabet size.
 func NewScannerFromIndex(s []byte, m *alphabet.Model, pre counts.Layout) (*Scanner, error) {
+	if m != nil {
+		if err := alphabet.Validate(s, m.K()); err != nil {
+			return nil, err
+		}
+	}
+	return NewScannerFromIndexTrusted(s, m, pre)
+}
+
+// NewScannerFromIndexTrusted is NewScannerFromIndex minus the O(n)
+// re-validation of the symbol string — the epoch-publish path of an
+// appendable corpus, whose symbols were each validated on ingest; walking
+// the whole corpus again per published epoch would make publishing O(n)
+// instead of O(k). Callers must guarantee every symbol is < m.K().
+func NewScannerFromIndexTrusted(s []byte, m *alphabet.Model, pre counts.Layout) (*Scanner, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
 	if pre == nil {
 		return nil, fmt.Errorf("core: nil count index")
-	}
-	if err := alphabet.Validate(s, m.K()); err != nil {
-		return nil, err
 	}
 	if pre.Len() != len(s) || pre.K() != m.K() {
 		return nil, fmt.Errorf("core: count index covers n=%d k=%d, string has n=%d k=%d", pre.Len(), pre.K(), len(s), m.K())

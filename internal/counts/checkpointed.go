@@ -43,6 +43,22 @@ type Checkpointed struct {
 	// blocks holds the block data plus one trailing padding word so that
 	// two-word nibble-group reads never run off the end.
 	blocks []uint32
+
+	// The final (possibly partial) block may live OUTSIDE blocks: an index
+	// published as an Appender epoch shares every full block with the
+	// appender's storage but owns a private copy of the tail block, so the
+	// appender can keep extending the corpus without ever writing a word a
+	// published epoch can read. tail always has stride+1 words (block image
+	// plus the padding word the two-word group reads rely on); tailBase is
+	// the word offset the tail block would occupy in a contiguous image —
+	// every probe with base ≥ tailBase is served from tail instead. Plain
+	// indexes alias tail into blocks, so the dispatch is a no-op for them.
+	tail     []uint32
+	tailBase int
+	// contig reports that blocks alone is the complete contiguous image
+	// (tail is an alias into it) — the representation Words and WriteTo can
+	// serve with no copying.
+	contig bool
 }
 
 // NewCheckpointed builds the block index for s over an alphabet of size k
@@ -98,7 +114,20 @@ func NewCheckpointed(s []byte, k, interval int) (*Checkpointed, error) {
 			cum[c] += delta[c]
 		}
 	}
-	return &Checkpointed{k: k, n: n, b: interval, shift: shift, stride: stride, blocks: blocks}, nil
+	return newContiguous(k, n, interval, shift, stride, blocks), nil
+}
+
+// newContiguous wraps a complete contiguous block image, aliasing the tail
+// block in place.
+func newContiguous(k, n, interval int, shift uint, stride int, blocks []uint32) *Checkpointed {
+	tailBase := (n >> shift) * stride
+	return &Checkpointed{
+		k: k, n: n, b: interval, shift: shift, stride: stride,
+		blocks:   blocks,
+		tail:     blocks[tailBase:],
+		tailBase: tailBase,
+		contig:   true,
+	}
 }
 
 // CheckpointedWords returns the exact length of the packed block array of a
@@ -142,7 +171,7 @@ func FromWords(n, k, interval int, words []uint32) (*Checkpointed, error) {
 	if want := CheckpointedWords(n, k, interval); len(words) != want {
 		return nil, fmt.Errorf("counts: block array has %d words, want %d for n=%d k=%d interval=%d", len(words), want, n, k, interval)
 	}
-	return &Checkpointed{k: k, n: n, b: interval, shift: shift, stride: stride, blocks: words}, nil
+	return newContiguous(k, n, interval, shift, stride, words), nil
 }
 
 // WriteWords streams a packed word array to w as little-endian uint32s, in
@@ -170,12 +199,22 @@ func WriteWords(w io.Writer, words []uint32) (int64, error) {
 	return written, nil
 }
 
-// WriteTo streams the packed block array to w as little-endian uint32
-// words. Together with FromWords it forms the serialization contract of
-// the layout: writing Words() and reconstructing from the same words
-// yields a bit-identical index.
+// WriteTo streams the contiguous packed block image to w as little-endian
+// uint32 words. Together with FromWords it forms the serialization contract
+// of the layout: writing ContiguousWords() and reconstructing from the same
+// words yields a bit-identical index — for epoch views with a relocated
+// tail, the shared full-block prefix and the private tail are stitched back
+// into the single-array image the snapshot format stores.
 func (p *Checkpointed) WriteTo(w io.Writer) (int64, error) {
-	return WriteWords(w, p.blocks)
+	if p.contig {
+		return WriteWords(w, p.blocks)
+	}
+	n, err := WriteWords(w, p.blocks[:p.tailBase])
+	if err != nil {
+		return n, err
+	}
+	m, err := WriteWords(w, p.tail[:p.stride+1])
+	return n + m, err
 }
 
 // K returns the alphabet size.
@@ -188,39 +227,92 @@ func (p *Checkpointed) Len() int { return p.n }
 func (p *Checkpointed) Interval() int { return p.b }
 
 // BlockIndex returns the word offset of pos's block and pos's offset within
-// it — the inline-friendly probe decomposition for hot loops that hold
-// Words directly.
+// it — the inline-friendly probe decomposition for hot loops that hold the
+// storage directly. A base ≥ the TailBase of Storage() must be served from
+// the tail slice at relative base 0.
 func (p *Checkpointed) BlockIndex(pos int) (base, off int) {
 	return (pos >> p.shift) * p.stride, pos & (p.b - 1)
 }
 
-// Words exposes the packed block storage (shared; do not modify).
+// Storage exposes the probe storage for hot loops: the shared block array,
+// the tail-block words, and the word offset at which probes switch from
+// blocks to tail. For plain contiguous indexes tail aliases blocks at
+// tailBase, so dispatching is semantically a no-op; for epoch views it is
+// what keeps concurrent readers off the appender's write frontier. All
+// three are shared storage — do not modify.
+func (p *Checkpointed) Storage() (blocks, tail []uint32, tailBase int) {
+	return p.blocks, p.tail, p.tailBase
+}
+
+// RelocatedTailStart returns the first POSITION served from a relocated
+// tail block, and whether any is. Contiguous indexes report false: every
+// probe may run against the blocks array directly, so hot loops can guard
+// their fast path with a single never-taken comparison. Relocated-tail
+// epoch views report (n/B)·B: probes at or past it must go through the
+// dispatching accessors (CumAt/Vector/Count), which serve them from the
+// private tail copy.
+func (p *Checkpointed) RelocatedTailStart() (int, bool) {
+	if p.contig {
+		return 0, false
+	}
+	return (p.n >> p.shift) << p.shift, true
+}
+
+// Words exposes the packed block storage of a contiguous index (shared; do
+// not modify). Epoch views with a relocated tail have no single-array
+// image; use ContiguousWords, which stitches one together for them.
 func (p *Checkpointed) Words() []uint32 { return p.blocks }
 
-// nibble returns the in-block increment of symbol c at block offset off.
-// Nibbles are 4-bit aligned, so a single word read always suffices.
-func (p *Checkpointed) nibble(base, off, c int) int {
+// ContiguousWords returns the complete single-array block image — blocks
+// itself for plain indexes (zero cost), or a freshly stitched copy for
+// epoch views. The result is bit-identical to what NewCheckpointed over the
+// same string would build, which is the contract the snapshot encoder and
+// the golden append-equivalence tests rely on.
+func (p *Checkpointed) ContiguousWords() []uint32 {
+	if p.contig {
+		return p.blocks
+	}
+	out := make([]uint32, CheckpointedWords(p.n, p.k, p.b))
+	copy(out, p.blocks[:p.tailBase])
+	copy(out[p.tailBase:], p.tail[:p.stride+1])
+	return out
+}
+
+// probe resolves pos to its block storage: the slice holding the block, the
+// block's word base within it, and pos's offset inside the block.
+func (p *Checkpointed) probe(pos int) (words []uint32, base, off int) {
+	base, off = p.BlockIndex(pos)
+	if base >= p.tailBase {
+		return p.tail, 0, off
+	}
+	return p.blocks, base, off
+}
+
+// nibble returns the in-block increment of symbol c at block offset off
+// within the given block storage. Nibbles are 4-bit aligned, so a single
+// word read always suffices.
+func (p *Checkpointed) nibble(words []uint32, base, off, c int) int {
 	bit := (off*p.k + c) * 4
-	return int(p.blocks[base+p.k+bit>>5] >> (bit & 31) & 15)
+	return int(words[base+p.k+bit>>5] >> (bit & 31) & 15)
 }
 
 // CumAt fills dst (which must have length k) with the cumulative counts of
 // s[0:pos]: one block probe, no walk.
 func (p *Checkpointed) CumAt(pos int, dst []int) {
-	base, off := p.BlockIndex(pos)
-	row := p.blocks[base : base+p.k]
+	words, base, off := p.probe(pos)
+	row := words[base : base+p.k]
 	for c, v := range row {
-		dst[c] = int(int32(v)) + p.nibble(base, off, c)
+		dst[c] = int(int32(v)) + p.nibble(words, base, off, c)
 	}
 }
 
 // Count returns the number of occurrences of symbol c in the half-open
 // window s[i:j): two block probes.
 func (p *Checkpointed) Count(c, i, j int) int {
-	bj, oj := p.BlockIndex(j)
-	bi, oi := p.BlockIndex(i)
-	return int(int32(p.blocks[bj+c])) + p.nibble(bj, oj, c) -
-		int(int32(p.blocks[bi+c])) - p.nibble(bi, oi, c)
+	wj, bj, oj := p.probe(j)
+	wi, bi, oi := p.probe(i)
+	return int(int32(wj[bj+c])) + p.nibble(wj, bj, oj, c) -
+		int(int32(wi[bi+c])) - p.nibble(wi, bi, oi, c)
 }
 
 // Vector fills dst (which must have length k) with the count vector of the
@@ -229,11 +321,11 @@ func (p *Checkpointed) Vector(i, j int, dst []int) []int {
 	if len(dst) != p.k {
 		panic(fmt.Sprintf("counts: Vector dst has length %d, want %d", len(dst), p.k))
 	}
-	bj, oj := p.BlockIndex(j)
-	bi, oi := p.BlockIndex(i)
+	wj, bj, oj := p.probe(j)
+	wi, bi, oi := p.probe(i)
 	for c := range dst {
-		dst[c] = int(int32(p.blocks[bj+c])) + p.nibble(bj, oj, c) -
-			int(int32(p.blocks[bi+c])) - p.nibble(bi, oi, c)
+		dst[c] = int(int32(wj[bj+c])) + p.nibble(wj, bj, oj, c) -
+			int(int32(wi[bi+c])) - p.nibble(wi, bi, oi, c)
 	}
 	return dst
 }
@@ -246,6 +338,12 @@ func (p *Checkpointed) Total() []int {
 
 // Bytes returns the resident index size — the blocks are the layout's
 // entire footprint: n·(4k/B + k/2) bytes against the dense layouts' 4·n·k.
+// Epoch views add their private tail block; their blocks may be a shared
+// prefix of the appender's storage, so the figure is the bytes this index
+// keeps REACHABLE, the number a byte-budgeted cache should charge.
 func (p *Checkpointed) Bytes() int {
-	return len(p.blocks) * 4
+	if p.contig {
+		return len(p.blocks) * 4
+	}
+	return (len(p.blocks) + len(p.tail)) * 4
 }

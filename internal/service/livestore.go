@@ -1,0 +1,529 @@
+// Live-corpus persistence: the appendable layer on top of the snapshot
+// store. A live corpus is a directory
+//
+//	<base64url(name)>.live/
+//	    MANIFEST.json      {"version":1,"gen":G}   (atomically replaced)
+//	    base-G.snap        sealed snapshot — today's single-file format,
+//	                       mmap-served in place exactly like a frozen corpus
+//	    wal-G.log          write-ahead log of appended symbol batches,
+//	                       fsynced per append
+//
+// An append is durable once its WAL record is fsynced; the sealed base is
+// never rewritten by appends. Recovery opens base-G, replays wal-G through
+// the corpus appender (truncating any torn tail a crash left), and the
+// corpus answers for its full appended history — bit-identical to a corpus
+// that was never restarted. Compact folds the log into a fresh sealed
+// base-G+1 (temp+fsync+rename, manifest flipped last), so the corpus stays
+// appendable while its durable form returns to one snapshot plus an empty
+// log; a crash anywhere during compaction leaves the old generation intact.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	sigsub "repro"
+	"repro/internal/counts"
+	"repro/internal/snapshot"
+)
+
+// liveExt is the live-corpus directory extension, alongside snapExt files.
+const liveExt = ".live"
+
+// manifestName is the generation pointer inside a live directory.
+const manifestName = "MANIFEST.json"
+
+// manifest is the durable generation pointer. Gen names the base/wal pair
+// currently authoritative; older generations are garbage the moment the
+// manifest rename lands.
+type manifest struct {
+	Version int `json:"version"`
+	Gen     int `json:"gen"`
+}
+
+func baseName(gen int) string { return fmt.Sprintf("base-%d.snap", gen) }
+func walName(gen int) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// liveDir returns the live directory path for a corpus name.
+func (s *Store) liveDir(name string) string {
+	return filepath.Join(s.dir, base64Name(name)+liveExt)
+}
+
+// base64Name is the hostile-byte-safe encoding shared with snapshot files.
+func base64Name(name string) string {
+	f := fileName(name)
+	return f[:len(f)-len(snapExt)]
+}
+
+// readManifest loads and validates a live directory's manifest; a missing
+// or unreadable manifest means the directory is not a (complete) live
+// corpus.
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("service: parsing %s: %w", manifestName, err)
+	}
+	if m.Version != 1 || m.Gen < 0 {
+		return manifest{}, fmt.Errorf("service: unsupported manifest version %d gen %d", m.Version, m.Gen)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces the manifest and fsyncs the directory,
+// the commit point of upgrades and compactions.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".manifest.tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// IsLive reports whether name has a complete (manifest-committed) live
+// directory.
+func (s *Store) IsLive(name string) bool {
+	if checkName(name) != nil {
+		return false
+	}
+	_, err := readManifest(s.liveDir(name))
+	return err == nil
+}
+
+// ListLive returns the names of every complete live corpus.
+func (s *Store) ListLive() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		base, ok := strings.CutSuffix(e.Name(), liveExt)
+		if !ok {
+			continue
+		}
+		name, ok := decodeName(base + snapExt)
+		if !ok {
+			continue
+		}
+		if _, err := readManifest(filepath.Join(s.dir, e.Name())); err != nil {
+			continue // incomplete upgrade or stray directory
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// UpgradeToLive converts a frozen snapshot corpus into a live one: the
+// existing snapshot becomes generation 0's sealed base (hardlinked when the
+// filesystem allows, copied otherwise), an empty WAL is created, and the
+// manifest commit makes the live directory authoritative; only then is the
+// frozen file removed. A crash anywhere before the manifest rename leaves
+// the frozen corpus untouched (stray half-built directories are ignored by
+// ListLive/IsLive and recycled here).
+func (s *Store) UpgradeToLive(name string) (*LiveCorpus, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	dir := s.liveDir(name)
+	if _, err := readManifest(dir); err == nil {
+		return s.OpenLive(name) // already live
+	}
+	snapPath := s.path(name)
+	if _, err := os.Stat(snapPath); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	// Recycle any stray half-upgrade, then build gen 0.
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	basePath := filepath.Join(dir, baseName(0))
+	if err := os.Link(snapPath, basePath); err != nil {
+		if err := copyFileSync(snapPath, basePath); err != nil {
+			return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	wal.Close()
+	if err := writeManifest(dir, manifest{Version: 1, Gen: 0}); err != nil {
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
+	// The live directory is authoritative; the frozen file is now garbage.
+	os.Remove(snapPath)
+	return s.OpenLive(name)
+}
+
+// copyFileSync copies src to dst and fsyncs dst — the hardlink fallback.
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	return out.Close()
+}
+
+// OpenLive opens a live corpus: mmap the sealed base, replay the WAL
+// through the appender (truncating any torn tail), and position the log for
+// further appends. Queries before the first post-open append are served
+// straight from the base mapping when the WAL was empty.
+func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	dir := s.liveDir(name)
+	m, err := readManifest(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
+	}
+	sn, err := sigsub.OpenSnapshot(filepath.Join(dir, baseName(m.Gen)))
+	if err != nil {
+		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
+	}
+	codec := sn.Codec()
+	if codec == nil {
+		sn.Close()
+		return nil, fmt.Errorf("service: live corpus %q base carries no codec table", name)
+	}
+	corpus, err := sigsub.NewCorpusFromSnapshot(sn)
+	if err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
+	}
+
+	walPath := filepath.Join(dir, walName(m.Gen))
+	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
+	}
+	valid, err := snapshot.ReplayWAL(wal, corpus.Append)
+	if err != nil {
+		wal.Close()
+		sn.Close()
+		return nil, fmt.Errorf("service: replaying WAL of corpus %q: %w", name, err)
+	}
+	// Drop any torn tail so new records append after the valid prefix.
+	if err := wal.Truncate(valid); err != nil {
+		wal.Close()
+		sn.Close()
+		return nil, fmt.Errorf("service: truncating torn WAL of corpus %q: %w", name, err)
+	}
+	if _, err := wal.Seek(valid, io.SeekStart); err != nil {
+		wal.Close()
+		sn.Close()
+		return nil, fmt.Errorf("service: seeking WAL of corpus %q: %w", name, err)
+	}
+	return &LiveCorpus{
+		name:    name,
+		codec:   codec,
+		model:   sn.Model(),
+		corpus:  corpus,
+		store:   s,
+		dir:     dir,
+		gen:     m.Gen,
+		wal:     wal,
+		walSize: valid,
+	}, nil
+}
+
+// deleteLive removes a live corpus directory, reporting whether one
+// existed.
+func (s *Store) deleteLive(name string) (bool, error) {
+	dir := s.liveDir(name)
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return false, fmt.Errorf("service: deleting live corpus %q: %w", name, err)
+	}
+	return true, nil
+}
+
+// LiveCorpus is an appendable corpus the daemon serves: a sigsub.Corpus for
+// epoch-published scanning plus, when backed by a store, the WAL that makes
+// each append durable before it is applied. All mutations (Append, Compact,
+// Close) are serialized on the corpus's own mutex; queries run on published
+// Views and are never blocked by them.
+type LiveCorpus struct {
+	name   string
+	codec  *sigsub.TextCodec
+	model  *sigsub.Model
+	corpus *sigsub.Corpus
+
+	mu      sync.Mutex
+	store   *Store   // nil for memory-only live corpora
+	dir     string   // live directory ("" when memory-only)
+	gen     int      // current generation
+	wal     *os.File // nil when memory-only
+	walSize int64    // bytes of acknowledged (synced + applied) records
+	closed  bool
+	// failed marks a corpus whose WAL could not be rolled back after a
+	// write/sync failure: the on-disk log may hold a record the in-memory
+	// corpus never applied, so further appends would let replay diverge
+	// from what was acknowledged. Reads keep working; appends refuse.
+	failed error
+}
+
+// NewLiveCorpus builds a memory-only live corpus from a frozen one — the
+// append path of a daemon running without -data-dir. The frozen scanner's
+// state is adopted once (O(n)); nothing is persisted.
+func NewLiveCorpus(c *Corpus) (*LiveCorpus, error) {
+	corpus, err := sigsub.NewCorpusFromScanner(c.Scanner)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveCorpus{name: c.Name, codec: c.Codec, model: c.Model, corpus: corpus}, nil
+}
+
+// Name returns the corpus name.
+func (lc *LiveCorpus) Name() string { return lc.name }
+
+// Epoch returns the corpus's append epoch (appends applied since this
+// process opened it — replayed WAL records count).
+func (lc *LiveCorpus) Epoch() uint64 { return lc.corpus.Epoch() }
+
+// View returns the immutable scanner of the current epoch.
+func (lc *LiveCorpus) View() *sigsub.Scanner { return lc.corpus.View() }
+
+// Freeze returns the corpus frozen at the current epoch in the shape the
+// executor scans: a transient read-only Corpus whose scanner is the live
+// corpus's current View, labeled with the epoch that view was published at
+// (the pair is read atomically, so answers computed mid-append never carry
+// a neighboring epoch's label).
+func (lc *LiveCorpus) Freeze() *Corpus {
+	view, epoch := lc.corpus.ViewEpoch()
+	return &Corpus{
+		Name:    lc.name,
+		Codec:   lc.codec,
+		Model:   lc.model,
+		Scanner: view,
+		symbols: view.Symbols(),
+		epoch:   epoch,
+		live:    true,
+	}
+}
+
+// Append encodes text through the corpus codec and appends the symbols:
+// WAL record fsynced first (when durable), then applied to the in-memory
+// corpus. It returns the number of symbols appended. Characters outside the
+// corpus alphabet (fixed at upload) reject the whole batch with a
+// validation error.
+func (lc *LiveCorpus) Append(text string) (int, error) {
+	if text == "" {
+		return 0, badRequest("empty append text")
+	}
+	symbols, err := lc.codec.Encode(text)
+	if err != nil {
+		return 0, badRequest("append text: %v (the corpus alphabet is fixed at upload time)", err)
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return 0, fmt.Errorf("service: corpus %q is closed", lc.name)
+	}
+	if lc.failed != nil {
+		return 0, fmt.Errorf("service: corpus %q stopped accepting appends after a log failure (%w); restart to recover the acknowledged history", lc.name, lc.failed)
+	}
+	if int64(lc.corpus.Len())+int64(len(symbols)) > counts.MaxAppendLen {
+		return 0, badRequest("append of %d symbols would exceed the %d-position corpus limit", len(symbols), counts.MaxAppendLen)
+	}
+	if lc.wal != nil {
+		if err := snapshot.AppendWALRecord(lc.wal, symbols); err != nil {
+			return 0, lc.rollbackWAL(err)
+		}
+		if err := lc.wal.Sync(); err != nil {
+			// The in-memory corpus is NOT advanced, so memory never runs
+			// ahead of what was acknowledged — but the record (possibly
+			// complete, with a valid checksum) may be on disk and the file
+			// offset is past it. Roll the log back to the acknowledged
+			// prefix; otherwise a later successful append would commit
+			// AFTER an unapplied record and restart replay would resurrect
+			// it (or stop at its torn frame and drop everything behind it).
+			return 0, lc.rollbackWAL(err)
+		}
+		lc.walSize += snapshot.WALRecordSize(len(symbols))
+	}
+	if err := lc.corpus.Append(symbols); err != nil {
+		return 0, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+	}
+	return len(symbols), nil
+}
+
+// rollbackWAL restores the log to the acknowledged prefix after a failed
+// record write or sync. If the rollback itself fails, the corpus is marked
+// failed: appends refuse (reads keep serving) until a restart replays the
+// acknowledged prefix from disk. Callers hold mu.
+func (lc *LiveCorpus) rollbackWAL(cause error) error {
+	err := fmt.Errorf("service: appending to corpus %q: %w", lc.name, cause)
+	if terr := lc.wal.Truncate(lc.walSize); terr != nil {
+		lc.failed = cause
+		return err
+	}
+	if _, serr := lc.wal.Seek(lc.walSize, io.SeekStart); serr != nil {
+		lc.failed = cause
+		return err
+	}
+	// Make the rollback itself durable: if the truncation cannot be synced,
+	// a crash could still replay the unacknowledged record.
+	if serr := lc.wal.Sync(); serr != nil {
+		lc.failed = cause
+	}
+	return err
+}
+
+// Compact folds the WAL into a fresh sealed base: generation G+1's base
+// snapshot (today's single-file format, written temp+fsync+rename) plus an
+// empty WAL, committed by the manifest flip; generation G's files are then
+// garbage-collected. Memory-only corpora have nothing to compact.
+func (lc *LiveCorpus) Compact() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return fmt.Errorf("service: corpus %q is closed", lc.name)
+	}
+	if lc.wal == nil {
+		return badRequest("corpus %q is not durable; nothing to compact", lc.name)
+	}
+	view := lc.corpus.View()
+	next := lc.gen + 1
+
+	tmp, err := os.CreateTemp(lc.dir, ".tmp-base-*")
+	if err != nil {
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	if err := sigsub.WriteSnapshot(tmp, view, lc.codec); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(lc.dir, baseName(next))); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	newWal, err := os.OpenFile(filepath.Join(lc.dir, walName(next)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	if err := newWal.Sync(); err != nil {
+		newWal.Close()
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	// Commit point: after this rename+dirsync, generation `next` is what a
+	// restart opens; before it, generation `gen` still replays identically.
+	if err := writeManifest(lc.dir, manifest{Version: 1, Gen: next}); err != nil {
+		newWal.Close()
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
+	oldWal, oldGen := lc.wal, lc.gen
+	lc.wal, lc.gen, lc.walSize = newWal, next, 0
+	// A completed compaction seals the acknowledged in-memory state into
+	// the new base, superseding whatever an earlier failed rollback left in
+	// the old log — the corpus may accept appends again.
+	lc.failed = nil
+	oldWal.Close()
+	os.Remove(filepath.Join(lc.dir, baseName(oldGen)))
+	os.Remove(filepath.Join(lc.dir, walName(oldGen)))
+	return nil
+}
+
+// Close releases the WAL handle. Queries on previously obtained Views stay
+// valid; further appends fail.
+func (lc *LiveCorpus) Close() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return nil
+	}
+	lc.closed = true
+	if lc.wal != nil {
+		return lc.wal.Close()
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	sigsub "repro"
+)
+
+// liveFixture uploads a corpus through an executor backed by a fresh store
+// directory.
+func liveFixture(t *testing.T, text string) (*Executor, string) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(0), Store: store}
+	if _, _, err := e.AddCorpus("c", text, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	return e, dir
+}
+
+// reopen simulates a daemon restart: a brand-new executor over the same
+// directory, catalog replayed.
+func reopen(t *testing.T, dir string) *Executor {
+	t.Helper()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Executor{Cache: NewCache(0), Store: store}
+	e.LoadCatalog(t.Logf)
+	return e
+}
+
+// libraryMSS computes ground truth over the full concatenated text.
+func libraryMSS(t *testing.T, text string) sigsub.Result {
+	t.Helper()
+	codec, err := sigsub.NewTextCodecSorted(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := codec.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := codec.UniformModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sigsub.NewScanner(syms, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.MSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func execMSS(t *testing.T, e *Executor, corpus string) (sigsub.Result, Info) {
+	t.Helper()
+	resp, err := e.Execute(BatchRequest{Corpus: corpus, Queries: []Query{{Kind: "mss"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Results[0].Results[0]
+	return sigsub.Result{Start: r.Start, End: r.End, Length: r.Length, X2: r.X2, PValue: r.PValue}, resp.Corpus
+}
+
+// TestLiveAppendRestart is the durability contract: upload → appends →
+// kill → restart serves the full appended history, answering exactly like
+// the library over the concatenated string, with no re-upload.
+func TestLiveAppendRestart(t *testing.T) {
+	base := "01011010101001010110"
+	appends := []string{"11111111", "0101010101", "1", "000111000111"}
+	e, dir := liveFixture(t, base)
+
+	full := base
+	for _, a := range appends {
+		info, err := e.Append("c", a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full += a
+		if info.N != len(full) {
+			t.Fatalf("after append: n=%d, want %d", info.N, len(full))
+		}
+		if !info.Live {
+			t.Fatal("appended corpus not marked live")
+		}
+	}
+	want := libraryMSS(t, full)
+	got, info := execMSS(t, e, "c")
+	if got != want {
+		t.Fatalf("pre-restart MSS %+v, want %+v", got, want)
+	}
+	if info.Epoch != uint64(len(appends)) {
+		t.Fatalf("pre-restart epoch %d, want %d", info.Epoch, len(appends))
+	}
+
+	// "Kill": drop the executor entirely; reopen over the same directory.
+	e2 := reopen(t, dir)
+	got2, info2 := execMSS(t, e2, "c")
+	if got2 != want {
+		t.Fatalf("post-restart MSS %+v, want %+v", got2, want)
+	}
+	if info2.N != len(full) {
+		t.Fatalf("post-restart n=%d, want %d", info2.N, len(full))
+	}
+	if info2.Epoch != uint64(len(appends)) {
+		t.Fatalf("post-restart epoch %d, want %d (one WAL record per append)", info2.Epoch, len(appends))
+	}
+
+	// The upgraded name must no longer have a frozen snapshot file.
+	if _, err := os.Stat(filepath.Join(dir, fileName("c"))); !os.IsNotExist(err) {
+		t.Fatalf("frozen snapshot survived the upgrade: %v", err)
+	}
+	// And appends continue after the restart.
+	if _, err := e2.Append("c", "0110"); err != nil {
+		t.Fatal(err)
+	}
+	full += "0110"
+	got3, _ := execMSS(t, e2, "c")
+	if want3 := libraryMSS(t, full); got3 != want3 {
+		t.Fatalf("post-restart append MSS %+v, want %+v", got3, want3)
+	}
+}
+
+// TestLiveTornWALRecovery: a crash mid-append (simulated by truncating the
+// WAL mid-record) recovers the acknowledged prefix and accepts new appends.
+func TestLiveTornWALRecovery(t *testing.T) {
+	base := "0101101010"
+	e, dir := liveFixture(t, base)
+	if _, err := e.Append("c", "111111"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append("c", "000000"); err != nil {
+		t.Fatal(err)
+	}
+	lc := e.liveGet("c")
+	walPath := filepath.Join(lc.dir, walName(lc.gen))
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second record.
+	if err := os.Truncate(walPath, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := reopen(t, dir)
+	got, info := execMSS(t, e2, "c")
+	want := libraryMSS(t, base+"111111")
+	if got != want {
+		t.Fatalf("torn-tail recovery MSS %+v, want %+v", got, want)
+	}
+	if info.Epoch != 1 {
+		t.Fatalf("torn-tail recovery epoch %d, want 1", info.Epoch)
+	}
+	// New appends land after the truncated prefix and survive another
+	// restart.
+	if _, err := e2.Append("c", "0000011111"); err != nil {
+		t.Fatal(err)
+	}
+	e3 := reopen(t, dir)
+	got3, _ := execMSS(t, e3, "c")
+	if want3 := libraryMSS(t, base+"111111"+"0000011111"); got3 != want3 {
+		t.Fatalf("post-recovery append MSS %+v, want %+v", got3, want3)
+	}
+}
+
+// TestLiveCompact: compaction folds the WAL into a fresh sealed base; the
+// corpus stays appendable and restarts keep answering identically.
+func TestLiveCompact(t *testing.T) {
+	base := "010110101010"
+	e, dir := liveFixture(t, base)
+	if _, err := e.Append("c", "1111111100"); err != nil {
+		t.Fatal(err)
+	}
+	full := base + "1111111100"
+	if _, err := e.Compact("c"); err != nil {
+		t.Fatal(err)
+	}
+	lc := e.liveGet("c")
+	if lc.gen != 1 {
+		t.Fatalf("post-compact generation %d, want 1", lc.gen)
+	}
+	if _, err := os.Stat(filepath.Join(lc.dir, baseName(0))); !os.IsNotExist(err) {
+		t.Fatal("generation-0 base survived compaction")
+	}
+	if st, err := os.Stat(filepath.Join(lc.dir, walName(1))); err != nil || st.Size() != 0 {
+		t.Fatalf("generation-1 WAL: %v size=%v, want empty", err, st)
+	}
+	got, _ := execMSS(t, e, "c")
+	if want := libraryMSS(t, full); got != want {
+		t.Fatalf("post-compact MSS %+v, want %+v", got, want)
+	}
+
+	// Append after compaction, restart, verify.
+	if _, err := e.Append("c", "010101"); err != nil {
+		t.Fatal(err)
+	}
+	full += "010101"
+	e2 := reopen(t, dir)
+	got2, _ := execMSS(t, e2, "c")
+	if want2 := libraryMSS(t, full); got2 != want2 {
+		t.Fatalf("post-compact restart MSS %+v, want %+v", got2, want2)
+	}
+
+	// Compacting a non-live corpus is a validation error.
+	if _, _, err := e.AddCorpus("frozen", base, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compact("frozen"); !IsValidation(err) {
+		t.Fatalf("compact of frozen corpus: %v, want validation error", err)
+	}
+}
+
+// TestLiveAppendValidation: the alphabet is fixed at upload; appends with
+// new characters are rejected without mutating the corpus, and appends to
+// unknown corpora are not found.
+func TestLiveAppendValidation(t *testing.T) {
+	e, _ := liveFixture(t, "0101101010")
+	if _, err := e.Append("c", "01012"); !IsValidation(err) {
+		t.Fatalf("append with out-of-alphabet char: %v, want validation error", err)
+	}
+	if _, err := e.Append("c", ""); !IsValidation(err) {
+		t.Fatalf("empty append: %v, want validation error", err)
+	}
+	if _, err := e.Append("missing", "01"); err == nil {
+		t.Fatal("append to unknown corpus accepted")
+	}
+	// The failed appends left the corpus untouched and frozen-loadable.
+	_, info := execMSS(t, e, "c")
+	if info.N != 10 {
+		t.Fatalf("n=%d after rejected appends, want 10", info.N)
+	}
+}
+
+// TestLiveDeleteAndReupload: DELETE removes the live directory; a PUT over
+// a live name replaces its history wholesale.
+func TestLiveDeleteAndReupload(t *testing.T) {
+	e, dir := liveFixture(t, "01011010")
+	if _, err := e.Append("c", "111111"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-upload replaces history.
+	if _, _, err := e.AddCorpus("c", "001100110011", ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	got, info := execMSS(t, e, "c")
+	if info.N != 12 || info.Live {
+		t.Fatalf("re-uploaded corpus info %+v, want n=12 frozen", info)
+	}
+	if want := libraryMSS(t, "001100110011"); got != want {
+		t.Fatalf("re-uploaded MSS %+v, want %+v", got, want)
+	}
+	e2 := reopen(t, dir)
+	if _, info := execMSS(t, e2, "c"); info.N != 12 {
+		t.Fatalf("restart after re-upload: n=%d, want 12", info.N)
+	}
+
+	// Delete removes everything.
+	if _, err := e2.Append("c", "0101"); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := e2.DeleteCorpus("c")
+	if err != nil || !deleted {
+		t.Fatalf("delete: %v %v", deleted, err)
+	}
+	if _, err := e2.Execute(BatchRequest{Corpus: "c", Queries: []Query{{Kind: "mss"}}}); err == nil {
+		t.Fatal("deleted corpus still answers")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), base64Name("c")) {
+			t.Fatalf("deleted corpus left %q on disk", ent.Name())
+		}
+	}
+	e3 := reopen(t, dir)
+	if e3.Cache.Len() != 0 || len(e3.LiveInfos()) != 0 {
+		t.Fatal("deleted corpus resurrected on restart")
+	}
+}
+
+// TestLiveMemoryOnlyAppend: without a store, appends promote the cached
+// corpus to an in-memory live one.
+func TestLiveMemoryOnlyAppend(t *testing.T) {
+	e := &Executor{Cache: NewCache(0)}
+	if _, _, err := e.AddCorpus("c", "01011010", ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append("c", "111111"); err != nil {
+		t.Fatal(err)
+	}
+	got, info := execMSS(t, e, "c")
+	if want := libraryMSS(t, "01011010111111"); got != want {
+		t.Fatalf("memory-only append MSS %+v, want %+v", got, want)
+	}
+	if !info.Live || info.Epoch != 1 {
+		t.Fatalf("memory-only info %+v, want live epoch 1", info)
+	}
+	if _, err := e.Compact("c"); !IsValidation(err) {
+		t.Fatalf("compact of memory-only corpus: %v, want validation error", err)
+	}
+}
+
+// TestLiveHalfUpgradeRecovery: a live directory without a manifest (crash
+// before the commit point) is invisible; the frozen snapshot keeps serving
+// and a later append completes the upgrade cleanly.
+func TestLiveHalfUpgradeRecovery(t *testing.T) {
+	e, dir := liveFixture(t, "0101101010")
+	// Simulate a crash mid-upgrade: live dir with base but no manifest.
+	store := e.Store
+	half := store.liveDir("c")
+	if err := os.MkdirAll(half, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFileSync(filepath.Join(dir, fileName("c")), filepath.Join(half, baseName(0))); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := reopen(t, dir)
+	if len(e2.LiveInfos()) != 0 {
+		t.Fatal("manifest-less live dir treated as live")
+	}
+	got, _ := execMSS(t, e2, "c")
+	if want := libraryMSS(t, "0101101010"); got != want {
+		t.Fatalf("frozen corpus MSS %+v, want %+v", got, want)
+	}
+	// The append recycles the stray directory and completes the upgrade.
+	if _, err := e2.Append("c", "1111"); err != nil {
+		t.Fatal(err)
+	}
+	e3 := reopen(t, dir)
+	got3, info := execMSS(t, e3, "c")
+	if want3 := libraryMSS(t, "01011010101111"); got3 != want3 || !info.Live {
+		t.Fatalf("completed upgrade MSS %+v live=%v, want %+v live", got3, info.Live, want3)
+	}
+}

@@ -180,6 +180,12 @@ type Corpus struct {
 	// and symbols alias the mapped file, which stays valid exactly as long
 	// as the Corpus (and hence snap) is reachable.
 	snap *sigsub.Snapshot
+
+	// epoch and live describe a frozen view of a live (appendable) corpus:
+	// epoch is the append epoch the Scanner is pinned to, live marks the
+	// corpus as appendable (LiveCorpus.Freeze sets both).
+	epoch uint64
+	live  bool
 }
 
 // Bytes returns the corpus's resident heap footprint — what the
@@ -217,6 +223,11 @@ type Info struct {
 	// (0 when the corpus was built on the heap). Mapped bytes are paged in
 	// and out by the kernel and are not charged against the cache budget.
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// Live marks an appendable corpus; Epoch is its append epoch (appends
+	// applied since this daemon process opened it — WAL records replayed at
+	// startup count, so a restart resumes at the persisted history's epoch).
+	Live  bool   `json:"live,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Info returns the corpus summary.
@@ -228,6 +239,8 @@ func (c *Corpus) Info() Info {
 		Model:       c.Model.String(),
 		Bytes:       c.Bytes(),
 		MappedBytes: c.MappedBytes(),
+		Live:        c.live,
+		Epoch:       c.epoch,
 	}
 }
 
@@ -521,6 +534,14 @@ type Executor struct {
 	// after its file is gone, resurrecting a deleted corpus until the next
 	// eviction. Queries against cached corpora never take it.
 	storeMu sync.Mutex
+	// liveMu guards the live-corpus registry. Live corpora are pinned here
+	// rather than living in the LRU cache: eviction-and-reload of an
+	// appendable corpus could put two writers on one WAL. Appends
+	// themselves serialize on each LiveCorpus's own mutex, so holding
+	// liveMu is only ever a map operation — one corpus's slow append never
+	// blocks another's.
+	liveMu sync.Mutex
+	live   map[string]*LiveCorpus
 	// MaxQueries bounds the queries per batch (default 64).
 	MaxQueries int
 	// MaxWorkers bounds the per-request engine parallelism (default 16).
@@ -581,10 +602,14 @@ func (e *Executor) resolve(corpusName, text string, spec ModelSpec) (*Corpus, er
 	}
 }
 
-// lookup resolves a named corpus: cache first, then — when a store is
-// configured — a reload from disk, which re-admits the mmap-served corpus
-// to the cache so the next request hits.
+// lookup resolves a named corpus: the live registry first (a frozen view of
+// the current epoch), then the cache, then — when a store is configured — a
+// reload from disk, which re-admits the mmap-served corpus to the cache so
+// the next request hits.
 func (e *Executor) lookup(name string) (*Corpus, error) {
+	if lc := e.liveGet(name); lc != nil {
+		return lc.Freeze(), nil
+	}
 	if corpus, ok := e.Cache.Get(name); ok {
 		return corpus, nil
 	}
@@ -595,8 +620,19 @@ func (e *Executor) lookup(name string) (*Corpus, error) {
 	// cannot interleave between the file read and the cache put.
 	e.storeMu.Lock()
 	defer e.storeMu.Unlock()
+	if lc := e.liveGet(name); lc != nil {
+		return lc.Freeze(), nil
+	}
 	if corpus, ok := e.Cache.Get(name); ok {
 		return corpus, nil
+	}
+	if e.Store.IsLive(name) {
+		lc, err := e.Store.OpenLive(name)
+		if err != nil {
+			return nil, err
+		}
+		e.liveAdd(lc)
+		return lc.Freeze(), nil
 	}
 	corpus, err := e.Store.Load(name)
 	if err != nil {
@@ -604,6 +640,104 @@ func (e *Executor) lookup(name string) (*Corpus, error) {
 	}
 	e.Cache.Put(corpus)
 	return corpus, nil
+}
+
+// liveGet fetches a pinned live corpus.
+func (e *Executor) liveGet(name string) *LiveCorpus {
+	e.liveMu.Lock()
+	defer e.liveMu.Unlock()
+	return e.live[name]
+}
+
+// liveAdd pins a live corpus (and drops any stale frozen cache entry: the
+// registry is now authoritative for the name).
+func (e *Executor) liveAdd(lc *LiveCorpus) {
+	e.liveMu.Lock()
+	if e.live == nil {
+		e.live = make(map[string]*LiveCorpus)
+	}
+	e.live[lc.Name()] = lc
+	e.liveMu.Unlock()
+	e.Cache.Delete(lc.Name())
+}
+
+// LiveInfos summarizes the pinned live corpora (for listings and healthz).
+func (e *Executor) LiveInfos() []Info {
+	e.liveMu.Lock()
+	lcs := make([]*LiveCorpus, 0, len(e.live))
+	for _, lc := range e.live {
+		lcs = append(lcs, lc)
+	}
+	e.liveMu.Unlock()
+	infos := make([]Info, 0, len(lcs))
+	for _, lc := range lcs {
+		infos = append(infos, lc.Freeze().Info())
+	}
+	return infos
+}
+
+// Append extends a corpus with text, promoting it to live on its first
+// append: with a store, the frozen snapshot becomes a sealed base plus a
+// WAL (the record is fsynced before the append is applied or acknowledged);
+// without one, the corpus is adopted into appendable memory. The corpus
+// keeps answering queries from previously published epochs throughout — an
+// append never blocks an in-flight scan. It returns the post-append corpus
+// info (new length and epoch).
+func (e *Executor) Append(name, text string) (Info, error) {
+	lc := e.liveGet(name)
+	if lc == nil {
+		var err error
+		lc, err = e.promote(name)
+		if err != nil {
+			return Info{}, err
+		}
+	}
+	if _, err := lc.Append(text); err != nil {
+		return Info{}, err
+	}
+	return lc.Freeze().Info(), nil
+}
+
+// Compact folds a live corpus's WAL into a fresh sealed base snapshot
+// (single-file format). Only durable live corpora compact; anything else is
+// a validation error.
+func (e *Executor) Compact(name string) (Info, error) {
+	lc := e.liveGet(name)
+	if lc == nil {
+		return Info{}, badRequest("corpus %q is not live; only appended-to corpora have a log to compact", name)
+	}
+	if err := lc.Compact(); err != nil {
+		return Info{}, err
+	}
+	return lc.Freeze().Info(), nil
+}
+
+// promote turns a known corpus into a live one, exactly once per name.
+func (e *Executor) promote(name string) (*LiveCorpus, error) {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	if lc := e.liveGet(name); lc != nil {
+		return lc, nil
+	}
+	var lc *LiveCorpus
+	var err error
+	switch {
+	case e.Store != nil && e.Store.IsLive(name):
+		lc, err = e.Store.OpenLive(name)
+	case e.Store != nil:
+		lc, err = e.Store.UpgradeToLive(name)
+	default:
+		corpus, ok := e.Cache.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		lc, err = NewLiveCorpus(corpus)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.liveAdd(lc)
+	return lc, nil
 }
 
 // AddCorpus builds a corpus from text, persists it when a store is
@@ -620,13 +754,24 @@ func (e *Executor) AddCorpus(name, text string, spec ModelSpec) (*Corpus, []stri
 	if err != nil {
 		return nil, nil, err
 	}
+	// storeMu is held even without a store: it is the corpus-replacement
+	// mutex — a concurrent promote (first append) also holds it, so it can
+	// never read the old corpus from the cache, build a live version of it,
+	// and then clobber the fresh upload's cache entry via liveAdd.
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	// A re-upload over a live corpus retires its history first: live
+	// directories outrank plain snapshots at recovery, so the old live
+	// state must be gone before the new snapshot lands (a crash in between
+	// loses only the not-yet-acknowledged PUT).
+	e.retireLive(name)
 	if e.Store != nil {
 		// Persist before caching — an upload the daemon acknowledged must
-		// survive a crash-restart — and hold storeMu across save+admit so a
-		// concurrent delete removes either the old corpus or this one, never
-		// a torn half.
-		e.storeMu.Lock()
-		defer e.storeMu.Unlock()
+		// survive a crash-restart — so a concurrent delete removes either
+		// the old corpus or this one, never a torn half.
+		if _, err := e.Store.deleteLive(name); err != nil {
+			return nil, nil, err
+		}
 		if err := e.Store.Save(corpus); err != nil {
 			return nil, nil, err
 		}
@@ -635,18 +780,34 @@ func (e *Executor) AddCorpus(name, text string, spec ModelSpec) (*Corpus, []stri
 	return corpus, evicted, nil
 }
 
-// DeleteCorpus removes a corpus from the cache and, when a store is
-// configured, from disk; it reports whether anything existed under the
-// name.
-func (e *Executor) DeleteCorpus(name string) (bool, error) {
-	if e.Store == nil {
-		return e.Cache.Delete(name), nil
+// retireLive unpins and closes a live corpus (removing its on-disk log
+// when a store is configured). Callers replacing or deleting the name hold
+// storeMu when a store is configured.
+func (e *Executor) retireLive(name string) bool {
+	e.liveMu.Lock()
+	lc := e.live[name]
+	delete(e.live, name)
+	e.liveMu.Unlock()
+	if lc == nil {
+		return false
 	}
+	lc.Close()
+	return true
+}
+
+// DeleteCorpus removes a corpus — live registry, cache, and (when a store
+// is configured) both its snapshot file and its live directory; it reports
+// whether anything existed under the name.
+func (e *Executor) DeleteCorpus(name string) (bool, error) {
 	e.storeMu.Lock()
 	defer e.storeMu.Unlock()
+	lived := e.retireLive(name)
 	cached := e.Cache.Delete(name)
+	if e.Store == nil {
+		return lived || cached, nil
+	}
 	stored, err := e.Store.Delete(name)
-	return cached || stored, err
+	return lived || cached || stored, err
 }
 
 // LoadCatalog reopens every persisted corpus and admits it to the cache —
@@ -661,13 +822,35 @@ func (e *Executor) LoadCatalog(logf func(format string, args ...any)) int {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// Live corpora first: their directory outranks any stale snapshot file
+	// a crash mid-upgrade may have left under the same name.
+	liveNames := map[string]bool{}
+	if names, err := e.Store.ListLive(); err != nil {
+		logf("corpus catalog: %v", err)
+	} else {
+		for _, name := range names {
+			liveNames[name] = true
+		}
+	}
+	loaded := 0
+	for name := range liveNames {
+		lc, err := e.Store.OpenLive(name)
+		if err != nil {
+			logf("corpus catalog: skipping live %q: %v", name, err)
+			continue
+		}
+		e.liveAdd(lc)
+		loaded++
+	}
 	names, err := e.Store.List()
 	if err != nil {
 		logf("corpus catalog: %v", err)
-		return 0
+		return loaded
 	}
-	loaded := 0
 	for _, name := range names {
+		if liveNames[name] {
+			continue
+		}
 		corpus, err := e.Store.Load(name)
 		if err != nil {
 			logf("corpus catalog: skipping %q: %v", name, err)

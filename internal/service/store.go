@@ -142,17 +142,22 @@ func (s *Store) Load(name string) (*Corpus, error) {
 	}, nil
 }
 
-// Delete removes the persisted snapshot, reporting whether one existed.
+// Delete removes the persisted corpus — its snapshot file and, for live
+// corpora, the whole live directory — reporting whether either existed.
 func (s *Store) Delete(name string) (bool, error) {
 	if err := checkName(name); err != nil {
 		return false, err
 	}
-	err := os.Remove(s.path(name))
-	if errors.Is(err, os.ErrNotExist) {
-		return false, nil
-	}
+	lived, err := s.deleteLive(name)
 	if err != nil {
-		return false, fmt.Errorf("service: deleting corpus %q: %w", name, err)
+		return false, err
+	}
+	rmErr := os.Remove(s.path(name))
+	if errors.Is(rmErr, os.ErrNotExist) {
+		return lived, nil
+	}
+	if rmErr != nil {
+		return lived, fmt.Errorf("service: deleting corpus %q: %w", name, rmErr)
 	}
 	return true, nil
 }

@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// The write-ahead log of a live corpus: the append-only companion of a
+// sealed base snapshot. Each record carries one appended symbol batch;
+// replaying base + records reconstructs the live corpus exactly, so an
+// append is durable the moment its record is fsynced — without rewriting a
+// byte of the (possibly mmap-served) base.
+//
+// Record layout (little-endian):
+//
+//	offset  size  field
+//	0       4     payload length L (≤ MaxWALRecord)
+//	4       L     payload — the appended symbol bytes
+//	4+L     8     CRC-64/ECMA of the length field and payload
+//
+// Replay treats the log as untrusted and torn-tolerant: records are
+// consumed while their length and checksum verify, and the first short,
+// oversized, or corrupt record ends the replay — ReplayWAL reports the byte
+// offset of the valid prefix so the opener can truncate the torn tail (a
+// crash mid-write) before appending new records after it.
+
+// MaxWALRecord caps one record's payload (64 MiB) — a corrupt length field
+// must not drive a giant allocation.
+const MaxWALRecord = 64 << 20
+
+// walHeaderSize and walTrailerSize frame each record.
+const (
+	walHeaderSize  = 4
+	walTrailerSize = 8
+)
+
+// ErrWALRecordTooLarge reports an append exceeding MaxWALRecord.
+var ErrWALRecordTooLarge = errors.New("snapshot: WAL record exceeds the size cap")
+
+// AppendWALRecord writes one record for payload to w. Callers own
+// durability (fsync) and serialization.
+func AppendWALRecord(w io.Writer, payload []byte) error {
+	if len(payload) > MaxWALRecord {
+		return fmt.Errorf("%w: %d bytes", ErrWALRecordTooLarge, len(payload))
+	}
+	buf := make([]byte, walHeaderSize+len(payload)+walTrailerSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[walHeaderSize:], payload)
+	crc := crc64.Checksum(buf[:walHeaderSize+len(payload)], crcTable)
+	binary.LittleEndian.PutUint64(buf[walHeaderSize+len(payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WALRecordSize returns the on-disk size of a record carrying n payload
+// bytes — what one append adds to the log.
+func WALRecordSize(n int) int64 { return int64(walHeaderSize + n + walTrailerSize) }
+
+// ReplayWAL streams every valid record of the log to visit, in order, and
+// returns the byte length of the valid prefix. A torn or corrupt tail is
+// not an error — it is the expected shape of a crash mid-append — so err is
+// non-nil only for I/O failures and for a visit callback rejecting a
+// record (which stops the replay with the offset of the records consumed so
+// far). The payload slice passed to visit is reused between records.
+func ReplayWAL(r io.Reader, visit func(payload []byte) error) (valid int64, err error) {
+	br := newWALReader(r)
+	var hdr [walHeaderSize]byte
+	var trailer [walTrailerSize]byte
+	var payload []byte
+	for {
+		if !br.full(hdr[:]) {
+			return valid, br.err()
+		}
+		l := binary.LittleEndian.Uint32(hdr[:])
+		if l > MaxWALRecord {
+			return valid, nil // corrupt length: treat as torn tail
+		}
+		if int(l) > cap(payload) {
+			payload = make([]byte, l)
+		}
+		payload = payload[:l]
+		if !br.full(payload) {
+			return valid, br.err()
+		}
+		if !br.full(trailer[:]) {
+			return valid, br.err()
+		}
+		crc := crc64.Update(crc64.Checksum(hdr[:], crcTable), crcTable, payload)
+		if crc != binary.LittleEndian.Uint64(trailer[:]) {
+			return valid, nil // bit rot or torn rewrite: stop at the last good record
+		}
+		if err := visit(payload); err != nil {
+			return valid, err
+		}
+		valid += WALRecordSize(int(l))
+	}
+}
+
+// walReader distinguishes "ran out of bytes" (torn tail — fine) from real
+// read errors.
+type walReader struct {
+	r    io.Reader
+	ioer error
+}
+
+func newWALReader(r io.Reader) *walReader { return &walReader{r: r} }
+
+// full reads exactly len(p) bytes, reporting false at EOF / short read /
+// error; err() then says whether it was an I/O failure.
+func (br *walReader) full(p []byte) bool {
+	_, err := io.ReadFull(br.r, p)
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		br.ioer = err
+	}
+	return false
+}
+
+func (br *walReader) err() error { return br.ioer }

@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	batches := [][]byte{
+		{0, 1, 2, 3},
+		{},
+		{1},
+		bytes.Repeat([]byte{2}, 1000),
+	}
+	var log bytes.Buffer
+	var want int64
+	for _, b := range batches {
+		if err := AppendWALRecord(&log, b); err != nil {
+			t.Fatal(err)
+		}
+		want += WALRecordSize(len(b))
+	}
+	if int64(log.Len()) != want {
+		t.Fatalf("log is %d bytes, want %d", log.Len(), want)
+	}
+	var got [][]byte
+	valid, err := ReplayWAL(bytes.NewReader(log.Bytes()), func(p []byte) error {
+		got = append(got, append([]byte{}, p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != want {
+		t.Fatalf("valid prefix %d, want %d", valid, want)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("%d records, want %d", len(got), len(batches))
+	}
+	for i := range batches {
+		if !bytes.Equal(got[i], batches[i]) {
+			t.Fatalf("record %d: %v, want %v", i, got[i], batches[i])
+		}
+	}
+}
+
+// TestWALTornTail: every possible truncation point of the final record
+// replays the earlier records and reports exactly their length.
+func TestWALTornTail(t *testing.T) {
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, []byte{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := int64(log.Len())
+	if err := AppendWALRecord(&log, []byte{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := log.Bytes()
+	for cut := int(prefix); cut < len(full); cut++ {
+		count := 0
+		valid, err := ReplayWAL(bytes.NewReader(full[:cut]), func(p []byte) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if valid != prefix || count != 1 {
+			t.Fatalf("cut %d: valid=%d records=%d, want valid=%d records=1", cut, valid, count, prefix)
+		}
+	}
+}
+
+// TestWALCorruptTail: a bit flip anywhere in the last record stops the
+// replay at the previous record, and a corrupt length field does not drive
+// an allocation.
+func TestWALCorruptTail(t *testing.T) {
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, []byte{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := int64(log.Len())
+	if err := AppendWALRecord(&log, []byte{1, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for bit := int(prefix) * 8; bit < log.Len()*8; bit += 7 {
+		img := append([]byte{}, log.Bytes()...)
+		img[bit/8] ^= 1 << (bit % 8)
+		count := 0
+		valid, err := ReplayWAL(bytes.NewReader(img), func(p []byte) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		// A flip in the length field may shorten the record into a valid-
+		// looking frame only if the checksum also matches — effectively
+		// impossible; anything else must stop exactly at the prefix.
+		if valid != prefix || count != 1 {
+			t.Fatalf("bit %d: valid=%d records=%d, want valid=%d records=1", bit, valid, count, prefix)
+		}
+	}
+}
+
+func TestWALRecordTooLarge(t *testing.T) {
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, make([]byte, MaxWALRecord+1)); !errors.Is(err, ErrWALRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrWALRecordTooLarge", err)
+	}
+}

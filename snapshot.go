@@ -61,7 +61,11 @@ func WriteSnapshot(w io.Writer, s *Scanner, codec *TextCodec) error {
 		Interval: cp.Interval(),
 		Probs:    s.sc.Model().Probs(),
 		Symbols:  s.sc.Symbols(),
-		Words:    cp.Words(),
+		// ContiguousWords stitches the single-array image back together for
+		// appender-published epoch views (zero cost for plain indexes), so a
+		// live corpus snapshots to the exact bytes a from-scratch build
+		// would produce.
+		Words: cp.ContiguousWords(),
 	}
 	if codec != nil {
 		f.HasCodec = true
