@@ -6,11 +6,12 @@
 //
 // Endpoints:
 //
-//	GET    /v1/healthz                  liveness probe (+ per-corpus epochs)
+//	GET    /v1/healthz                  liveness probe (+ per-corpus epochs, degraded corpora)
 //	GET    /v1/corpora                  list cached + live corpora
 //	PUT    /v1/corpora/{name}           upload {"text": "...", "model": {"mle": true}}
 //	POST   /v1/corpora/{name}/append    append {"text": "..."} to a live corpus
 //	POST   /v1/corpora/{name}/compact   fold a live corpus's log into a sealed base
+//	POST   /v1/corpora/{name}/recover   heal a degraded live corpus now (skip the backoff)
 //	DELETE /v1/corpora/{name}           evict a corpus
 //	POST   /v1/query                    one query: {"corpus": "x", "query": {"kind": "mss"}}
 //	POST   /v1/batch                    many queries: {"corpus": "x", "queries": [...]}
@@ -34,6 +35,15 @@
 // block in-flight scans — every query runs on the immutable epoch published
 // by the last completed append; corpus info reports the epoch it answered
 // from.
+//
+// Fault tolerance (see the README's operations section): scans carry the
+// request context, so a client disconnect or the -scan-timeout deadline
+// stops the engine within one chain-cover row per worker; at most
+// -max-scans scans run concurrently, with excess requests queueing up to
+// -scan-queue-wait before 429 + Retry-After; a live corpus whose log fails
+// degrades (reads keep serving, appends return 503 + Retry-After) and heals
+// itself in process, or immediately via the recover endpoint; SIGINT/SIGTERM
+// drains in-flight scans, then fsyncs and closes every live-corpus log.
 package main
 
 import (
@@ -42,12 +52,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -58,48 +68,99 @@ import (
 func main() {
 	fs := flag.NewFlagSet("mssd", flag.ExitOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:8765", "listen address")
-		cacheBytes = fs.Int64("cache-bytes", service.DefaultCacheBytes, "corpus cache byte budget (LRU eviction; counts index + symbols)")
-		dataDir    = fs.String("data-dir", "", "snapshot directory for durable corpora: uploads persist, restarts reload the catalog, cache misses reopen from disk (mmap-served); empty keeps the daemon purely in-memory")
-		maxQueries = fs.Int("max-queries", 64, "maximum queries per batch request")
-		maxWorkers = fs.Int("max-workers", 16, "maximum engine workers a request may ask for")
-		maxText    = fs.Int("max-text", 1<<20, "maximum corpus/inline text bytes")
-		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling; keep off in production)")
+		addr        = fs.String("addr", "127.0.0.1:8765", "listen address")
+		cacheBytes  = fs.Int64("cache-bytes", service.DefaultCacheBytes, "corpus cache byte budget (LRU eviction; counts index + symbols)")
+		dataDir     = fs.String("data-dir", "", "snapshot directory for durable corpora: uploads persist, restarts reload the catalog, cache misses reopen from disk (mmap-served); empty keeps the daemon purely in-memory")
+		maxQueries  = fs.Int("max-queries", 64, "maximum queries per batch request")
+		maxWorkers  = fs.Int("max-workers", 16, "maximum engine workers a request may ask for")
+		maxText     = fs.Int("max-text", 1<<20, "maximum corpus/inline text bytes")
+		scanTimeout = fs.Duration("scan-timeout", defaultScanTimeout, "per-request scan deadline: the engine stops cooperatively (one chain-cover row per worker) and the request gets 503; 0 disables")
+		maxScans    = fs.Int("max-scans", 0, "maximum concurrent scan requests (query/batch); 0 means twice the CPU count")
+		queueWait   = fs.Duration("scan-queue-wait", defaultQueueWait, "how long a scan request may wait for a slot before 429 + Retry-After")
+		readTimeout = fs.Duration("read-timeout", defaultReadTimeout, "maximum time to read a request (headers + body); uploads up to -max-text must fit")
+		writeTO     = fs.Duration("write-timeout", 0, "maximum time to write a response; 0 means -scan-timeout plus slack (a response can only start after its scan)")
+		idleTimeout = fs.Duration("idle-timeout", defaultIdleTimeout, "how long an idle keep-alive connection is held open")
+		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling; keep off in production)")
 	)
 	fs.Parse(os.Args[1:])
 
-	srv, err := newServer(serverConfig{
-		cacheBytes: *cacheBytes,
-		dataDir:    *dataDir,
-		maxQueries: *maxQueries,
-		maxWorkers: *maxWorkers,
-		maxText:    *maxText,
-		pprof:      *pprofOn,
-	})
+	cfg := serverConfig{
+		cacheBytes:  *cacheBytes,
+		dataDir:     *dataDir,
+		maxQueries:  *maxQueries,
+		maxWorkers:  *maxWorkers,
+		maxText:     *maxText,
+		scanTimeout: *scanTimeout,
+		maxScans:    *maxScans,
+		queueWait:   *queueWait,
+		pprof:       *pprofOn,
+	}
+	srv, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	writeTimeout := *writeTO
+	if writeTimeout <= 0 {
+		// The response body is written after the scan finishes, so the write
+		// deadline must outlast the scan deadline (plus slack for a large
+		// result set over a slow link). A disabled scan timeout disables it.
+		if *scanTimeout > 0 {
+			writeTimeout = *scanTimeout + 15*time.Second
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain in-flight scans before exiting: every scan ends within
+		// -scan-timeout by construction, so the drain deadline matches it
+		// (plus slack); with the timeout disabled, fall back to a minute.
+		drain := *scanTimeout + 5*time.Second
+		if *scanTimeout <= 0 {
+			drain = time.Minute
+		}
+		log.Printf("mssd draining in-flight requests (up to %s)", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		httpSrv.Shutdown(shutdownCtx)
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("mssd shutdown: %v", err)
+		}
 	}()
 
 	log.Printf("mssd listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-drained
+	// With the listener closed and scans drained, seal the durable state:
+	// fsync and close every live-corpus log.
+	if err := srv.exec.Close(); err != nil {
+		log.Printf("mssd closing live corpora: %v", err)
+	}
 	log.Print("mssd stopped")
 }
+
+// Scan-latency-aware timeout defaults: a worst-case exact scan on a
+// maximum-size corpus runs well under a minute on one core, so 60s bounds
+// scans without clipping legitimate work; reads must admit a -max-text
+// upload over a slow link; idle keep-alives are cheap.
+const (
+	defaultScanTimeout = 60 * time.Second
+	defaultQueueWait   = 2 * time.Second
+	defaultReadTimeout = 30 * time.Second
+	defaultIdleTimeout = 120 * time.Second
+)
 
 // serverConfig carries the daemon's limits.
 type serverConfig struct {
@@ -108,13 +169,26 @@ type serverConfig struct {
 	maxQueries int
 	maxWorkers int
 	maxText    int
-	pprof      bool
+	// scanTimeout bounds each scan request (0: no deadline); maxScans bounds
+	// concurrent scans (0: twice the CPU count); queueWait bounds how long an
+	// excess scan waits for a slot before 429 (0: default).
+	scanTimeout time.Duration
+	maxScans    int
+	queueWait   time.Duration
+	pprof       bool
 }
 
 // server routes HTTP requests onto the service executor.
 type server struct {
 	mux  *http.ServeMux
 	exec *service.Executor
+	// scans is the admission semaphore for query/batch requests: a slot per
+	// concurrently running scan, so a burst degrades into brief queueing and
+	// clean 429s instead of a thundering herd of goroutines each spawning
+	// engine workers.
+	scans       chan struct{}
+	scanTimeout time.Duration
+	queueWait   time.Duration
 }
 
 // newServer wires the routes; it is the unit the tests drive via httptest.
@@ -127,6 +201,14 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	maxScans := cfg.maxScans
+	if maxScans <= 0 {
+		maxScans = 2 * runtime.GOMAXPROCS(0)
+	}
+	queueWait := cfg.queueWait
+	if queueWait <= 0 {
+		queueWait = defaultQueueWait
+	}
 	s := &server{
 		mux: http.NewServeMux(),
 		exec: &service.Executor{
@@ -136,6 +218,9 @@ func newServer(cfg serverConfig) (*server, error) {
 			MaxWorkers: cfg.maxWorkers,
 			MaxTextLen: cfg.maxText,
 		},
+		scans:       make(chan struct{}, maxScans),
+		scanTimeout: cfg.scanTimeout,
+		queueWait:   queueWait,
 	}
 	if cfg.pprof {
 		// Opt-in profiling endpoints; see the README's profiling section.
@@ -150,6 +235,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("PUT /v1/corpora/{name}", s.handlePutCorpus)
 	s.mux.HandleFunc("POST /v1/corpora/{name}/append", s.handleAppendCorpus)
 	s.mux.HandleFunc("POST /v1/corpora/{name}/compact", s.handleCompactCorpus)
+	s.mux.HandleFunc("POST /v1/corpora/{name}/recover", s.handleRecoverCorpus)
 	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -177,6 +263,21 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// errOverloaded reports an admission-queue timeout: every scan slot stayed
+// busy for the whole queue wait.
+var errOverloaded = errors.New("mssd: all scan slots busy")
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// rounded up, at least 1 — clients treat 0 as "immediately", which defeats
+// the point of shedding).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
 // writeError maps service errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
@@ -184,7 +285,18 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case service.IsValidation(err):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server is at its concurrent-scan limit; retry shortly"})
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "scan exceeded the server's deadline; narrow the query or retry when the server is less loaded"})
 	default:
+		if u, ok := service.IsUnavailable(err); ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(u.RetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
@@ -192,14 +304,81 @@ func writeError(w http.ResponseWriter, err error) {
 // decodeBody strictly decodes a JSON request body into v. The body budget
 // accounts for JSON escaping of a maximum-size corpus text (up to 6 wire
 // bytes per text byte), so every upload the text limit permits decodes.
+// MaxBytesReader (unlike a plain LimitReader) also closes the connection on
+// overrun, so an oversized upload cannot keep streaming into a dead request.
 func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, s.exec.BodyLimit()))
+	body := http.MaxBytesReader(w, r.Body, s.exec.BodyLimit())
+	defer body.Close()
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("request body exceeds the %d byte limit", tooLarge.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
 	return true
+}
+
+// acquireScan claims a slot in the scan semaphore, waiting up to queueWait.
+// The returned release must be called when the scan finishes. It fails with
+// errOverloaded on queue timeout and the request's cancellation error if the
+// client gives up while queued.
+func (s *server) acquireScan(r *http.Request) (release func(), err error) {
+	select {
+	case s.scans <- struct{}{}:
+		return func() { <-s.scans }, nil
+	default:
+	}
+	timer := time.NewTimer(s.queueWait)
+	defer timer.Stop()
+	select {
+	case s.scans <- struct{}{}:
+		return func() { <-s.scans }, nil
+	case <-timer.C:
+		return nil, errOverloaded
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+}
+
+// scanContext derives the context a scan runs under: the request context
+// (fires on client disconnect) bounded by the scan timeout.
+func (s *server) scanContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.scanTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.scanTimeout)
+}
+
+// runScan is the shared admission + cancellation wrapper of the query and
+// batch handlers.
+func (s *server) runScan(w http.ResponseWriter, r *http.Request, req service.BatchRequest) (service.BatchResponse, bool) {
+	release, err := s.acquireScan(r)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The client hung up while queued; nobody reads a response.
+			return service.BatchResponse{}, false
+		}
+		writeError(w, err)
+		return service.BatchResponse{}, false
+	}
+	defer release()
+	ctx, cancel := s.scanContext(r)
+	defer cancel()
+	resp, err := s.exec.ExecuteContext(ctx, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return service.BatchResponse{}, false
+		}
+		writeError(w, err)
+		return service.BatchResponse{}, false
+	}
+	return resp, true
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -208,12 +387,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// watches to confirm a restart resumed the full appended history.
 	epochs := make(map[string]uint64, len(live))
 	var liveBytes int64
+	// Degraded live corpora still serve reads but refuse appends until
+	// recovery; surface them so operators see the read-only mode without
+	// waiting for a failed append.
+	degraded := map[string]*service.DegradedInfo{}
 	for _, info := range live {
 		epochs[info.Name] = info.Epoch
 		liveBytes += info.Bytes
+		if info.Degraded != nil {
+			degraded[info.Name] = info.Degraded
+		}
+	}
+	status := "ok"
+	if len(degraded) > 0 {
+		status = "degraded"
 	}
 	body := map[string]any{
-		"status":  "ok",
+		"status":  status,
 		"corpora": s.exec.Cache.Len() + len(live),
 		// cache_bytes is the resident heap charge; mapped_bytes the
 		// file-backed footprint of mmap-served corpora (kernel-paged, not
@@ -225,6 +415,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"live_corpora": len(live),
 		"live_bytes":   liveBytes,
 		"epochs":       epochs,
+	}
+	if len(degraded) > 0 {
+		body["degraded"] = degraded
 	}
 	if s.exec.Store != nil {
 		body["data_dir"] = s.exec.Store.Dir()
@@ -305,6 +498,15 @@ func (s *server) handleCompactCorpus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
 }
 
+func (s *server) handleRecoverCorpus(w http.ResponseWriter, r *http.Request) {
+	info, err := s.exec.Recover(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
+}
+
 func (s *server) handleDeleteCorpus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	deleted, err := s.exec.DeleteCorpus(name)
@@ -324,9 +526,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.exec.Execute(req.Batch())
-	if err != nil {
-		writeError(w, err)
+	resp, ok := s.runScan(w, r, req.Batch())
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"corpus": resp.Corpus, "result": resp.Results[0]})
@@ -337,9 +538,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.exec.Execute(req)
-	if err != nil {
-		writeError(w, err)
+	resp, ok := s.runScan(w, r, req)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

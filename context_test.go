@@ -1,0 +1,237 @@
+package sigsub
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunContextMatchesRun locks the zero-overhead contract: a context that
+// never fires leaves RunContext bit-identical to Run, for every query kind,
+// sequentially and parallel.
+func TestRunContextMatchesRun(t *testing.T) {
+	sc, _ := parallelFixture(t, 1200, 3, 7)
+	queries := []Query{
+		MSSQuery(),
+		MSSQuery().WithMinLength(40),
+		TopTQuery(5),
+		ThresholdQuery(15),
+		DisjointQuery(3),
+	}
+	for _, w := range []int{1, 8} {
+		for _, q := range queries {
+			want, err := sc.Run(q, WithWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.RunContext(context.Background(), q, WithWorkers(w))
+			if err != nil {
+				t.Fatalf("workers=%d kind=%v: %v", w, q.Kind, err)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("workers=%d kind=%v: %d results, want %d", w, q.Kind, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				if got.Results[i].X2 != want.Results[i].X2 {
+					t.Errorf("workers=%d kind=%v: result %d X² diverges", w, q.Kind, i)
+				}
+			}
+			// Parallel pruning splits Evaluated/Skipped nondeterministically
+			// (the shared best evolves with scheduling), but their sum is the
+			// exact candidate count either way; sequentially the stats must
+			// be bit-identical.
+			if w == 1 && got.Stats != want.Stats {
+				t.Errorf("kind=%v: stats %+v, want %+v", q.Kind, got.Stats, want.Stats)
+			}
+			if got.Stats.Evaluated+got.Stats.Skipped != want.Stats.Evaluated+want.Stats.Skipped {
+				t.Errorf("workers=%d kind=%v: candidate set size diverges", w, q.Kind)
+			}
+		}
+
+		// Batch path: the whole slice must match RunBatch.
+		want, err := sc.RunBatch(queries, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.RunBatchContext(context.Background(), queries, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: batch sizes %d vs %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Results) != len(want[i].Results) {
+				t.Errorf("workers=%d: batch slot %d result count diverges", w, i)
+			}
+			if w == 1 && got[i].Stats != want[i].Stats {
+				t.Errorf("batch slot %d stats %+v, want %+v", i, got[i].Stats, want[i].Stats)
+			}
+			if got[i].Stats.Evaluated+got[i].Stats.Skipped != want[i].Stats.Evaluated+want[i].Stats.Skipped {
+				t.Errorf("workers=%d: batch slot %d candidate set size diverges", w, i)
+			}
+		}
+	}
+}
+
+// TestRunContextPreCancelled: a context that fired before the call returns
+// immediately with its cause and performs no scan work.
+func TestRunContextPreCancelled(t *testing.T) {
+	sc, _ := parallelFixture(t, 1200, 3, 7)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var st Stats
+	if _, err := sc.RunContext(ctx, MSSQuery(), WithStats(&st)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext: %v, want context.Canceled", err)
+	}
+	if st.Evaluated != 0 || st.Starts != 0 {
+		t.Fatalf("pre-cancelled scan still did work: %+v", st)
+	}
+
+	// A custom cancel cause propagates verbatim.
+	boom := errors.New("client went away")
+	cctx, ccancel := context.WithCancelCause(context.Background())
+	ccancel(boom)
+	if _, err := sc.RunContext(cctx, MSSQuery()); !errors.Is(err, boom) {
+		t.Fatalf("custom cause: %v, want %v", err, boom)
+	}
+
+	// An expired deadline reports DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := sc.RunContext(dctx, MSSQuery()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunBatchContextPreCancelled: every slot reports the cancellation, the
+// slice stays parallel to the queries, and no partial results leak.
+func TestRunBatchContextPreCancelled(t *testing.T) {
+	sc, _ := parallelFixture(t, 1200, 3, 7)
+	qs := []Query{MSSQuery(), TopTQuery(3), ThresholdQuery(10)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := sc.RunBatchContext(ctx, qs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch on cancelled context: %v, want context.Canceled", err)
+	}
+	if len(out) != len(qs) {
+		t.Fatalf("batch returned %d slots for %d queries", len(out), len(qs))
+	}
+	for i, r := range out {
+		if r.Err == nil {
+			t.Errorf("slot %d has no error after cancellation", i)
+		}
+		if len(r.Results) != 0 {
+			t.Errorf("slot %d leaked %d partial results", i, len(r.Results))
+		}
+	}
+}
+
+// TestRunContextCancelMidScan cancels while a large scan is in flight and
+// asserts the cancellation contract: a cancelled call returns the cause with
+// no results, and the scanner remains fully usable — the next uncancelled
+// run answers bit-identically to a fresh scan. The cancel lands mid-scan on
+// any reasonable machine, but the test is written to hold either way.
+func TestRunContextCancelMidScan(t *testing.T) {
+	sc, _ := parallelFixture(t, 120_000, 4, 11)
+	want, err := sc.Run(MSSQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawCancel := false
+	for attempt := 0; attempt < 20 && !sawCancel; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(50 * time.Microsecond)
+			cancel()
+		}()
+		r, err := sc.RunContext(ctx, MSSQuery(), WithWorkers(4))
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("mid-scan cancel: %v, want context.Canceled", err)
+			}
+			if len(r.Results) != 0 {
+				t.Fatalf("cancelled scan leaked %d partial results", len(r.Results))
+			}
+			sawCancel = true
+		} else if r.Results[0].X2 != want.Results[0].X2 {
+			// The scan finished before the cancel: it must be correct.
+			t.Fatalf("uncancelled scan diverged: %g, want %g", r.Results[0].X2, want.Results[0].X2)
+		}
+	}
+	if !sawCancel {
+		t.Log("cancel never landed mid-scan (fast machine); invariants still held")
+	}
+
+	// The scanner is untouched: a fresh run still answers exactly.
+	after, err := sc.RunContext(context.Background(), MSSQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Results[0].X2 != want.Results[0].X2 {
+		t.Fatalf("scanner damaged by cancellation: %g, want %g", after.Results[0].X2, want.Results[0].X2)
+	}
+}
+
+// TestCancelConcurrentScans is the -race stress: scans run concurrently on
+// one scanner while contexts fire around them; every completed scan must be
+// exact and every cancelled one empty.
+func TestCancelConcurrentScans(t *testing.T) {
+	sc, _ := parallelFixture(t, 30_000, 3, 13)
+	want, err := sc.Run(MSSQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Stagger deadlines so some scans finish and some cancel.
+				d := time.Duration((seed+i)%5) * 200 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				r, err := sc.RunContext(ctx, MSSQuery(), WithWorkers(2))
+				cancel()
+				switch {
+				case err == nil:
+					if r.Results[0].X2 != want.Results[0].X2 {
+						errc <- errors.New("completed scan diverged under concurrent cancellation")
+						return
+					}
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					if len(r.Results) != 0 {
+						errc <- errors.New("cancelled scan leaked results")
+						return
+					}
+				default:
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

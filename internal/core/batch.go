@@ -271,12 +271,16 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 			stats := make([]Stats, ng)
 			stored := make([]int, ns)    // per-worker threshold buffering caps
 			hits := make([][]Scored, ns) // per-chunk sink buffers, reset each chunk
+		claim:
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(chunks) {
 					break
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					if e.stopped() {
+						break claim
+					}
 					sc.batchRow(cur, i, groups, allSinks, nextPos, lastConsumed, best, stats, hits, stored)
 				}
 				for _, h := range hits {

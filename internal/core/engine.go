@@ -35,6 +35,15 @@ type Engine struct {
 	// Workers is the worker-pool size: 1 runs the sequential scan inline;
 	// 0 (the zero value) resolves to GOMAXPROCS.
 	Workers int
+	// stop, when non-nil, is the cooperative-cancellation flag installed by
+	// RunQueryContext/RunBatchContext. Every scan loop polls it once per
+	// chain-cover start row — the natural preemption point: a row is one
+	// budgeted skip chain, so the check amortizes to zero against the row's
+	// evaluations and adds nothing to the per-position hot path. A true
+	// value abandons the scan; whatever partial state exists is discarded by
+	// the context wrapper, and an unset (or never-fired) flag leaves every
+	// scan bit-identical to the context-free entry points.
+	stop *atomic.Bool
 	// WarmStart seeds the shared skip budget, before the exact scan starts,
 	// with the best X² found by the O(nk) global-extrema heuristic (AGMM,
 	// heuristics.go) restricted to the scanned range and length floor. The
@@ -50,6 +59,9 @@ type Engine struct {
 	// the paper's machine-independent iteration metric.
 	WarmStart bool
 }
+
+// stopped reports whether a cancellation flag is installed and fired.
+func (e Engine) stopped() bool { return e.stop != nil && e.stop.Load() }
 
 // workerCount resolves the pool size against the number of start positions.
 func (e Engine) workerCount(starts int) int {
@@ -198,7 +210,7 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 	}
 	w := e.workerCount(hiStart - lo + 1)
 	if w == 1 {
-		return sc.mssRangeWarm(lo, hi, minLen, warm)
+		return sc.mssRangeWarm(e, lo, hi, minLen, warm)
 	}
 
 	chunks := splitStarts(lo, hiStart, w*chunksPerWorker)
@@ -217,12 +229,16 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 			defer sc.putRoll(cur)
 			best := Scored{X2: -1}
 			var st Stats
+		claim:
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(chunks) {
 					break
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					if e.stopped() {
+						break claim
+					}
 					st.Starts++
 					cur.Begin(i, i+minLen)
 					for {
@@ -319,7 +335,7 @@ func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats,
 		w = e.workerCount(hiStart - lo + 1)
 	}
 	if w == 1 {
-		return sc.toptSeq(t, lo, hi, minLen)
+		return sc.toptSeq(e, t, lo, hi, minLen)
 	}
 
 	h, err := topheap.New(t)
@@ -338,12 +354,16 @@ func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats,
 			cur := sc.newRoll()
 			defer sc.putRoll(cur)
 			var st Stats
+		claim:
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(chunks) {
 					break
 				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					if e.stopped() {
+						break claim
+					}
 					st.Starts++
 					cur.Begin(i, i+minLen)
 					for {
@@ -383,7 +403,7 @@ func (sc *Scanner) engineTopT(e Engine, t, lo, hi, minLen int) ([]Scored, Stats,
 }
 
 // toptSeq is the sequential top-t scan shared by every top-t entry point.
-func (sc *Scanner) toptSeq(t, lo, hi, minLen int) ([]Scored, Stats, error) {
+func (sc *Scanner) toptSeq(e Engine, t, lo, hi, minLen int) ([]Scored, Stats, error) {
 	h, err := topheap.New(t)
 	if err != nil {
 		return nil, Stats{}, err
@@ -392,6 +412,9 @@ func (sc *Scanner) toptSeq(t, lo, hi, minLen int) ([]Scored, Stats, error) {
 	cur := sc.newRoll()
 	defer sc.putRoll(cur)
 	for i := hi - minLen; i >= lo; i-- {
+		if e.stopped() {
+			break
+		}
 		st.Starts++
 		cur.Begin(i, i+minLen)
 		for {
@@ -438,7 +461,7 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 		w = e.workerCount(hiStart - lo + 1)
 	}
 	if w == 1 {
-		return sc.thresholdSeq(alpha, lo, hi, minLen, visit)
+		return sc.thresholdSeq(e, alpha, lo, hi, minLen, visit)
 	}
 
 	chunks := splitStarts(lo, hiStart, w*chunksPerWorker)
@@ -454,6 +477,7 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 			defer sc.putRoll(cur)
 			var st Stats
 			stored := 0
+		claim:
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(chunks) {
@@ -461,6 +485,9 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 				}
 				var hits []Scored
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
+					if e.stopped() {
+						break claim
+					}
 					st.Starts++
 					cur.Begin(i, i+minLen)
 					for {
@@ -510,11 +537,14 @@ func (sc *Scanner) engineThreshold(e Engine, alpha float64, lo, hi, minLen, cap 
 
 // thresholdSeq is the sequential threshold scan shared by every threshold
 // entry point.
-func (sc *Scanner) thresholdSeq(alpha float64, lo, hi, minLen int, visit func(Scored)) Stats {
+func (sc *Scanner) thresholdSeq(e Engine, alpha float64, lo, hi, minLen int, visit func(Scored)) Stats {
 	var st Stats
 	cur := sc.newRoll()
 	defer sc.putRoll(cur)
 	for i := hi - minLen; i >= lo; i-- {
+		if e.stopped() {
+			break
+		}
 		st.Starts++
 		cur.Begin(i, i+minLen)
 		for {
@@ -571,6 +601,9 @@ func (sc *Scanner) disjointRange(e Engine, t, rangeLo, rangeHi, minLen int) ([]S
 	segs := []segment{eval(rangeLo, rangeHi)}
 	var out []Scored
 	for len(out) < t {
+		if e.stopped() {
+			break
+		}
 		bi := -1
 		for i, sg := range segs {
 			if !sg.ok {

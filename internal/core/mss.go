@@ -65,7 +65,12 @@ func (sc *Scanner) MSSMinLengthWith(e Engine, gamma int) (Scored, Stats) {
 // total order, so the reported result is bit-identical to the one-row scan
 // whatever the interleaving (exact ties stay evaluated — see
 // chisq.Roll.Passes).
-func (sc *Scanner) mssRangeWarm(lo, hi, minLen int, warm float64) (Scored, Stats) {
+//
+// Cancellation (e.stop) is honoured at row-assignment granularity: a fired
+// flag stops new start rows from being claimed, and the at-most-gangSize
+// rows already in flight drain normally — the scan stops within one
+// preemption quantum (a chain-cover row) without any per-position check.
+func (sc *Scanner) mssRangeWarm(e Engine, lo, hi, minLen int, warm float64) (Scored, Stats) {
 	best := Scored{X2: -1}
 	var st Stats
 	floor := soften(warm)
@@ -85,7 +90,7 @@ func (sc *Scanner) mssRangeWarm(lo, hi, minLen int, warm float64) (Scored, Stats
 		live := 0
 		for g := range curs {
 			if rows[g] < 0 {
-				if nextRow < lo {
+				if nextRow < lo || e.stopped() {
 					continue
 				}
 				rows[g] = nextRow

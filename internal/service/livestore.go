@@ -16,6 +16,14 @@
 // base-G+1 (temp+fsync+rename, manifest flipped last), so the corpus stays
 // appendable while its durable form returns to one snapshot plus an empty
 // log; a crash anywhere during compaction leaves the old generation intact.
+//
+// Every filesystem operation goes through the store's vfs.FS, so disk
+// faults (EIO, ENOSPC, failed fsyncs, crashes mid-sequence) are injectable
+// at each step. A corpus whose log cannot be rolled back after a failed
+// append degrades instead of dying: reads keep serving, appends return an
+// UnavailableError, and the corpus heals itself in process — reopen the
+// log, verify the acknowledged prefix, truncate past it — with exponential
+// backoff between attempts (see recoverLocked).
 package service
 
 import (
@@ -27,10 +35,13 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	sigsub "repro"
 	"repro/internal/counts"
 	"repro/internal/snapshot"
+	"repro/internal/vfs"
 )
 
 // liveExt is the live-corpus directory extension, alongside snapExt files.
@@ -64,8 +75,8 @@ func base64Name(name string) string {
 // readManifest loads and validates a live directory's manifest; a missing
 // or unreadable manifest means the directory is not a (complete) live
 // corpus.
-func readManifest(dir string) (manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fsys vfs.FS, dir string) (manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return manifest{}, err
 	}
@@ -81,45 +92,35 @@ func readManifest(dir string) (manifest, error) {
 
 // writeManifest atomically replaces the manifest and fsyncs the directory,
 // the commit point of upgrades and compactions.
-func writeManifest(dir string, m manifest) error {
+func writeManifest(fsys vfs.FS, dir string, m manifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, ".manifest.tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so renames within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsys.SyncDir(dir)
 }
 
 // IsLive reports whether name has a complete (manifest-committed) live
@@ -128,13 +129,13 @@ func (s *Store) IsLive(name string) bool {
 	if checkName(name) != nil {
 		return false
 	}
-	_, err := readManifest(s.liveDir(name))
+	_, err := readManifest(s.fs, s.liveDir(name))
 	return err == nil
 }
 
 // ListLive returns the names of every complete live corpus.
 func (s *Store) ListLive() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: listing store: %w", err)
 	}
@@ -151,7 +152,7 @@ func (s *Store) ListLive() ([]string, error) {
 		if !ok {
 			continue
 		}
-		if _, err := readManifest(filepath.Join(s.dir, e.Name())); err != nil {
+		if _, err := readManifest(s.fs, filepath.Join(s.dir, e.Name())); err != nil {
 			continue // incomplete upgrade or stray directory
 		}
 		names = append(names, name)
@@ -171,30 +172,30 @@ func (s *Store) UpgradeToLive(name string) (*LiveCorpus, error) {
 		return nil, err
 	}
 	dir := s.liveDir(name)
-	if _, err := readManifest(dir); err == nil {
+	if _, err := readManifest(s.fs, dir); err == nil {
 		return s.OpenLive(name) // already live
 	}
 	snapPath := s.path(name)
-	if _, err := os.Stat(snapPath); err != nil {
+	if _, err := s.fs.Stat(snapPath); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 		}
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
 	// Recycle any stray half-upgrade, then build gen 0.
-	if err := os.RemoveAll(dir); err != nil {
+	if err := s.fs.RemoveAll(dir); err != nil {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
 	basePath := filepath.Join(dir, baseName(0))
-	if err := os.Link(snapPath, basePath); err != nil {
-		if err := copyFileSync(snapPath, basePath); err != nil {
+	if err := s.fs.Link(snapPath, basePath); err != nil {
+		if err := copyFileSync(s.fs, snapPath, basePath); err != nil {
 			return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 		}
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	wal, err := s.fs.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
@@ -203,33 +204,33 @@ func (s *Store) UpgradeToLive(name string) (*LiveCorpus, error) {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
 	wal.Close()
-	if err := writeManifest(dir, manifest{Version: 1, Gen: 0}); err != nil {
+	if err := writeManifest(s.fs, dir, manifest{Version: 1, Gen: 0}); err != nil {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
 	// The live directory is authoritative; the frozen file is now garbage.
-	os.Remove(snapPath)
+	s.fs.Remove(snapPath)
 	return s.OpenLive(name)
 }
 
 // copyFileSync copies src to dst and fsyncs dst — the hardlink fallback.
-func copyFileSync(src, dst string) error {
-	in, err := os.Open(src)
+func copyFileSync(fsys vfs.FS, src, dst string) error {
+	in, err := vfs.Open(fsys, src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	out, err := fsys.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
 		out.Close()
-		os.Remove(dst)
+		fsys.Remove(dst)
 		return err
 	}
 	if err := out.Sync(); err != nil {
 		out.Close()
-		os.Remove(dst)
+		fsys.Remove(dst)
 		return err
 	}
 	return out.Close()
@@ -244,14 +245,14 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		return nil, err
 	}
 	dir := s.liveDir(name)
-	m, err := readManifest(dir)
+	m, err := readManifest(s.fs, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 		}
 		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
 	}
-	sn, err := sigsub.OpenSnapshot(filepath.Join(dir, baseName(m.Gen)))
+	sn, err := s.openSnapshot(filepath.Join(dir, baseName(m.Gen)))
 	if err != nil {
 		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
 	}
@@ -267,7 +268,7 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 	}
 
 	walPath := filepath.Join(dir, walName(m.Gen))
-	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	wal, err := s.fs.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		sn.Close()
 		return nil, fmt.Errorf("service: opening live corpus %q: %w", name, err)
@@ -295,6 +296,7 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		model:   sn.Model(),
 		corpus:  corpus,
 		store:   s,
+		fs:      s.fs,
 		dir:     dir,
 		gen:     m.Gen,
 		wal:     wal,
@@ -306,38 +308,74 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 // existed.
 func (s *Store) deleteLive(name string) (bool, error) {
 	dir := s.liveDir(name)
-	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+	if _, err := s.fs.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return false, nil
 	}
-	if err := os.RemoveAll(dir); err != nil {
+	if err := s.fs.RemoveAll(dir); err != nil {
 		return false, fmt.Errorf("service: deleting live corpus %q: %w", name, err)
 	}
 	return true, nil
 }
 
+// Recovery backoff: the first self-heal attempt is immediate (most log
+// failures are transient), then doubles per failed attempt up to the cap.
+const (
+	recoverBackoffBase = 100 * time.Millisecond
+	recoverBackoffMax  = 10 * time.Second
+)
+
+// degradedState is the reason a corpus stopped accepting appends, plus the
+// self-heal schedule. It is published through an atomic pointer so health
+// probes read it without contending on the append mutex (appends hold mu
+// across an fsync); all writes happen under mu.
+type degradedState struct {
+	cause    error
+	since    time.Time
+	attempts int       // failed recovery attempts so far
+	nextTry  time.Time // earliest next automatic recovery attempt
+}
+
+// DegradedInfo describes a degraded live corpus for health reporting.
+type DegradedInfo struct {
+	// Cause is the failure that degraded the corpus (or the latest failed
+	// recovery attempt).
+	Cause string `json:"cause"`
+	// Since is when the corpus degraded.
+	Since time.Time `json:"since"`
+	// Attempts counts failed in-process recovery attempts.
+	Attempts int `json:"attempts"`
+	// RetryAfter is how long until the next automatic recovery attempt
+	// (zero when one is already allowed).
+	RetryAfter time.Duration `json:"retry_after_ns"`
+}
+
 // LiveCorpus is an appendable corpus the daemon serves: a sigsub.Corpus for
 // epoch-published scanning plus, when backed by a store, the WAL that makes
 // each append durable before it is applied. All mutations (Append, Compact,
-// Close) are serialized on the corpus's own mutex; queries run on published
-// Views and are never blocked by them.
+// Recover, Close) are serialized on the corpus's own mutex; queries run on
+// published Views and are never blocked by them.
 type LiveCorpus struct {
 	name   string
 	codec  *sigsub.TextCodec
 	model  *sigsub.Model
 	corpus *sigsub.Corpus
 
+	// degraded, when non-nil, marks a corpus whose WAL could not be rolled
+	// back after a write/sync failure: the on-disk log may hold a record the
+	// in-memory corpus never applied, so further appends would let replay
+	// diverge from what was acknowledged. Reads keep working; appends refuse
+	// with an UnavailableError until recovery re-establishes the invariant
+	// (log == acknowledged prefix). Read lock-free; written under mu.
+	degraded atomic.Pointer[degradedState]
+
 	mu      sync.Mutex
 	store   *Store   // nil for memory-only live corpora
+	fs      vfs.FS   // nil when memory-only
 	dir     string   // live directory ("" when memory-only)
 	gen     int      // current generation
-	wal     *os.File // nil when memory-only
+	wal     vfs.File // nil when memory-only
 	walSize int64    // bytes of acknowledged (synced + applied) records
 	closed  bool
-	// failed marks a corpus whose WAL could not be rolled back after a
-	// write/sync failure: the on-disk log may hold a record the in-memory
-	// corpus never applied, so further appends would let replay diverge
-	// from what was acknowledged. Reads keep working; appends refuse.
-	failed error
 }
 
 // NewLiveCorpus builds a memory-only live corpus from a frozen one — the
@@ -361,6 +399,25 @@ func (lc *LiveCorpus) Epoch() uint64 { return lc.corpus.Epoch() }
 // View returns the immutable scanner of the current epoch.
 func (lc *LiveCorpus) View() *sigsub.Scanner { return lc.corpus.View() }
 
+// Degraded reports the corpus's degraded state, nil when healthy. It never
+// blocks on the append path (lock-free read of the published state).
+func (lc *LiveCorpus) Degraded() *DegradedInfo {
+	d := lc.degraded.Load()
+	if d == nil {
+		return nil
+	}
+	retry := time.Until(d.nextTry)
+	if retry < 0 {
+		retry = 0
+	}
+	return &DegradedInfo{
+		Cause:      d.cause.Error(),
+		Since:      d.since,
+		Attempts:   d.attempts,
+		RetryAfter: retry,
+	}
+}
+
 // Freeze returns the corpus frozen at the current epoch in the shape the
 // executor scans: a transient read-only Corpus whose scanner is the live
 // corpus's current View, labeled with the epoch that view was published at
@@ -369,13 +426,14 @@ func (lc *LiveCorpus) View() *sigsub.Scanner { return lc.corpus.View() }
 func (lc *LiveCorpus) Freeze() *Corpus {
 	view, epoch := lc.corpus.ViewEpoch()
 	return &Corpus{
-		Name:    lc.name,
-		Codec:   lc.codec,
-		Model:   lc.model,
-		Scanner: view,
-		symbols: view.Symbols(),
-		epoch:   epoch,
-		live:    true,
+		Name:     lc.name,
+		Codec:    lc.codec,
+		Model:    lc.model,
+		Scanner:  view,
+		symbols:  view.Symbols(),
+		epoch:    epoch,
+		live:     true,
+		degraded: lc.Degraded(),
 	}
 }
 
@@ -383,7 +441,8 @@ func (lc *LiveCorpus) Freeze() *Corpus {
 // WAL record fsynced first (when durable), then applied to the in-memory
 // corpus. It returns the number of symbols appended. Characters outside the
 // corpus alphabet (fixed at upload) reject the whole batch with a
-// validation error.
+// validation error. A degraded corpus first tries to heal itself (respecting
+// the recovery backoff) and refuses with an UnavailableError if it cannot.
 func (lc *LiveCorpus) Append(text string) (int, error) {
 	if text == "" {
 		return 0, badRequest("empty append text")
@@ -397,8 +456,13 @@ func (lc *LiveCorpus) Append(text string) (int, error) {
 	if lc.closed {
 		return 0, fmt.Errorf("service: corpus %q is closed", lc.name)
 	}
-	if lc.failed != nil {
-		return 0, fmt.Errorf("service: corpus %q stopped accepting appends after a log failure (%w); restart to recover the acknowledged history", lc.name, lc.failed)
+	if d := lc.degraded.Load(); d != nil {
+		if time.Now().Before(d.nextTry) {
+			return 0, lc.unavailableLocked()
+		}
+		if err := lc.recoverLocked(); err != nil {
+			return 0, lc.unavailableLocked()
+		}
 	}
 	if int64(lc.corpus.Len())+int64(len(symbols)) > counts.MaxAppendLen {
 		return 0, badRequest("append of %d symbols would exceed the %d-position corpus limit", len(symbols), counts.MaxAppendLen)
@@ -426,31 +490,141 @@ func (lc *LiveCorpus) Append(text string) (int, error) {
 }
 
 // rollbackWAL restores the log to the acknowledged prefix after a failed
-// record write or sync. If the rollback itself fails, the corpus is marked
-// failed: appends refuse (reads keep serving) until a restart replays the
-// acknowledged prefix from disk. Callers hold mu.
+// record write or sync. If the rollback itself fails, the corpus degrades:
+// appends refuse (reads keep serving) until in-process recovery — attempted
+// automatically by later appends, or on demand via Recover — re-verifies the
+// acknowledged prefix on disk. Callers hold mu.
 func (lc *LiveCorpus) rollbackWAL(cause error) error {
 	err := fmt.Errorf("service: appending to corpus %q: %w", lc.name, cause)
 	if terr := lc.wal.Truncate(lc.walSize); terr != nil {
-		lc.failed = cause
+		lc.markDegradedLocked(cause)
 		return err
 	}
 	if _, serr := lc.wal.Seek(lc.walSize, io.SeekStart); serr != nil {
-		lc.failed = cause
+		lc.markDegradedLocked(cause)
 		return err
 	}
 	// Make the rollback itself durable: if the truncation cannot be synced,
 	// a crash could still replay the unacknowledged record.
 	if serr := lc.wal.Sync(); serr != nil {
-		lc.failed = cause
+		lc.markDegradedLocked(cause)
 	}
 	return err
+}
+
+// markDegradedLocked publishes the degraded state. The first recovery
+// attempt is allowed immediately — most log failures are transient — and
+// each failed attempt pushes the next one out exponentially. Callers hold
+// mu.
+func (lc *LiveCorpus) markDegradedLocked(cause error) {
+	now := time.Now()
+	lc.degraded.Store(&degradedState{cause: cause, since: now, nextTry: now})
+}
+
+// retryLaterLocked records a failed recovery attempt and schedules the
+// next. Callers hold mu.
+func (lc *LiveCorpus) retryLaterLocked(d *degradedState, cause error) error {
+	attempts := d.attempts + 1
+	backoff := recoverBackoffBase << (attempts - 1)
+	if backoff > recoverBackoffMax || backoff <= 0 {
+		backoff = recoverBackoffMax
+	}
+	lc.degraded.Store(&degradedState{
+		cause:    cause,
+		since:    d.since,
+		attempts: attempts,
+		nextTry:  time.Now().Add(backoff),
+	})
+	return fmt.Errorf("service: recovering corpus %q: %w", lc.name, cause)
+}
+
+// unavailableLocked shapes the current degraded state into the error the
+// append path returns (and the HTTP layer maps to 503 + Retry-After).
+func (lc *LiveCorpus) unavailableLocked() error {
+	d := lc.degraded.Load()
+	if d == nil {
+		return nil
+	}
+	retry := time.Until(d.nextTry)
+	if retry < 0 {
+		retry = 0
+	}
+	return &UnavailableError{
+		Message:    fmt.Sprintf("corpus %q is degraded (%v); reads keep serving, appends resume after recovery", lc.name, d.cause),
+		RetryAfter: retry,
+	}
+}
+
+// recoverLocked re-establishes the append invariant — on-disk log ==
+// acknowledged prefix — without restarting the process. The old handle's
+// offset and error state are untrusted after a failed write or sync, so the
+// log is reopened fresh, replayed (no-op visitor: memory already holds the
+// acknowledged history) to verify the acknowledged bytes are intact, and
+// truncated past them to drop whatever the failed append left. If the disk
+// lost acknowledged records — valid prefix shorter than what was acked —
+// the corpus stays degraded: serving memory is now the only copy, and
+// Compact (which seals memory into a fresh base) is the way back to
+// durability. Callers hold mu.
+func (lc *LiveCorpus) recoverLocked() error {
+	d := lc.degraded.Load()
+	if d == nil {
+		return nil
+	}
+	wal, err := lc.fs.OpenFile(filepath.Join(lc.dir, walName(lc.gen)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return lc.retryLaterLocked(d, err)
+	}
+	fail := func(err error) error {
+		wal.Close()
+		return lc.retryLaterLocked(d, err)
+	}
+	valid, err := snapshot.ReplayWAL(wal, func([]byte) error { return nil })
+	if err != nil {
+		return fail(err)
+	}
+	if valid < lc.walSize {
+		return fail(fmt.Errorf("log holds %d valid bytes but %d were acknowledged; compact to reseal from memory", valid, lc.walSize))
+	}
+	if err := wal.Truncate(lc.walSize); err != nil {
+		return fail(err)
+	}
+	if err := wal.Sync(); err != nil {
+		return fail(err)
+	}
+	if _, err := wal.Seek(lc.walSize, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	old := lc.wal
+	lc.wal = wal
+	if old != nil {
+		old.Close()
+	}
+	lc.degraded.Store(nil)
+	return nil
+}
+
+// Recover attempts in-process recovery immediately, ignoring the backoff
+// schedule — the manual override behind POST /v1/corpora/{name}/recover.
+// It returns nil when the corpus is healthy (including when it was not
+// degraded to begin with).
+func (lc *LiveCorpus) Recover() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return fmt.Errorf("service: corpus %q is closed", lc.name)
+	}
+	if lc.wal == nil || lc.degraded.Load() == nil {
+		return nil
+	}
+	return lc.recoverLocked()
 }
 
 // Compact folds the WAL into a fresh sealed base: generation G+1's base
 // snapshot (today's single-file format, written temp+fsync+rename) plus an
 // empty WAL, committed by the manifest flip; generation G's files are then
-// garbage-collected. Memory-only corpora have nothing to compact.
+// garbage-collected. Memory-only corpora have nothing to compact. Compact
+// also heals a degraded corpus: the new base seals the acknowledged
+// in-memory state, superseding whatever the broken log held.
 func (lc *LiveCorpus) Compact() error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
@@ -463,14 +637,14 @@ func (lc *LiveCorpus) Compact() error {
 	view := lc.corpus.View()
 	next := lc.gen + 1
 
-	tmp, err := os.CreateTemp(lc.dir, ".tmp-base-*")
+	tmp, err := lc.fs.CreateTemp(lc.dir, ".tmp-base-*")
 	if err != nil {
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		lc.fs.Remove(tmpName)
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
 	if err := sigsub.WriteSnapshot(tmp, view, lc.codec); err != nil {
@@ -480,14 +654,14 @@ func (lc *LiveCorpus) Compact() error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		lc.fs.Remove(tmpName)
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(lc.dir, baseName(next))); err != nil {
-		os.Remove(tmpName)
+	if err := lc.fs.Rename(tmpName, filepath.Join(lc.dir, baseName(next))); err != nil {
+		lc.fs.Remove(tmpName)
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
-	newWal, err := os.OpenFile(filepath.Join(lc.dir, walName(next)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	newWal, err := lc.fs.OpenFile(filepath.Join(lc.dir, walName(next)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
@@ -497,24 +671,26 @@ func (lc *LiveCorpus) Compact() error {
 	}
 	// Commit point: after this rename+dirsync, generation `next` is what a
 	// restart opens; before it, generation `gen` still replays identically.
-	if err := writeManifest(lc.dir, manifest{Version: 1, Gen: next}); err != nil {
+	if err := writeManifest(lc.fs, lc.dir, manifest{Version: 1, Gen: next}); err != nil {
 		newWal.Close()
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
 	oldWal, oldGen := lc.wal, lc.gen
 	lc.wal, lc.gen, lc.walSize = newWal, next, 0
 	// A completed compaction seals the acknowledged in-memory state into
-	// the new base, superseding whatever an earlier failed rollback left in
-	// the old log — the corpus may accept appends again.
-	lc.failed = nil
+	// the new base, superseding whatever a failed rollback left in the old
+	// log — the corpus is healthy again.
+	lc.degraded.Store(nil)
 	oldWal.Close()
-	os.Remove(filepath.Join(lc.dir, baseName(oldGen)))
-	os.Remove(filepath.Join(lc.dir, walName(oldGen)))
+	lc.fs.Remove(filepath.Join(lc.dir, baseName(oldGen)))
+	lc.fs.Remove(filepath.Join(lc.dir, walName(oldGen)))
 	return nil
 }
 
-// Close releases the WAL handle. Queries on previously obtained Views stay
-// valid; further appends fail.
+// Close fsyncs and releases the WAL handle — the graceful-shutdown path, so
+// an acknowledged append never rides only in the page cache when the daemon
+// exits voluntarily. Queries on previously obtained Views stay valid;
+// further appends fail.
 func (lc *LiveCorpus) Close() error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
@@ -522,8 +698,16 @@ func (lc *LiveCorpus) Close() error {
 		return nil
 	}
 	lc.closed = true
-	if lc.wal != nil {
-		return lc.wal.Close()
+	if lc.wal == nil {
+		return nil
 	}
-	return nil
+	// Every acknowledged append already fsynced; this last sync is belt and
+	// braces for the handle's metadata. A degraded corpus may fail it —
+	// close anyway.
+	serr := lc.wal.Sync()
+	cerr := lc.wal.Close()
+	if serr != nil && lc.degraded.Load() == nil {
+		return serr
+	}
+	return cerr
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	sigsub "repro"
+	"repro/internal/vfs"
 )
 
 // liveFixture uploads a corpus through an executor backed by a fresh store
@@ -327,7 +328,7 @@ func TestLiveHalfUpgradeRecovery(t *testing.T) {
 	if err := os.MkdirAll(half, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := copyFileSync(filepath.Join(dir, fileName("c")), filepath.Join(half, baseName(0))); err != nil {
+	if err := copyFileSync(vfs.OS, filepath.Join(dir, fileName("c")), filepath.Join(half, baseName(0))); err != nil {
 		t.Fatal(err)
 	}
 

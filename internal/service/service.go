@@ -13,9 +13,11 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	sigsub "repro"
 )
@@ -38,6 +40,26 @@ func badRequest(format string, args ...any) error {
 func IsValidation(err error) bool {
 	var v *ValidationError
 	return errors.As(err, &v)
+}
+
+// UnavailableError marks a resource that exists but cannot serve the
+// operation right now (HTTP 503) — a degraded live corpus mid-recovery, a
+// daemon draining for shutdown. RetryAfter hints when trying again is
+// worthwhile.
+type UnavailableError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string { return e.Message }
+
+// IsUnavailable unwraps an UnavailableError, reporting whether err is one.
+func IsUnavailable(err error) (*UnavailableError, bool) {
+	var u *UnavailableError
+	if errors.As(err, &u) {
+		return u, true
+	}
+	return nil, false
 }
 
 // --- Wire types ---
@@ -183,9 +205,11 @@ type Corpus struct {
 
 	// epoch and live describe a frozen view of a live (appendable) corpus:
 	// epoch is the append epoch the Scanner is pinned to, live marks the
-	// corpus as appendable (LiveCorpus.Freeze sets both).
-	epoch uint64
-	live  bool
+	// corpus as appendable (LiveCorpus.Freeze sets both). degraded carries
+	// the live corpus's failure state at freeze time (nil when healthy).
+	epoch    uint64
+	live     bool
+	degraded *DegradedInfo
 }
 
 // Bytes returns the corpus's resident heap footprint — what the
@@ -228,6 +252,9 @@ type Info struct {
 	// startup count, so a restart resumes at the persisted history's epoch).
 	Live  bool   `json:"live,omitempty"`
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Degraded, when present, reports a live corpus serving reads but
+	// refusing appends after an unrecovered log failure.
+	Degraded *DegradedInfo `json:"degraded,omitempty"`
 }
 
 // Info returns the corpus summary.
@@ -241,6 +268,7 @@ func (c *Corpus) Info() Info {
 		MappedBytes: c.MappedBytes(),
 		Live:        c.live,
 		Epoch:       c.epoch,
+		Degraded:    c.degraded,
 	}
 }
 
@@ -712,6 +740,42 @@ func (e *Executor) Compact(name string) (Info, error) {
 	return lc.Freeze().Info(), nil
 }
 
+// Recover asks a degraded live corpus to heal immediately, bypassing the
+// automatic-recovery backoff — the handler behind
+// POST /v1/corpora/{name}/recover. A corpus that is not live is a
+// validation error; a healthy live corpus recovers trivially. On success
+// the returned info reflects the healed state.
+func (e *Executor) Recover(name string) (Info, error) {
+	lc := e.liveGet(name)
+	if lc == nil {
+		return Info{}, badRequest("corpus %q is not live; only live corpora degrade or recover", name)
+	}
+	if err := lc.Recover(); err != nil {
+		return Info{}, err
+	}
+	return lc.Freeze().Info(), nil
+}
+
+// Close fsyncs and closes every pinned live corpus — the graceful-shutdown
+// path, run after in-flight scans drain so an acknowledged append is on
+// stable storage before the process exits. The first error is returned;
+// every corpus is closed regardless.
+func (e *Executor) Close() error {
+	e.liveMu.Lock()
+	lcs := make([]*LiveCorpus, 0, len(e.live))
+	for _, lc := range e.live {
+		lcs = append(lcs, lc)
+	}
+	e.liveMu.Unlock()
+	var first error
+	for _, lc := range lcs {
+		if err := lc.Close(); err != nil && first == nil {
+			first = fmt.Errorf("service: closing corpus %q: %w", lc.Name(), err)
+		}
+	}
+	return first
+}
+
 // promote turns a known corpus into a live one, exactly once per name.
 func (e *Executor) promote(name string) (*LiveCorpus, error) {
 	e.storeMu.Lock()
@@ -868,6 +932,15 @@ func (e *Executor) LoadCatalog(logf func(format string, args ...any)) int {
 // (sigsub.Scanner.RunBatch). Per-query failures surface in their result
 // slot; only request-level problems return an error.
 func (e *Executor) Execute(req BatchRequest) (BatchResponse, error) {
+	return e.ExecuteContext(context.Background(), req)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the engine polls
+// ctx at chain-cover-start granularity, so a client disconnect or deadline
+// stops the scan within one preemption quantum per worker instead of burning
+// the rest of the traversal. On cancellation the context's error is returned
+// as the request-level error (partial results are discarded).
+func (e *Executor) ExecuteContext(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	if len(req.Queries) == 0 {
 		return BatchResponse{}, badRequest("request carries no queries")
 	}
@@ -897,7 +970,7 @@ func (e *Executor) Execute(req BatchRequest) (BatchResponse, error) {
 		workers = 1
 	}
 	opts := []sigsub.Option{sigsub.WithWorkers(workers), sigsub.WithWarmStart(req.WarmStart)}
-	answers, err := corpus.Scanner.RunBatch(plans, opts...)
+	answers, err := corpus.Scanner.RunBatchContext(ctx, plans, opts...)
 	if err != nil {
 		return BatchResponse{}, err
 	}

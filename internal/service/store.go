@@ -6,6 +6,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	sigsub "repro"
+	"repro/internal/vfs"
 )
 
 // MaxStoredNameBytes caps corpus names a store will persist: names are
@@ -30,17 +32,44 @@ const snapExt = ".snap"
 // any other corruption at load time.
 type Store struct {
 	dir string
+	fs  vfs.FS
 }
 
-// NewStore opens (creating if needed) a snapshot directory.
+// NewStore opens (creating if needed) a snapshot directory on the real
+// filesystem.
 func NewStore(dir string) (*Store, error) {
+	return NewStoreFS(dir, vfs.OS)
+}
+
+// NewStoreFS is NewStore on an injectable filesystem — the disk-fault and
+// crash-consistency tests run the whole store/live-corpus stack on a
+// vfs.Faulty this way. Serving falls back from mmap to heap reads when fsys
+// is not the real filesystem, so every read stays observable.
+func NewStoreFS(dir string, fsys vfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("service: empty store directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: creating store directory: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
+}
+
+// openSnapshot opens a snapshot for serving through the store's filesystem:
+// mmap'd via the dedicated path on the real filesystem, read through the
+// injectable interface otherwise.
+func (s *Store) openSnapshot(path string) (*sigsub.Snapshot, error) {
+	if vfs.IsOS(s.fs) {
+		return sigsub.OpenSnapshot(path)
+	}
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return sigsub.ReadSnapshot(bytes.NewReader(data))
 }
 
 // Dir returns the store directory.
@@ -87,14 +116,14 @@ func (s *Store) Save(c *Corpus) error {
 	if err := checkName(c.Name); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	f, err := s.fs.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
 	}
 	if err := sigsub.WriteSnapshot(f, c.Scanner, c.Codec); err != nil {
@@ -104,11 +133,11 @@ func (s *Store) Save(c *Corpus) error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
 	}
-	if err := os.Rename(tmp, s.path(c.Name)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, s.path(c.Name)); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
 	}
 	return nil
@@ -120,7 +149,7 @@ func (s *Store) Load(name string) (*Corpus, error) {
 	if err := checkName(name); err != nil {
 		return nil, err
 	}
-	sn, err := sigsub.OpenSnapshot(s.path(name))
+	sn, err := s.openSnapshot(s.path(name))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -152,7 +181,7 @@ func (s *Store) Delete(name string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	rmErr := os.Remove(s.path(name))
+	rmErr := s.fs.Remove(s.path(name))
 	if errors.Is(rmErr, os.ErrNotExist) {
 		return lived, nil
 	}
@@ -166,7 +195,7 @@ func (s *Store) Delete(name string) (bool, error) {
 // Files that are not well-formed snapshot names (temp files, strays) are
 // skipped.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: listing store: %w", err)
 	}

@@ -1,0 +1,314 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// Op classifies filesystem operations for fault targeting. Values are bits
+// so a FaultPlan can match a set.
+type Op uint32
+
+const (
+	// OpOpen covers OpenFile and CreateTemp.
+	OpOpen Op = 1 << iota
+	// OpRead covers File.Read, FS.ReadFile, and FS.ReadDir.
+	OpRead
+	// OpWrite covers File.Write.
+	OpWrite
+	// OpSync covers File.Sync and FS.SyncDir — the fsyncs durability rests on.
+	OpSync
+	// OpClose covers File.Close.
+	OpClose
+	// OpTruncate covers File.Truncate (WAL rollback and torn-tail repair).
+	OpTruncate
+	// OpRename covers FS.Rename — the commit point of snapshot and manifest
+	// writes.
+	OpRename
+	// OpRemove covers FS.Remove and FS.RemoveAll.
+	OpRemove
+	// OpMkdir covers FS.MkdirAll.
+	OpMkdir
+	// OpLink covers FS.Link.
+	OpLink
+
+	// OpAll matches every classified operation.
+	OpAll Op = 1<<iota - 1
+)
+
+// ErrCrashed is what every operation returns after a Crash-mode fault fires:
+// from the caller's perspective the disk is gone, exactly as if the process
+// lost it mid-sequence.
+var ErrCrashed = errors.New("vfs: filesystem crashed (fault injection)")
+
+// ErrInjected is the default injected error when a FaultPlan names none.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultPlan selects one operation to fail. Operations are counted in
+// execution order across the whole filesystem; the Nth operation matching
+// Kinds (and Path, when set) fails with Err.
+type FaultPlan struct {
+	// Nth is the 1-indexed count of the matching operation to fail.
+	// 0 never fires — useful for counting a workload's operations via Ops().
+	Nth int
+	// Count fails that many consecutive matching operations starting at the
+	// Nth (0 and 1 both mean one). Failing a run is how tests break an
+	// operation AND its cleanup — an append's fsync and the rollback fsync
+	// behind it.
+	Count int
+	// Kinds is the set of operation types that count; 0 means OpAll.
+	Kinds Op
+	// Path, when non-empty, restricts matching to operations whose path
+	// contains it as a substring (e.g. "wal-" to target only the log).
+	Path string
+	// Err is the injected error; nil means ErrInjected.
+	Err error
+	// Short makes a failing File.Write a short write: half the bytes land
+	// before the error — the torn-record case WAL recovery must absorb.
+	Short bool
+	// Crash makes the fault terminal: the failing operation and every
+	// operation after it return ErrCrashed, so the state left on disk is
+	// exactly what a process death at that step would leave.
+	Crash bool
+}
+
+func (p FaultPlan) matches(op Op, name string) bool {
+	kinds := p.Kinds
+	if kinds == 0 {
+		kinds = OpAll
+	}
+	if kinds&op == 0 {
+		return false
+	}
+	return p.Path == "" || strings.Contains(name, p.Path)
+}
+
+func (p FaultPlan) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}
+
+// Faulty wraps an FS and fails one chosen operation (see FaultPlan). The
+// zero plan (Nth 0) injects nothing and merely counts matching operations,
+// which is how a harness measures a workload before walking its crash
+// points.
+type Faulty struct {
+	inner FS
+
+	mu      sync.Mutex
+	plan    FaultPlan
+	count   int
+	fired   bool
+	crashed bool
+}
+
+// NewFaulty wraps inner with the given plan.
+func NewFaulty(inner FS, plan FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Ops returns how many matching operations have executed (or attempted).
+func (f *Faulty) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Fired reports whether the planned fault has been injected.
+func (f *Faulty) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// verdict is the gate's decision for one operation.
+type verdict struct {
+	err   error
+	short bool
+}
+
+// gate counts op and decides whether it fails.
+func (f *Faulty) gate(op Op, name string) verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return verdict{err: ErrCrashed}
+	}
+	if !f.plan.matches(op, name) {
+		return verdict{}
+	}
+	f.count++
+	span := f.plan.Count
+	if span < 1 {
+		span = 1
+	}
+	if f.plan.Nth == 0 || f.count < f.plan.Nth || f.count >= f.plan.Nth+span {
+		return verdict{}
+	}
+	f.fired = true
+	if f.plan.Crash {
+		f.crashed = true
+		return verdict{err: ErrCrashed, short: f.plan.Short}
+	}
+	return verdict{err: f.plan.err(), short: f.plan.Short}
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if v := f.gate(OpOpen, name); v.err != nil {
+		return nil, v.err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if v := f.gate(OpOpen, dir); v.err != nil {
+		return nil, v.err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if v := f.gate(OpRead, name); v.err != nil {
+		return nil, v.err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if v := f.gate(OpRead, name); v.err != nil {
+		return nil, v.err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
+	// Stat is not an injection point (nothing durable depends on it), but a
+	// crashed filesystem answers nothing.
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if v := f.gate(OpRename, newpath); v.err != nil {
+		return v.err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if v := f.gate(OpRemove, name); v.err != nil {
+		return v.err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) RemoveAll(path string) error {
+	if v := f.gate(OpRemove, path); v.err != nil {
+		return v.err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if v := f.gate(OpMkdir, path); v.err != nil {
+		return v.err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) Link(oldname, newname string) error {
+	if v := f.gate(OpLink, newname); v.err != nil {
+		return v.err
+	}
+	return f.inner.Link(oldname, newname)
+}
+
+func (f *Faulty) SyncDir(name string) error {
+	if v := f.gate(OpSync, name); v.err != nil {
+		return v.err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultyFile routes every file operation back through the owning Faulty's
+// gate, so faults are counted in true execution order across all files.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultyFile) Read(b []byte) (int, error) {
+	if v := ff.fs.gate(OpRead, ff.inner.Name()); v.err != nil {
+		return 0, v.err
+	}
+	return ff.inner.Read(b)
+}
+
+func (ff *faultyFile) Write(b []byte) (int, error) {
+	v := ff.fs.gate(OpWrite, ff.inner.Name())
+	if v.err == nil {
+		return ff.inner.Write(b)
+	}
+	if v.short && len(b) > 1 {
+		// Land a prefix before failing: the torn-record shape a real
+		// partial write leaves behind.
+		n, werr := ff.inner.Write(b[:len(b)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, v.err
+	}
+	return 0, v.err
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	ff.fs.mu.Lock()
+	crashed := ff.fs.crashed
+	ff.fs.mu.Unlock()
+	if crashed {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Sync() error {
+	if v := ff.fs.gate(OpSync, ff.inner.Name()); v.err != nil {
+		return v.err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Truncate(size int64) error {
+	if v := ff.fs.gate(OpTruncate, ff.inner.Name()); v.err != nil {
+		return v.err
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultyFile) Close() error {
+	if v := ff.fs.gate(OpClose, ff.inner.Name()); v.err != nil {
+		// The handle still goes away — a crashed process closes everything.
+		ff.inner.Close()
+		return v.err
+	}
+	return ff.inner.Close()
+}

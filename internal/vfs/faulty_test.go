@@ -1,0 +1,150 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hell" {
+		t.Fatalf("read %q, want %q", data, "hell")
+	}
+	if !IsOS(OS) {
+		t.Fatal("IsOS(OS) = false")
+	}
+}
+
+func TestFaultyNthOp(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS, FaultPlan{Nth: 2, Kinds: OpWrite, Err: syscall.EIO})
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2: %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if !fsys.Fired() || fsys.Ops() != 3 {
+		t.Fatalf("fired=%v ops=%d, want fired with 3 write ops", fsys.Fired(), fsys.Ops())
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS, FaultPlan{Nth: 1, Kinds: OpWrite, Err: syscall.ENOSPC, Short: true})
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write error %v, want ENOSPC", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write landed %d bytes, want 4", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abcd" {
+		t.Fatalf("on-disk %q, want the torn prefix %q", data, "abcd")
+	}
+}
+
+func TestFaultyCrashIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS, FaultPlan{Nth: 1, Kinds: OpSync, Crash: true})
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: %v, want ErrCrashed", err)
+	}
+	// Everything after the crash fails, whatever the kind.
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v, want ErrCrashed", err)
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v, want ErrCrashed", err)
+	}
+	if err := fsys.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v, want ErrCrashed", err)
+	}
+	f.Close()
+}
+
+func TestFaultyPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS, FaultPlan{Nth: 1, Kinds: OpWrite, Path: "wal-"})
+	plain, err := fsys.OpenFile(filepath.Join(dir, "base.snap"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Write([]byte("ok")); err != nil {
+		t.Fatalf("non-matching path write: %v", err)
+	}
+	plain.Close()
+	wal, err := fsys.OpenFile(filepath.Join(dir, "wal-0.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path write: %v, want ErrInjected", err)
+	}
+	wal.Close()
+}
+
+func TestFaultyConsecutiveCount(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS, FaultPlan{Nth: 1, Count: 2, Kinds: OpSync})
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v, want success", err)
+	}
+}
