@@ -19,6 +19,20 @@
 //	ssgen -type planted -n 100000 -window 60000:800:0.95 \
 //	      -stream -batch 500 -rate 10000 \
 //	      -append-url http://127.0.0.1:8765/v1/corpora/events/append
+//
+// -clients N runs N concurrent appenders over the same batch queue, sharing
+// the -rate budget, which is how the daemon's group-commit pipeline is
+// driven end to end: many clients blocked on the same covering fsync is the
+// workload batching amortizes. -durability relaxed trades the per-append
+// durable ack for ack-on-write (the daemon fsyncs on its interval floor):
+//
+//	ssgen -type markov -n 1000000 -k 5 \
+//	      -stream -batch 50 -clients 16 -durability relaxed \
+//	      -append-url http://127.0.0.1:8765/v1/corpora/events/append
+//
+// With -clients > 1 batches interleave across clients, so the corpus holds a
+// permutation of the generated batches — a load-test shape, not a replayable
+// event log.
 package main
 
 import (
@@ -33,6 +47,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alphabet"
@@ -60,10 +76,12 @@ func run(args []string, stdout io.Writer) error {
 		window = fs.String("window", "", "planted window start:len:p0 (repeatable via comma) for -type planted")
 		outF   = fs.String("o", "", "output file (default stdout)")
 
-		stream    = fs.Bool("stream", false, "emit the string as rate-limited event batches instead of one blob")
-		batchSize = fs.Int("batch", 100, "events per batch in -stream mode")
-		rate      = fs.Float64("rate", 0, "events per second in -stream mode (0 = unthrottled)")
-		appendURL = fs.String("append-url", "", "mssd append endpoint to POST batches to in -stream mode (e.g. http://127.0.0.1:8765/v1/corpora/events/append); default: one batch per stdout line")
+		stream     = fs.Bool("stream", false, "emit the string as rate-limited event batches instead of one blob")
+		batchSize  = fs.Int("batch", 100, "events per batch in -stream mode")
+		rate       = fs.Float64("rate", 0, "events per second in -stream mode (0 = unthrottled)")
+		appendURL  = fs.String("append-url", "", "mssd append endpoint to POST batches to in -stream mode (e.g. http://127.0.0.1:8765/v1/corpora/events/append); default: one batch per stdout line")
+		clients    = fs.Int("clients", 1, "concurrent append clients in -stream mode, sharing the -rate budget (> 1 requires -append-url)")
+		durability = fs.String("durability", "", `append durability sent with each batch: "fsync" (durable ack, the default) or "relaxed" (ack on write)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,8 +129,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *stream {
 		// -o applies to stream mode too: batches (or the append-mode
-		// summary line) land in the file instead of stdout.
-		return streamOut(out, s, *batchSize, *rate, *appendURL)
+		// summary lines) land in the file instead of stdout.
+		return streamOut(out, s, *batchSize, *rate, *appendURL, *durability, *clients)
 	}
 
 	w := bufio.NewWriter(out)
@@ -125,25 +143,73 @@ func run(args []string, stdout io.Writer) error {
 	return w.WriteByte('\n')
 }
 
+// pacer hands out send slots on a fixed interval, shared by every client:
+// whoever asks next gets the next slot, so N clients together honor one
+// aggregate -rate budget. A zero interval never waits.
+type pacer struct {
+	interval time.Duration
+	mu       sync.Mutex
+	next     time.Time
+}
+
+func newPacer(batchSize int, rate float64) *pacer {
+	p := &pacer{}
+	if rate > 0 {
+		p.interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+		p.next = time.Now()
+	}
+	return p
+}
+
+func (p *pacer) wait() {
+	if p.interval <= 0 {
+		return
+	}
+	p.mu.Lock()
+	slot := p.next
+	p.next = slot.Add(p.interval)
+	p.mu.Unlock()
+	if d := time.Until(slot); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// clientStats is one append client's tally: how much it sent and how long
+// the endpoint made it wait (under group commit the interesting number —
+// many clients' waits overlap on shared fsyncs).
+type clientStats struct {
+	batches int
+	events  int
+	wait    time.Duration
+	maxWait time.Duration
+}
+
 // streamOut emits s as rate-limited batches: POSTed to an mssd append
 // endpoint when url is set, one batch per output line otherwise. The rate
-// limit paces WHOLE batches so the average event rate matches -rate; the
-// daemon sees the same serialized-append traffic a live event source would
-// produce.
-func streamOut(out io.Writer, s []byte, batchSize int, rate float64, url string) error {
+// limit paces WHOLE batches so the average event rate matches -rate; with
+// -clients > 1 the pacer is shared, so the aggregate rate still matches and
+// the daemon sees genuinely concurrent appends.
+func streamOut(out io.Writer, s []byte, batchSize int, rate float64, url, durability string, clients int) error {
 	if batchSize < 1 {
 		return fmt.Errorf("batch size must be >= 1, got %d", batchSize)
 	}
 	if rate < 0 {
 		return fmt.Errorf("negative rate %g", rate)
 	}
-	var interval time.Duration
-	if rate > 0 {
-		interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+	if clients < 1 {
+		return fmt.Errorf("clients must be >= 1, got %d", clients)
 	}
+	if url == "" {
+		if clients > 1 {
+			return fmt.Errorf("-clients %d requires -append-url; stdout batches are ordered", clients)
+		}
+		if durability != "" {
+			return fmt.Errorf("-durability requires -append-url")
+		}
+	}
+
+	var batches []string
 	chars := make([]byte, 0, batchSize)
-	next := time.Now()
-	emitted := 0
 	for off := 0; off < len(s); off += batchSize {
 		end := off + batchSize
 		if end > len(s) {
@@ -153,30 +219,97 @@ func streamOut(out io.Writer, s []byte, batchSize int, rate float64, url string)
 		for _, sym := range s[off:end] {
 			chars = append(chars, symbolChars[sym])
 		}
-		if interval > 0 {
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
-			}
-			next = next.Add(interval)
-		}
-		if url == "" {
-			if _, err := fmt.Fprintf(out, "%s\n", chars); err != nil {
+		batches = append(batches, string(chars))
+	}
+
+	pace := newPacer(batchSize, rate)
+
+	if url == "" {
+		for _, b := range batches {
+			pace.wait()
+			if _, err := fmt.Fprintf(out, "%s\n", b); err != nil {
 				return err
 			}
-		} else if err := postAppend(url, string(chars)); err != nil {
-			return fmt.Errorf("after %d events: %w", emitted, err)
 		}
-		emitted += end - off
+		return nil
 	}
-	if url != "" {
-		fmt.Fprintf(out, "streamed %d events to %s\n", emitted, url)
+
+	start := time.Now()
+	stats := make([]clientStats, clients)
+	errs := make([]error, clients)
+	var failed atomic.Bool
+	work := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			st := &stats[id]
+			for b := range work {
+				if failed.Load() {
+					continue // drain: another client already failed
+				}
+				pace.wait()
+				t0 := time.Now()
+				if err := postAppend(url, b, durability); err != nil {
+					errs[id] = fmt.Errorf("client %d after %d events: %w", id, st.events, err)
+					failed.Store(true)
+					continue
+				}
+				d := time.Since(t0)
+				st.batches++
+				st.events += len(b)
+				st.wait += d
+				if d > st.maxWait {
+					st.maxWait = d
+				}
+			}
+		}(i)
 	}
+	for _, b := range batches {
+		if failed.Load() {
+			break
+		}
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	elapsed := time.Since(start)
+	emitted := 0
+	for i := range stats {
+		emitted += stats[i].events
+	}
+	if clients > 1 {
+		for i, st := range stats {
+			var avg time.Duration
+			if st.batches > 0 {
+				avg = st.wait / time.Duration(st.batches)
+			}
+			fmt.Fprintf(out, "client %d: %d batches, %d events, avg append %v, max %v\n",
+				i, st.batches, st.events, avg.Round(time.Microsecond), st.maxWait.Round(time.Microsecond))
+		}
+	}
+	perSec := float64(emitted) / elapsed.Seconds()
+	fmt.Fprintf(out, "streamed %d events to %s in %v (%.0f events/s)\n",
+		emitted, url, elapsed.Round(time.Millisecond), perSec)
 	return nil
 }
 
-// postAppend sends one batch to an mssd append endpoint.
-func postAppend(url, text string) error {
-	body, err := json.Marshal(map[string]string{"text": text})
+// postAppend sends one batch to an mssd append endpoint. durability rides
+// the request when set ("relaxed" acks on WAL write; empty or "fsync" acks
+// after the covering fsync).
+func postAppend(url, text, durability string) error {
+	payload := map[string]string{"text": text}
+	if durability != "" {
+		payload["durability"] = durability
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}

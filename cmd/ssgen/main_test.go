@@ -174,16 +174,87 @@ func TestStreamAppendEndpoint(t *testing.T) {
 	}
 }
 
-// TestStreamErrors: bad batch sizes, rates, and a rejecting endpoint all
-// surface as errors.
+// TestStreamErrors: bad batch sizes, rates, client counts, and a rejecting
+// endpoint all surface as errors.
 func TestStreamErrors(t *testing.T) {
 	genErr(t, "-stream", "-batch", "0", "-n", "10")
 	genErr(t, "-stream", "-rate", "-1", "-n", "10")
+	genErr(t, "-stream", "-clients", "0", "-n", "10")
+	genErr(t, "-stream", "-clients", "4", "-n", "10")          // > 1 needs -append-url
+	genErr(t, "-stream", "-durability", "relaxed", "-n", "10") // needs -append-url
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"corpus not found"}`, http.StatusNotFound)
 	}))
 	defer ts.Close()
 	genErr(t, "-stream", "-n", "10", "-append-url", ts.URL)
+	genErr(t, "-stream", "-n", "100", "-batch", "10", "-clients", "4", "-append-url", ts.URL)
+}
+
+// TestStreamClients: N concurrent appenders deliver every event exactly once
+// (as a permutation of the generated batches), report per-client stats, and
+// forward the durability mode on each request.
+func TestStreamClients(t *testing.T) {
+	var mu sync.Mutex
+	batches := map[string]int{}
+	events := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Text       string `json:"text"`
+			Durability string `json:"durability"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Error(err)
+		}
+		if body.Durability != "relaxed" {
+			t.Errorf("durability %q, want relaxed", body.Durability)
+		}
+		mu.Lock()
+		batches[body.Text]++
+		events += len(body.Text)
+		mu.Unlock()
+		w.Write([]byte(`{"corpus":{"name":"events"}}`))
+	}))
+	defer ts.Close()
+
+	out := genOK(t, "-type", "null", "-n", "1000", "-k", "4", "-seed", "7",
+		"-stream", "-batch", "50", "-clients", "4", "-durability", "relaxed",
+		"-append-url", ts.URL+"/v1/corpora/events/append")
+	if events != 1000 {
+		t.Fatalf("endpoint saw %d events, want 1000", events)
+	}
+	total := 0
+	for _, n := range batches {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("endpoint saw %d batches, want 20", total)
+	}
+	if !strings.Contains(out, "streamed 1000 events") {
+		t.Fatalf("summary line missing: %q", out)
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(out, "client "+string(rune('0'+i))+":") {
+			t.Fatalf("per-client stats for client %d missing: %q", i, out)
+		}
+	}
+}
+
+// TestStreamClientsSharedRate: the pacer budget is aggregate — 4 clients at
+// -rate 2000 take as long as 1 client would, not 1/4 of it.
+func TestStreamClientsSharedRate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	start := time.Now()
+	genOK(t, "-type", "null", "-n", "200", "-k", "2",
+		"-stream", "-batch", "50", "-rate", "2000", "-clients", "4",
+		"-append-url", ts.URL)
+	// 200 events at an aggregate 2000/s: 4 batch slots 25ms apart, first
+	// immediate, so >= 75ms regardless of client count.
+	if elapsed := time.Since(start); elapsed < 75*time.Millisecond {
+		t.Fatalf("shared rate limit too fast: %v", elapsed)
+	}
 }
 
 // TestStreamOutputFile: -o applies in -stream mode (regression: it used to

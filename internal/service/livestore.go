@@ -6,10 +6,11 @@
 //	    base-G.snap        sealed snapshot — today's single-file format,
 //	                       mmap-served in place exactly like a frozen corpus
 //	    wal-G.log          write-ahead log of appended symbol batches,
-//	                       fsynced per append
+//	                       group-committed (one fsync covers every record
+//	                       queued while the previous fsync was in flight)
 //
-// An append is durable once its WAL record is fsynced; the sealed base is
-// never rewritten by appends. Recovery opens base-G, replays wal-G through
+// An append is durable once a WAL fsync covers its record; the sealed base
+// is never rewritten by appends. Recovery opens base-G, replays wal-G through
 // the corpus appender (truncating any torn tail a crash left), and the
 // corpus answers for its full appended history — bit-identical to a corpus
 // that was never restarted. Compact folds the log into a fresh sealed
@@ -33,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -291,16 +293,17 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		return nil, fmt.Errorf("service: seeking WAL of corpus %q: %w", name, err)
 	}
 	return &LiveCorpus{
-		name:    name,
-		codec:   codec,
-		model:   sn.Model(),
-		corpus:  corpus,
-		store:   s,
-		fs:      s.fs,
-		dir:     dir,
-		gen:     m.Gen,
-		wal:     wal,
-		walSize: valid,
+		name:     name,
+		codec:    codec,
+		model:    sn.Model(),
+		modelStr: sn.Model().String(),
+		corpus:   corpus,
+		store:    s,
+		fs:       s.fs,
+		dir:      dir,
+		gen:      m.Gen,
+		wal:      wal,
+		walSize:  valid,
 	}, nil
 }
 
@@ -359,6 +362,9 @@ type LiveCorpus struct {
 	codec  *sigsub.TextCodec
 	model  *sigsub.Model
 	corpus *sigsub.Corpus
+	// modelStr caches model.String() — Freeze builds an Info per append,
+	// and the fmt-heavy render would otherwise run on every ack.
+	modelStr string
 
 	// degraded, when non-nil, marks a corpus whose WAL could not be rolled
 	// back after a write/sync failure: the on-disk log may hold a record the
@@ -376,6 +382,46 @@ type LiveCorpus struct {
 	wal     vfs.File // nil when memory-only
 	walSize int64    // bytes of acknowledged (synced + applied) records
 	closed  bool
+
+	// Group-commit state (all under mu; nil/zero when no committer is
+	// attached, in which case Append syncs per record as before). queue
+	// holds enqueued-but-unflushed tickets in append order; walBuf holds
+	// their framed record bytes, not yet written to the log — the flush
+	// lands the whole buffer with ONE write and ONE fsync, so the
+	// mutex-serialized cost of an append is a memcpy, not a syscall.
+	// flushing marks the one in-flight flush (its batch is detached from
+	// queue/walBuf), and flushCond (on mu) lets Compact/Close wait it out.
+	// queuedSyms is the symbol count riding the queue, so the corpus-size
+	// guard covers not-yet-applied records too.
+	// pumping marks a live flushCommit loop (which spans several
+	// flush cycles and the yields between them, where flushing is
+	// momentarily false): while it is set, appends skip the committer
+	// wakeup — the loop collects them itself — and the scheduler's spawned
+	// flushes bow out at entry.
+	committer   *Committer
+	flushCond   *sync.Cond
+	flushing    bool
+	pumping     bool
+	queue       []*commitTicket
+	walBuf      []byte
+	queuedSyms  int64
+	commitStats commitCounters
+}
+
+// attachCommitter routes this corpus's durability through a group-commit
+// pipeline. Called once, before the corpus is reachable by appenders.
+func (lc *LiveCorpus) attachCommitter(c *Committer) {
+	if c == nil || lc.wal == nil {
+		return
+	}
+	lc.committer = c
+	lc.flushCond = sync.NewCond(&lc.mu)
+}
+
+// CommitStats returns the corpus's commit-pipeline counters (zero when no
+// committer is attached). Lock-free.
+func (lc *LiveCorpus) CommitStats() CommitStats {
+	return lc.commitStats.Stats()
 }
 
 // NewLiveCorpus builds a memory-only live corpus from a frozen one — the
@@ -386,7 +432,7 @@ func NewLiveCorpus(c *Corpus) (*LiveCorpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LiveCorpus{name: c.Name, codec: c.Codec, model: c.Model, corpus: corpus}, nil
+	return &LiveCorpus{name: c.Name, codec: c.Codec, model: c.Model, modelStr: c.Model.String(), corpus: corpus}, nil
 }
 
 // Name returns the corpus name.
@@ -425,25 +471,40 @@ func (lc *LiveCorpus) Degraded() *DegradedInfo {
 // a neighboring epoch's label).
 func (lc *LiveCorpus) Freeze() *Corpus {
 	view, epoch := lc.corpus.ViewEpoch()
-	return &Corpus{
+	c := &Corpus{
 		Name:     lc.name,
 		Codec:    lc.codec,
 		Model:    lc.model,
+		modelStr: lc.modelStr,
 		Scanner:  view,
 		symbols:  view.Symbols(),
 		epoch:    epoch,
 		live:     true,
 		degraded: lc.Degraded(),
 	}
+	if lc.committer != nil {
+		stats := lc.commitStats.Stats()
+		c.commit = &stats
+	}
+	return c
 }
 
-// Append encodes text through the corpus codec and appends the symbols:
-// WAL record fsynced first (when durable), then applied to the in-memory
-// corpus. It returns the number of symbols appended. Characters outside the
-// corpus alphabet (fixed at upload) reject the whole batch with a
-// validation error. A degraded corpus first tries to heal itself (respecting
-// the recovery backoff) and refuses with an UnavailableError if it cannot.
+// Append encodes text through the corpus codec and appends the symbols
+// with the default fsync durability: the call returns only after the
+// record's covering fsync (acked ⇒ durable). It returns the number of
+// symbols appended. Characters outside the corpus alphabet (fixed at
+// upload) reject the whole batch with a validation error. A degraded
+// corpus first tries to heal itself (respecting the recovery backoff) and
+// refuses with an UnavailableError if it cannot.
 func (lc *LiveCorpus) Append(text string) (int, error) {
+	return lc.AppendMode(text, DurabilityFsync)
+}
+
+// AppendMode is Append with an explicit durability contract. Relaxed mode
+// requires a committer (the interval timer is what bounds its loss window);
+// asking for it on a per-append-fsync corpus is a validation error rather
+// than a silently stronger guarantee the client didn't budget latency for.
+func (lc *LiveCorpus) AppendMode(text string, mode Durability) (int, error) {
 	if text == "" {
 		return 0, badRequest("empty append text")
 	}
@@ -452,22 +513,46 @@ func (lc *LiveCorpus) Append(text string) (int, error) {
 		return 0, badRequest("append text: %v (the corpus alphabet is fixed at upload time)", err)
 	}
 	lc.mu.Lock()
-	defer lc.mu.Unlock()
 	if lc.closed {
+		lc.mu.Unlock()
 		return 0, fmt.Errorf("service: corpus %q is closed", lc.name)
 	}
 	if d := lc.degraded.Load(); d != nil {
-		if time.Now().Before(d.nextTry) {
-			return 0, lc.unavailableLocked()
+		// Recovery truncates the log to the acknowledged prefix, which
+		// would destroy queued-but-uncovered records — wait for the
+		// pipeline to fail them first.
+		if lc.flushing || len(lc.queue) > 0 || time.Now().Before(d.nextTry) {
+			err := lc.unavailableLocked()
+			lc.mu.Unlock()
+			return 0, err
 		}
 		if err := lc.recoverLocked(); err != nil {
-			return 0, lc.unavailableLocked()
+			err := lc.unavailableLocked()
+			lc.mu.Unlock()
+			return 0, err
 		}
 	}
-	if int64(lc.corpus.Len())+int64(len(symbols)) > counts.MaxAppendLen {
+	if int64(lc.corpus.Len())+lc.queuedSyms+int64(len(symbols)) > counts.MaxAppendLen {
+		lc.mu.Unlock()
 		return 0, badRequest("append of %d symbols would exceed the %d-position corpus limit", len(symbols), counts.MaxAppendLen)
 	}
-	if lc.wal != nil {
+	if lc.wal == nil {
+		// Memory-only: nothing to make durable, apply directly.
+		err := lc.corpus.Append(symbols)
+		lc.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+		}
+		return len(symbols), nil
+	}
+	if lc.committer == nil {
+		// Per-append fsync: record, sync, apply — all under mu. This is the
+		// pre-group-commit path, kept verbatim as the paired-benchmark base
+		// and the -group-commit=false escape hatch.
+		defer lc.mu.Unlock()
+		if mode == DurabilityRelaxed {
+			return 0, badRequest("corpus %q has no commit pipeline; relaxed durability needs -group-commit", lc.name)
+		}
 		if err := snapshot.AppendWALRecord(lc.wal, symbols); err != nil {
 			return 0, lc.rollbackWAL(err)
 		}
@@ -482,25 +567,299 @@ func (lc *LiveCorpus) Append(text string) (int, error) {
 			return 0, lc.rollbackWAL(err)
 		}
 		lc.walSize += snapshot.WALRecordSize(len(symbols))
+		if err := lc.corpus.Append(symbols); err != nil {
+			return 0, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+		}
+		return len(symbols), nil
 	}
-	if err := lc.corpus.Append(symbols); err != nil {
+	// Group commit: frame the record into the in-memory log buffer under
+	// mu, enqueue a ticket, and wait for the covering flush OUTSIDE the
+	// lock. Nothing touches the disk here — the flush lands the whole
+	// buffer with one write and one fsync — so the serialized cost of an
+	// append is encode + memcpy, and neither reads, epoch publishes, nor
+	// the appends queueing behind this one wait on I/O. The in-memory
+	// corpus advances only after the covering fsync (in flushCommit, in
+	// WAL order), so memory never runs ahead of stable storage.
+	buf, err := snapshot.AppendWALRecordBuf(lc.walBuf, symbols)
+	if err != nil {
+		lc.mu.Unlock()
 		return 0, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+	}
+	lc.walBuf = buf
+	t := &commitTicket{
+		syms:     symbols,
+		size:     snapshot.WALRecordSize(len(symbols)),
+		relaxed:  mode == DurabilityRelaxed,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	lc.queue = append(lc.queue, t)
+	lc.queuedSyms += int64(len(symbols))
+	lc.commitStats.pending.Add(1)
+	c := lc.committer
+	// A live flush loop collects this ticket itself on its next cycle; only
+	// an idle pipeline needs the committer woken.
+	notify := !lc.pumping
+	lc.mu.Unlock()
+	if notify {
+		c.markDirty(lc, mode == DurabilityFsync)
+	}
+	if mode == DurabilityRelaxed {
+		// Acked on write: the committer's interval floor bounds how long
+		// this record can ride the page cache.
+		return len(symbols), nil
+	}
+	<-t.done
+	if t.err != nil {
+		return 0, t.err
 	}
 	return len(symbols), nil
 }
 
+// flushCommit lands every queued record with one group write + one covering
+// fsync and, on success, applies them to the in-memory corpus in WAL order.
+// Called by the committer; at most one flush is in flight per corpus
+// (flushing), its batch and buffer detached under mu so appends arriving
+// during the write+fsync accumulate a fresh batch for the next cycle —
+// that handoff is the pipelining that makes the batch window exactly one
+// fsync long under load. When the queue refilled during the flush, the same
+// goroutine loops and flushes again (after briefly yielding the processor,
+// so clients it just acknowledged can re-append into THIS batch instead of
+// fragmenting into per-fsync cohorts — the yield is what lets a steady
+// population of N appenders converge to N appends per fsync). On failure
+// the batch fails AND everything that queued behind it (those appends were
+// ordered after records that never became durable), and the log is rolled
+// back to the acknowledged prefix.
+func (lc *LiveCorpus) flushCommit(c *Committer) {
+	first := true
+	gathered := false
+	for {
+		lc.mu.Lock()
+		if lc.closed || lc.flushing || (first && lc.pumping) || len(lc.queue) == 0 {
+			if !first {
+				lc.pumping = false
+			}
+			lc.mu.Unlock()
+			return
+		}
+		first = false
+		lc.pumping = true
+		if !gathered {
+			// The wakeup that started this flush schedules it AHEAD of any
+			// other appenders already in the run queue (Go's runnext slot),
+			// so detaching now would flush one record while its peers stand
+			// in line. Yield — with pumping set their enqueues skip
+			// markDirty — until the queue stops growing (bounded, so a lone
+			// appender pays at most one extra scheduler pass), then re-enter
+			// the loop to take the gathered batch.
+			gathered = true
+			for rounds := 0; rounds < 4; rounds++ {
+				before := len(lc.queue)
+				lc.mu.Unlock()
+				runtime.Gosched()
+				lc.mu.Lock()
+				if len(lc.queue) <= before {
+					break
+				}
+			}
+			lc.mu.Unlock()
+			continue
+		}
+		if lc.degraded.Load() != nil {
+			// A rollback failed while these records were queued; the log
+			// past the acknowledged prefix is untrusted. Fail them.
+			lc.failQueueLocked(lc.unavailableLocked())
+			lc.pumping = false
+			lc.mu.Unlock()
+			return
+		}
+		lc.flushing = true
+		batch := lc.queue
+		buf := lc.walBuf
+		lc.queue, lc.walBuf = nil, nil
+		wal := lc.wal
+		lc.mu.Unlock()
+
+		var err error
+		if _, err = wal.Write(buf); err == nil {
+			err = wal.Sync()
+		}
+
+		lc.mu.Lock()
+		lc.flushing = false
+		if err == nil && lc.degraded.Load() != nil {
+			// Degraded mid-flush: the log tail is untrusted even though this
+			// write+sync succeeded.
+			err = fmt.Errorf("corpus degraded during commit")
+		}
+		if err != nil {
+			cause := fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+			lc.failTicketsLocked(batch, cause)
+			lc.failQueueLocked(cause)
+			if lc.degraded.Load() == nil {
+				// Restore log == acknowledged prefix (same contract as the
+				// per-append path); failure here degrades the corpus.
+				lc.rollbackWAL(err)
+			}
+			lc.pumping = false
+			lc.flushCond.Broadcast()
+			lc.mu.Unlock()
+			return
+		}
+		lc.applyBatchLocked(batch, c)
+		lc.flushCond.Broadcast()
+		lc.mu.Unlock()
+		// Yield BEFORE deciding whether to keep pumping: the resolve above
+		// made this batch's clients runnable, but they have not run yet, so
+		// an instantaneous queue check would miss their next records and end
+		// the pump — collapsing a steady population of N appenders into
+		// one-record scheduler-driven flushes. After the yield their records
+		// are queued (pumping suppresses their markDirty) and the whole
+		// population rides the next group write. flushing is false here, so
+		// a Compact/Close drain can slip in — the checks below cope.
+		runtime.Gosched()
+		lc.mu.Lock()
+		urgent := false
+		for _, t := range lc.queue {
+			if !t.relaxed {
+				urgent = true
+				break
+			}
+		}
+		relaxedLeft := !urgent && len(lc.queue) > 0
+		if !urgent {
+			lc.pumping = false
+		}
+		lc.mu.Unlock()
+		if !urgent {
+			if relaxedLeft {
+				// Only relaxed (already-acknowledged) records refilled the
+				// queue: hand them back to the committer's interval timer
+				// instead of fsyncing greedily — batching them up to the
+				// floor is the whole point of relaxed mode.
+				c.markDirty(lc, false)
+			}
+			return
+		}
+		// Re-gather on the next cycle: stragglers still encoding their next
+		// record when the yield above ran join before the batch detaches.
+		gathered = false
+	}
+}
+
+// applyBatchLocked acknowledges a covered (written + fsynced) batch: each
+// record is applied to the in-memory corpus in WAL order, the acknowledged
+// prefix advances, and tickets resolve. c carries the node-wide counters
+// (nil in the Close/Compact drain path). Callers hold mu; batch is detached
+// from the queue.
+func (lc *LiveCorpus) applyBatchLocked(batch []*commitTicket, c *Committer) {
+	now := time.Now()
+	for i, t := range batch {
+		if err := lc.corpus.Append(t.syms); err != nil {
+			// Can only trip if the corpus-limit guard was bypassed; applying
+			// later records would diverge memory order from WAL order, so
+			// fail everything from here and drop it from the log (the failed
+			// records are fsynced but unacknowledged — rollback truncates
+			// them back off).
+			cause := fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
+			lc.failTicketsLocked(batch[i:], cause)
+			lc.failQueueLocked(cause)
+			lc.rollbackWAL(err)
+			return
+		}
+		lc.walSize += t.size
+		lc.queuedSyms -= int64(len(t.syms))
+		wait := now.Sub(t.enqueued)
+		lc.commitStats.observeWait(wait)
+		lc.commitStats.pending.Add(-1)
+		if c != nil {
+			c.stats.observeWait(wait)
+		}
+		t.resolve(nil)
+	}
+	lc.commitStats.observeBatch(len(batch))
+	if c != nil {
+		c.stats.observeBatch(len(batch))
+	}
+}
+
+// failTicketsLocked fails tickets with cause. Fsync-mode waiters get the
+// error; relaxed records were already acknowledged, so their loss is
+// counted — the in-process analogue of the crash-loss window. Callers hold
+// mu.
+func (lc *LiveCorpus) failTicketsLocked(tickets []*commitTicket, cause error) {
+	for _, t := range tickets {
+		lc.commitStats.pending.Add(-1)
+		lc.queuedSyms -= int64(len(t.syms))
+		if t.relaxed {
+			lc.commitStats.relaxedLost.Add(1)
+			if lc.committer != nil {
+				lc.committer.stats.relaxedLost.Add(1)
+			}
+		}
+		t.resolve(cause)
+	}
+}
+
+// failQueueLocked fails every queued ticket (and drops their buffered,
+// never-written record bytes). Callers hold mu.
+func (lc *LiveCorpus) failQueueLocked(cause error) {
+	lc.failTicketsLocked(lc.queue, cause)
+	lc.queue = nil
+	lc.walBuf = nil
+}
+
+// drainLocked completes the commit pipeline for this corpus: waits out an
+// in-flight flush, then writes, syncs, and applies (or fails) whatever is
+// still queued, synchronously. Compact and Close call it so no ticket is
+// left riding a pipeline that is about to lose the log handle. Callers hold
+// mu.
+func (lc *LiveCorpus) drainLocked() {
+	if lc.committer == nil {
+		return
+	}
+	for lc.flushing {
+		lc.flushCond.Wait()
+	}
+	if len(lc.queue) == 0 {
+		return
+	}
+	if lc.degraded.Load() != nil {
+		lc.failQueueLocked(lc.unavailableLocked())
+		return
+	}
+	batch := lc.queue
+	buf := lc.walBuf
+	lc.queue, lc.walBuf = nil, nil
+	var err error
+	if _, err = lc.wal.Write(buf); err == nil {
+		err = lc.wal.Sync()
+	}
+	if err != nil {
+		lc.failTicketsLocked(batch, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err))
+		lc.rollbackWAL(err)
+		return
+	}
+	lc.applyBatchLocked(batch, nil)
+}
+
 // rollbackWAL restores the log to the acknowledged prefix after a failed
-// record write or sync. If the rollback itself fails, the corpus degrades:
-// appends refuse (reads keep serving) until in-process recovery — attempted
-// automatically by later appends, or on demand via Recover — re-verifies the
-// acknowledged prefix on disk. Callers hold mu.
+// record write, group write, or sync: everything past walSize is a record
+// that was never acknowledged at its promised durability (queued records
+// that WERE acked — relaxed mode — are counted as lost by the caller), so
+// replay must never see it ahead of a later successful append. If the
+// rollback itself fails, the corpus degrades: appends refuse (reads keep
+// serving) until in-process recovery — attempted automatically by later
+// appends, or on demand via Recover — re-verifies the acknowledged prefix
+// on disk. Callers hold mu, with the commit queue already failed/cleared.
 func (lc *LiveCorpus) rollbackWAL(cause error) error {
 	err := fmt.Errorf("service: appending to corpus %q: %w", lc.name, cause)
-	if terr := lc.wal.Truncate(lc.walSize); terr != nil {
+	end := lc.walSize
+	if terr := lc.wal.Truncate(end); terr != nil {
 		lc.markDegradedLocked(cause)
 		return err
 	}
-	if _, serr := lc.wal.Seek(lc.walSize, io.SeekStart); serr != nil {
+	if _, serr := lc.wal.Seek(end, io.SeekStart); serr != nil {
 		lc.markDegradedLocked(cause)
 		return err
 	}
@@ -616,6 +975,9 @@ func (lc *LiveCorpus) Recover() error {
 	if lc.wal == nil || lc.degraded.Load() == nil {
 		return nil
 	}
+	// Recovery truncates to the acknowledged prefix; fail any queued
+	// records first (degraded ⇒ the drain refuses rather than syncs them).
+	lc.drainLocked()
 	return lc.recoverLocked()
 }
 
@@ -634,6 +996,10 @@ func (lc *LiveCorpus) Compact() error {
 	if lc.wal == nil {
 		return badRequest("corpus %q is not durable; nothing to compact", lc.name)
 	}
+	// Settle the commit pipeline first: every queued record is either
+	// applied (and thus sealed into the new base) or failed before the old
+	// log is superseded.
+	lc.drainLocked()
 	view := lc.corpus.View()
 	next := lc.gen + 1
 
@@ -696,6 +1062,11 @@ func (lc *LiveCorpus) Close() error {
 	defer lc.mu.Unlock()
 	if lc.closed {
 		return nil
+	}
+	if lc.wal != nil {
+		// Resolve every in-flight ticket before the handle goes away; an
+		// appender must never be left waiting on a closed pipeline.
+		lc.drainLocked()
 	}
 	lc.closed = true
 	if lc.wal == nil {

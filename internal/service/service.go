@@ -210,6 +210,12 @@ type Corpus struct {
 	epoch    uint64
 	live     bool
 	degraded *DegradedInfo
+	// commit carries the live corpus's commit-pipeline counters at freeze
+	// time (nil when the corpus has no group-commit pipeline).
+	commit *CommitStats
+	// modelStr memoizes Model.String() for corpora whose Info is built per
+	// append (LiveCorpus.Freeze); empty means render on demand.
+	modelStr string
 }
 
 // Bytes returns the corpus's resident heap footprint — what the
@@ -255,20 +261,29 @@ type Info struct {
 	// Degraded, when present, reports a live corpus serving reads but
 	// refusing appends after an unrecovered log failure.
 	Degraded *DegradedInfo `json:"degraded,omitempty"`
+	// Commit, when present, reports the corpus's group-commit pipeline
+	// counters (appends per fsync, fsyncs issued, max batch, max ticket
+	// wait, pending records, relaxed records lost).
+	Commit *CommitStats `json:"commit,omitempty"`
 }
 
 // Info returns the corpus summary.
 func (c *Corpus) Info() Info {
+	model := c.modelStr
+	if model == "" {
+		model = c.Model.String()
+	}
 	return Info{
 		Name:        c.Name,
 		N:           c.Scanner.Len(),
 		K:           c.Model.K(),
-		Model:       c.Model.String(),
+		Model:       model,
 		Bytes:       c.Bytes(),
 		MappedBytes: c.MappedBytes(),
 		Live:        c.live,
 		Epoch:       c.epoch,
 		Degraded:    c.degraded,
+		Commit:      c.commit,
 	}
 }
 
@@ -570,6 +585,11 @@ type Executor struct {
 	// blocks another's.
 	liveMu sync.Mutex
 	live   map[string]*LiveCorpus
+	// Commit, when non-nil, is the node-wide group-commit pipeline: every
+	// durable live corpus added to the registry routes its WAL fsyncs
+	// through it (one covering fsync per batch instead of one per append).
+	// Nil keeps the per-append-fsync path.
+	Commit *Committer
 	// MaxQueries bounds the queries per batch (default 64).
 	MaxQueries int
 	// MaxWorkers bounds the per-request engine parallelism (default 16).
@@ -680,6 +700,7 @@ func (e *Executor) liveGet(name string) *LiveCorpus {
 // liveAdd pins a live corpus (and drops any stale frozen cache entry: the
 // registry is now authoritative for the name).
 func (e *Executor) liveAdd(lc *LiveCorpus) {
+	lc.attachCommitter(e.Commit)
 	e.liveMu.Lock()
 	if e.live == nil {
 		e.live = make(map[string]*LiveCorpus)
@@ -706,12 +727,19 @@ func (e *Executor) LiveInfos() []Info {
 
 // Append extends a corpus with text, promoting it to live on its first
 // append: with a store, the frozen snapshot becomes a sealed base plus a
-// WAL (the record is fsynced before the append is applied or acknowledged);
-// without one, the corpus is adopted into appendable memory. The corpus
-// keeps answering queries from previously published epochs throughout — an
-// append never blocks an in-flight scan. It returns the post-append corpus
-// info (new length and epoch).
+// WAL (the record's covering fsync completes before the append is applied
+// or acknowledged); without one, the corpus is adopted into appendable
+// memory. The corpus keeps answering queries from previously published
+// epochs throughout — an append never blocks an in-flight scan. It returns
+// the post-append corpus info (new length and epoch).
 func (e *Executor) Append(name, text string) (Info, error) {
+	return e.AppendMode(name, text, DurabilityFsync)
+}
+
+// AppendMode is Append with an explicit durability contract: fsync (acked
+// ⇒ durable, the default) or relaxed (acked on WAL write, fsynced within
+// the committer's interval floor; requires a commit pipeline).
+func (e *Executor) AppendMode(name, text string, mode Durability) (Info, error) {
 	lc := e.liveGet(name)
 	if lc == nil {
 		var err error
@@ -720,7 +748,7 @@ func (e *Executor) Append(name, text string) (Info, error) {
 			return Info{}, err
 		}
 	}
-	if _, err := lc.Append(text); err != nil {
+	if _, err := lc.AppendMode(text, mode); err != nil {
 		return Info{}, err
 	}
 	return lc.Freeze().Info(), nil
@@ -772,6 +800,11 @@ func (e *Executor) Close() error {
 		if err := lc.Close(); err != nil && first == nil {
 			first = fmt.Errorf("service: closing corpus %q: %w", lc.Name(), err)
 		}
+	}
+	// Corpora drain their commit queues in Close, so by here the pipeline
+	// has nothing left to cover; stop its scheduler.
+	if e.Commit != nil {
+		e.Commit.Stop()
 	}
 	return first
 }

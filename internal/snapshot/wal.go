@@ -43,16 +43,30 @@ var ErrWALRecordTooLarge = errors.New("snapshot: WAL record exceeds the size cap
 // AppendWALRecord writes one record for payload to w. Callers own
 // durability (fsync) and serialization.
 func AppendWALRecord(w io.Writer, payload []byte) error {
-	if len(payload) > MaxWALRecord {
-		return fmt.Errorf("%w: %d bytes", ErrWALRecordTooLarge, len(payload))
+	buf, err := AppendWALRecordBuf(nil, payload)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, walHeaderSize+len(payload)+walTrailerSize)
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[walHeaderSize:], payload)
-	crc := crc64.Checksum(buf[:walHeaderSize+len(payload)], crcTable)
-	binary.LittleEndian.PutUint64(buf[walHeaderSize+len(payload):], crc)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
+}
+
+// AppendWALRecordBuf frames payload as one record and appends it to dst,
+// returning the extended buffer. This is the group-commit building block: a
+// committer accumulates many framed records in memory and lands them with
+// one write + one fsync, instead of a write syscall per record.
+func AppendWALRecordBuf(dst []byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxWALRecord {
+		return dst, fmt.Errorf("%w: %d bytes", ErrWALRecordTooLarge, len(payload))
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, walHeaderSize+len(payload)+walTrailerSize)...)
+	rec := dst[start:]
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	copy(rec[walHeaderSize:], payload)
+	crc := crc64.Checksum(rec[:walHeaderSize+len(payload)], crcTable)
+	binary.LittleEndian.PutUint64(rec[walHeaderSize+len(payload):], crc)
+	return dst, nil
 }
 
 // WALRecordSize returns the on-disk size of a record carrying n payload

@@ -5,6 +5,7 @@ import (
 	"io/fs"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Op classifies filesystem operations for fault targeting. Values are bits
@@ -63,7 +64,10 @@ type FaultPlan struct {
 	// Path, when non-empty, restricts matching to operations whose path
 	// contains it as a substring (e.g. "wal-" to target only the log).
 	Path string
-	// Err is the injected error; nil means ErrInjected.
+	// Err is the injected error; nil means ErrInjected — except that a plan
+	// with only Delay set (no Err, Short, or Crash) injects no error at
+	// all: the operation sleeps for Delay and then proceeds normally, the
+	// slow-disk case (a stuck fsync) rather than a broken one.
 	Err error
 	// Short makes a failing File.Write a short write: half the bytes land
 	// before the error — the torn-record case WAL recovery must absorb.
@@ -72,6 +76,16 @@ type FaultPlan struct {
 	// operation after it return ErrCrashed, so the state left on disk is
 	// exactly what a process death at that step would leave.
 	Crash bool
+	// Delay makes the matching operations sleep before executing (or
+	// failing, when combined with Err/Crash). The sleep happens outside the
+	// fault gate's lock, so other filesystem operations proceed meanwhile —
+	// exactly how a real slow fsync behaves.
+	Delay time.Duration
+}
+
+// delayOnly reports whether the plan slows operations without failing them.
+func (p FaultPlan) delayOnly() bool {
+	return p.Delay > 0 && p.Err == nil && !p.Short && !p.Crash
 }
 
 func (p FaultPlan) matches(op Op, name string) bool {
@@ -92,37 +106,60 @@ func (p FaultPlan) err() error {
 	return ErrInjected
 }
 
-// Faulty wraps an FS and fails one chosen operation (see FaultPlan). The
-// zero plan (Nth 0) injects nothing and merely counts matching operations,
-// which is how a harness measures a workload before walking its crash
-// points.
+// Faulty wraps an FS and fails (or delays) chosen operations (see
+// FaultPlan). The zero plan (Nth 0) injects nothing and merely counts
+// matching operations, which is how a harness measures a workload before
+// walking its crash points. Multiple plans count independently — each
+// keeps its own tally of its matching operations — so a Delay plan and an
+// EIO plan can target different syncs of the same workload.
 type Faulty struct {
 	inner FS
 
 	mu      sync.Mutex
-	plan    FaultPlan
-	count   int
-	fired   bool
+	plans   []FaultPlan
+	counts  []int
+	fired   []bool
 	crashed bool
 }
 
 // NewFaulty wraps inner with the given plan.
 func NewFaulty(inner FS, plan FaultPlan) *Faulty {
-	return &Faulty{inner: inner, plan: plan}
+	return NewFaultyPlans(inner, plan)
 }
 
-// Ops returns how many matching operations have executed (or attempted).
+// NewFaultyPlans wraps inner with several independent plans. When more than
+// one plan fires on the same operation, delays accumulate and the first
+// error-bearing plan decides the failure.
+func NewFaultyPlans(inner FS, plans ...FaultPlan) *Faulty {
+	return &Faulty{
+		inner:  inner,
+		plans:  plans,
+		counts: make([]int, len(plans)),
+		fired:  make([]bool, len(plans)),
+	}
+}
+
+// Ops returns how many operations matching the first plan have executed (or
+// attempted).
 func (f *Faulty) Ops() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.count
+	if len(f.counts) == 0 {
+		return 0
+	}
+	return f.counts[0]
 }
 
-// Fired reports whether the planned fault has been injected.
+// Fired reports whether any planned fault has been injected.
 func (f *Faulty) Fired() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.fired
+	for _, fd := range f.fired {
+		if fd {
+			return true
+		}
+	}
+	return false
 }
 
 // verdict is the gate's decision for one operation.
@@ -131,30 +168,53 @@ type verdict struct {
 	short bool
 }
 
-// gate counts op and decides whether it fails.
+// gate counts op against every plan and decides whether it fails. A firing
+// Delay is served here, after the gate's lock is released, so a slowed
+// operation never stalls the gate for concurrent operations.
 func (f *Faulty) gate(op Op, name string) verdict {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.crashed {
+		f.mu.Unlock()
 		return verdict{err: ErrCrashed}
 	}
-	if !f.plan.matches(op, name) {
-		return verdict{}
+	var v verdict
+	var delay time.Duration
+	for i := range f.plans {
+		p := &f.plans[i]
+		if !p.matches(op, name) {
+			continue
+		}
+		f.counts[i]++
+		span := p.Count
+		if span < 1 {
+			span = 1
+		}
+		if p.Nth == 0 || f.counts[i] < p.Nth || f.counts[i] >= p.Nth+span {
+			continue
+		}
+		f.fired[i] = true
+		delay += p.Delay
+		if p.Crash {
+			f.crashed = true
+			if v.err == nil {
+				v.err = ErrCrashed
+			}
+			v.short = v.short || p.Short
+			continue
+		}
+		if p.delayOnly() {
+			continue
+		}
+		if v.err == nil {
+			v.err = p.err()
+		}
+		v.short = v.short || p.Short
 	}
-	f.count++
-	span := f.plan.Count
-	if span < 1 {
-		span = 1
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
 	}
-	if f.plan.Nth == 0 || f.count < f.plan.Nth || f.count >= f.plan.Nth+span {
-		return verdict{}
-	}
-	f.fired = true
-	if f.plan.Crash {
-		f.crashed = true
-		return verdict{err: ErrCrashed, short: f.plan.Short}
-	}
-	return verdict{err: f.plan.err(), short: f.plan.Short}
+	return v
 }
 
 func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
