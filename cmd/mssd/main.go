@@ -12,9 +12,17 @@
 //	POST   /v1/corpora/{name}/append    append {"text": "..."} to a live corpus
 //	POST   /v1/corpora/{name}/compact   fold a live corpus's log into a sealed base
 //	POST   /v1/corpora/{name}/recover   heal a degraded live corpus now (skip the backoff)
+//	POST   /v1/corpora/{name}/promote   seal a replica into a writable primary (failover)
 //	DELETE /v1/corpora/{name}           evict a corpus
 //	POST   /v1/query                    one query: {"corpus": "x", "query": {"kind": "mss"}}
 //	POST   /v1/batch                    many queries: {"corpus": "x", "queries": [...]}
+//
+// Durable nodes also serve the replication endpoints followers tail
+// (GET /v1/replica/corpora, .../{name}/snapshot, .../{name}/wal); a daemon
+// started with -replicate-from mirrors the primary's live corpora as
+// read-only replicas (local writes return 409 until promote) and reports
+// per-corpus replication lag in healthz. See the README's "Replication &
+// failover" section.
 //
 // Query objects take {"kind": "mss"|"topt"|"threshold"|"disjoint"} plus the
 // knobs t, alpha, min_length, lo, hi, limit. Requests may carry inline
@@ -65,6 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -74,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/service"
 )
 
@@ -95,6 +105,9 @@ func main() {
 		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling; keep off in production)")
 		groupCommit = fs.Bool("group-commit", true, "batch WAL fsyncs across concurrent appends (one covering fsync per batch); false restores one fsync per append")
 		fsyncEvery  = fs.Duration("fsync-interval", service.DefaultFsyncInterval, "group-commit idle flush floor: the longest a relaxed-durability append waits for its covering fsync (also the relaxed-mode crash-loss window)")
+		replFrom    = fs.String("replicate-from", "", "run as a follower of the primary at this base URL (e.g. http://primary:8765): its live corpora are mirrored here as read-only replicas via WAL shipping; requires -data-dir")
+		advertise   = fs.String("advertise", "", "externally reachable base URL of this node, reported in healthz so operators can point followers (and failover tooling) at it")
+		retryJitter = fs.Duration("retry-jitter", 2*time.Second, "random extra delay added to every Retry-After the daemon emits (429/503/degraded), spreading a shed herd's retries over the window; 0 disables")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -110,6 +123,9 @@ func main() {
 		pprof:         *pprofOn,
 		groupCommit:   *groupCommit,
 		fsyncInterval: *fsyncEvery,
+		replicateFrom: *replFrom,
+		advertise:     *advertise,
+		retryJitter:   *retryJitter,
 	}
 	srv, err := newServer(cfg)
 	if err != nil {
@@ -135,6 +151,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	replDone := make(chan struct{})
+	if srv.mgr != nil {
+		log.Printf("mssd replicating from %s", cfg.replicateFrom)
+		go func() {
+			defer close(replDone)
+			srv.mgr.Run(ctx)
+		}()
+	} else {
+		close(replDone)
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -159,6 +185,9 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained
+	// Replication sessions stop with the signal context; wait for them so no
+	// frame is mid-apply when the logs close.
+	<-replDone
 	// With the listener closed and scans drained, seal the durable state:
 	// fsync and close every live-corpus log.
 	if err := srv.exec.Close(); err != nil {
@@ -196,6 +225,13 @@ type serverConfig struct {
 	// pipeline; fsyncInterval is its idle flush floor (0: the default).
 	groupCommit   bool
 	fsyncInterval time.Duration
+	// replicateFrom, when set, runs the daemon as a follower of the primary
+	// at that base URL (requires a data dir); advertise is this node's own
+	// externally reachable URL, echoed in healthz; retryJitter spreads every
+	// Retry-After the daemon emits over a random window.
+	replicateFrom string
+	advertise     string
+	retryJitter   time.Duration
 }
 
 // server routes HTTP requests onto the service executor.
@@ -209,6 +245,14 @@ type server struct {
 	scans       chan struct{}
 	scanTimeout time.Duration
 	queueWait   time.Duration
+	// retryJitter is the random window added to every Retry-After header.
+	retryJitter time.Duration
+	// advertise is this node's externally reachable URL (healthz only).
+	advertise string
+	// replicateFrom and mgr are set in follower mode: the manager mirrors
+	// the primary's live corpora into this node's executor.
+	replicateFrom string
+	mgr           *replica.Manager
 }
 
 // newServer wires the routes; it is the unit the tests drive via httptest.
@@ -245,9 +289,21 @@ func newServer(cfg serverConfig) (*server, error) {
 			MaxWorkers: cfg.maxWorkers,
 			MaxTextLen: cfg.maxText,
 		},
-		scans:       make(chan struct{}, maxScans),
-		scanTimeout: cfg.scanTimeout,
-		queueWait:   queueWait,
+		scans:         make(chan struct{}, maxScans),
+		scanTimeout:   cfg.scanTimeout,
+		queueWait:     queueWait,
+		retryJitter:   cfg.retryJitter,
+		advertise:     cfg.advertise,
+		replicateFrom: cfg.replicateFrom,
+	}
+	if cfg.replicateFrom != "" {
+		if store == nil {
+			return nil, errors.New("mssd: -replicate-from requires -data-dir (a follower holds durable replicas)")
+		}
+		s.mgr = &replica.Manager{
+			Exec: s.exec,
+			Src:  &replica.HTTPSource{Base: strings.TrimRight(cfg.replicateFrom, "/")},
+		}
 	}
 	if cfg.pprof {
 		// Opt-in profiling endpoints; see the README's profiling section.
@@ -263,10 +319,15 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("POST /v1/corpora/{name}/append", s.handleAppendCorpus)
 	s.mux.HandleFunc("POST /v1/corpora/{name}/compact", s.handleCompactCorpus)
 	s.mux.HandleFunc("POST /v1/corpora/{name}/recover", s.handleRecoverCorpus)
+	s.mux.HandleFunc("POST /v1/corpora/{name}/promote", s.handlePromoteCorpus)
 	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	if store != nil {
+		// Any durable node can serve as a replication primary: mount the
+		// WAL-shipping endpoints (corpus listing, base snapshots, frame
+		// streams) that followers tail.
+		(&replica.Server{Exec: s.exec}).Routes(s.mux)
 		// Replay the persisted catalog so a restart is transparent to
 		// clients: every previously uploaded corpus answers queries again,
 		// mmap-served, with no re-upload.
@@ -305,22 +366,38 @@ func retryAfterSeconds(d time.Duration) string {
 	return fmt.Sprintf("%d", secs)
 }
 
+// retryAfter renders base plus a random slice of the jitter window. Every
+// shed client gets its own delay, so a burst that was rejected together does
+// not come back together and re-create the overload it was shed for.
+func (s *server) retryAfter(base time.Duration) string {
+	if s.retryJitter > 0 {
+		base += rand.N(s.retryJitter)
+	}
+	return retryAfterSeconds(base)
+}
+
 // writeError maps service errors onto HTTP statuses.
-func writeError(w http.ResponseWriter, err error) {
+func (s *server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, service.ErrNotFound):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case service.IsValidation(err):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server is at its concurrent-scan limit; retry shortly"})
 	case errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "scan exceeded the server's deadline; narrow the query or retry when the server is less loaded"})
 	default:
+		if _, ok := service.IsReadOnly(err); ok {
+			// A replica refuses local writes until promoted; 409 tells the
+			// client this is a topology fact, not a transient failure.
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			return
+		}
 		if u, ok := service.IsUnavailable(err); ok {
-			w.Header().Set("Retry-After", retryAfterSeconds(u.RetryAfter))
+			w.Header().Set("Retry-After", s.retryAfter(u.RetryAfter))
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 			return
 		}
@@ -391,7 +468,7 @@ func (s *server) runScan(w http.ResponseWriter, r *http.Request, req service.Bat
 			// The client hung up while queued; nobody reads a response.
 			return service.BatchResponse{}, false
 		}
-		writeError(w, err)
+		s.writeError(w, err)
 		return service.BatchResponse{}, false
 	}
 	defer release()
@@ -402,7 +479,7 @@ func (s *server) runScan(w http.ResponseWriter, r *http.Request, req service.Bat
 		if errors.Is(err, context.Canceled) {
 			return service.BatchResponse{}, false
 		}
-		writeError(w, err)
+		s.writeError(w, err)
 		return service.BatchResponse{}, false
 	}
 	return resp, true
@@ -449,6 +526,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.exec.Store != nil {
 		body["data_dir"] = s.exec.Store.Dir()
 	}
+	if s.advertise != "" {
+		body["advertise"] = s.advertise
+	}
+	if s.mgr != nil {
+		// Follower mode: per-corpus replication state — the durable cursor,
+		// the primary's last advertised position, and the byte lag between
+		// them (what an operator alerts on before promoting).
+		body["replication"] = map[string]any{
+			"source":  s.replicateFrom,
+			"corpora": s.mgr.Status(),
+		}
+	}
 	if s.exec.Commit != nil {
 		// Node-wide commit-pipeline counters: the realized fsync
 		// amortization across every live corpus (per-corpus counters ride
@@ -488,7 +577,7 @@ func (s *server) handlePutCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	corpus, evicted, err := s.exec.AddCorpus(name, req.Text, req.Model)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp := map[string]any{"corpus": corpus.Info()}
@@ -521,12 +610,12 @@ func (s *server) handleAppendCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	mode, err := service.ParseDurability(req.Durability)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	info, err := s.exec.AppendMode(name, req.Text, mode)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
@@ -535,7 +624,7 @@ func (s *server) handleAppendCorpus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCompactCorpus(w http.ResponseWriter, r *http.Request) {
 	info, err := s.exec.Compact(r.PathValue("name"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
@@ -544,7 +633,22 @@ func (s *server) handleCompactCorpus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRecoverCorpus(w http.ResponseWriter, r *http.Request) {
 	info, err := s.exec.Recover(r.PathValue("name"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
+}
+
+// handlePromoteCorpus seals a replica into a writable primary: the replica
+// marker is cleared durably and the corpus compacts to a new generation,
+// fencing the old primary's frames. This is the failover step — run it on
+// the follower once the old primary is confirmed dead (see the README's
+// promote runbook; promoting while the old primary still takes writes
+// forks the two histories).
+func (s *server) handlePromoteCorpus(w http.ResponseWriter, r *http.Request) {
+	info, err := s.exec.Promote(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"corpus": info})
@@ -554,7 +658,7 @@ func (s *server) handleDeleteCorpus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	deleted, err := s.exec.DeleteCorpus(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if !deleted {

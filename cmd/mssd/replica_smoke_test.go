@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestMSSDReplicationSmoke is the replication smoke check CI runs
+// (MSSD_SMOKE=1): real primary and follower mssd processes over real HTTP,
+// ssgen streaming appends into the primary, the follower killed with -9
+// mid-stream and restarted over its own data dir — after which it must
+// resume from its durable cursor, catch up, and answer every scan
+// bit-identically to the primary.
+func TestMSSDReplicationSmoke(t *testing.T) {
+	if os.Getenv("MSSD_SMOKE") == "" {
+		t.Skip("set MSSD_SMOKE=1 to run the replication smoke test")
+	}
+	tmp := t.TempDir()
+	mssdBin := filepath.Join(tmp, "mssd")
+	ssgenBin := filepath.Join(tmp, "ssgen")
+	for bin, pkg := range map[string]string{mssdBin: ".", ssgenBin: "../ssgen"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", pkg, err)
+		}
+	}
+
+	freeAddr := func() string {
+		t.Helper()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	primaryAddr, followerAddr := freeAddr(), freeAddr()
+	primaryBase, followerBase := "http://"+primaryAddr, "http://"+followerAddr
+	primaryDir := filepath.Join(tmp, "primary")
+	followerDir := filepath.Join(tmp, "follower")
+
+	startDaemon := func(args ...string) *exec.Cmd {
+		t.Helper()
+		daemon := exec.Command(mssdBin, args...)
+		daemon.Stdout = os.Stderr
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		return daemon
+	}
+	waitHealthy := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon at %s never became healthy: %v", base, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	primary := startDaemon("-addr", primaryAddr, "-data-dir", primaryDir)
+	defer func() { primary.Process.Kill(); primary.Wait() }()
+	waitHealthy(primaryBase)
+
+	// Fix the alphabet, then stream appends into the primary with ssgen
+	// while the follower replicates — and gets killed — underneath it.
+	req, _ := http.NewRequest("PUT", primaryBase+"/v1/corpora/repl",
+		strings.NewReader(`{"text": "0101"}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	follower := startDaemon("-addr", followerAddr, "-data-dir", followerDir,
+		"-replicate-from", primaryBase, "-advertise", followerBase)
+	followerUp := true
+	defer func() {
+		if followerUp {
+			follower.Process.Kill()
+			follower.Wait()
+		}
+	}()
+	waitHealthy(followerBase)
+
+	const totalEvents = 60000
+	gen := exec.Command(ssgenBin,
+		"-type", "planted", "-n", fmt.Sprint(totalEvents), "-k", "2",
+		"-window", "30000:900:0.95", "-seed", "7",
+		"-stream", "-batch", "300", "-rate", "20000",
+		"-append-url", primaryBase+"/v1/corpora/repl/append",
+		"-watch-replica", followerBase)
+	gen.Stdout = os.Stderr
+	gen.Stderr = os.Stderr
+	if err := gen.Start(); err != nil {
+		t.Fatalf("ssgen: %v", err)
+	}
+	genDone := make(chan error, 1)
+	go func() { genDone <- gen.Wait() }()
+
+	// Kill -9 the follower mid-stream (the stream runs ~3s at this rate),
+	// then restart it over the same directory: it must resume from the
+	// durable cursor, not re-seed the world or serve a diverged history.
+	time.Sleep(1 * time.Second)
+	follower.Process.Kill()
+	follower.Wait()
+	followerUp = false
+	t.Log("replication smoke: follower killed -9 mid-stream, restarting")
+	follower = startDaemon("-addr", followerAddr, "-data-dir", followerDir,
+		"-replicate-from", primaryBase, "-advertise", followerBase)
+	followerUp = true
+	waitHealthy(followerBase)
+
+	if err := <-genDone; err != nil {
+		t.Fatalf("ssgen stream failed: %v", err)
+	}
+
+	// Wait for the follower to converge on the primary's full history.
+	corpusN := func(base string) int {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/corpora")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var l struct {
+			Corpora []service.Info `json:"corpora"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range l.Corpora {
+			if info.Name == "repl" {
+				return info.N
+			}
+		}
+		return -1
+	}
+	wantN := corpusN(primaryBase)
+	if wantN < totalEvents {
+		t.Fatalf("primary corpus has %d symbols, want at least %d", wantN, totalEvents)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for corpusN(followerBase) != wantN {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: primary N=%d, follower N=%d",
+				wantN, corpusN(followerBase))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Bit-identical scans on both nodes over the full replicated history.
+	batch := func(base string) service.BatchResponse {
+		t.Helper()
+		body := `{"corpus": "repl", "queries": [{"kind": "mss"}, {"kind": "topt", "t": 5}, {"kind": "threshold", "alpha": 12}]}`
+		resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch on %s: status %d", base, resp.StatusCode)
+		}
+		var out service.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	pb, fb := batch(primaryBase), batch(followerBase)
+	if len(pb.Results) != len(fb.Results) {
+		t.Fatalf("result counts differ: primary %d, follower %d", len(pb.Results), len(fb.Results))
+	}
+	for i := range pb.Results {
+		pr, fr := pb.Results[i].Results, fb.Results[i].Results
+		if len(pr) != len(fr) {
+			t.Fatalf("query %d: primary %d results, follower %d", i, len(pr), len(fr))
+		}
+		for j := range pr {
+			if pr[j] != fr[j] {
+				t.Fatalf("query %d result %d: primary %+v, follower %+v", i, j, pr[j], fr[j])
+			}
+		}
+	}
+	fmt.Printf("mssd replication smoke: follower survived kill -9 mid-stream and serves %d symbols bit-identically to the primary\n", wantN)
+}

@@ -1,0 +1,187 @@
+// Daemon-level replication tests: a primary and a follower server wired
+// over real HTTP, exercising the follower manager, the read-only surface,
+// healthz lag reporting, and the promote endpoint; plus the Retry-After
+// jitter and corpus-listing satellites.
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// replServer builds a server plus its httptest listener, returning both so
+// tests can reach the executor and manager behind the routes.
+func replServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	cfg.cacheBytes = 1 << 20
+	cfg.maxQueries = 16
+	cfg.maxWorkers = 8
+	cfg.maxText = 1 << 16
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.exec.Close() })
+	return srv, ts
+}
+
+func TestDaemonReplicationEndToEnd(t *testing.T) {
+	_, primary := replServer(t, serverConfig{dataDir: t.TempDir()})
+	do(t, "PUT", primary.URL+"/v1/corpora/demo", map[string]any{"text": demoText}, http.StatusOK, nil)
+	do(t, "POST", primary.URL+"/v1/corpora/demo/append", map[string]any{"text": "111000"}, http.StatusOK, nil)
+
+	fsrv, follower := replServer(t, serverConfig{dataDir: t.TempDir(), replicateFrom: primary.URL})
+	if fsrv.mgr == nil {
+		t.Fatal("follower server has no replication manager")
+	}
+	fsrv.mgr.Interval = 10 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	mgrDone := make(chan struct{})
+	go func() { defer close(mgrDone); fsrv.mgr.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-mgrDone })
+
+	// The follower discovers, seeds, and catches up.
+	type listing struct {
+		Corpora []service.Info `json:"corpora"`
+	}
+	waitReplicated := func() service.Info {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var l listing
+			do(t, "GET", follower.URL+"/v1/corpora", nil, http.StatusOK, &l)
+			for _, info := range l.Corpora {
+				if info.Name == "demo" && info.N == len(demoText)+6 {
+					return info
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower never replicated demo; listing %+v", l)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	info := waitReplicated()
+	if !info.Replica || !info.Live {
+		t.Fatalf("replicated corpus info %+v, want live replica", info)
+	}
+
+	// Both nodes answer the query identically.
+	type queryResp struct {
+		Result service.QueryResult `json:"result"`
+	}
+	q := map[string]any{"corpus": "demo", "query": map[string]any{"kind": "mss"}}
+	var pq, fq queryResp
+	do(t, "POST", primary.URL+"/v1/query", q, http.StatusOK, &pq)
+	do(t, "POST", follower.URL+"/v1/query", q, http.StatusOK, &fq)
+	if len(fq.Result.Results) == 0 || fq.Result.Results[0] != pq.Result.Results[0] {
+		t.Fatalf("follower result %+v, primary result %+v", fq.Result, pq.Result)
+	}
+
+	// Local writes on the follower are refused as a topology fact.
+	do(t, "POST", follower.URL+"/v1/corpora/demo/append", map[string]any{"text": "01"}, http.StatusConflict, nil)
+	do(t, "POST", follower.URL+"/v1/corpora/demo/compact", nil, http.StatusConflict, nil)
+
+	// healthz reports the replication block with measurable lag.
+	var health struct {
+		Replication struct {
+			Source  string `json:"source"`
+			Corpora []struct {
+				Corpus string `json:"corpus"`
+				Lag    int64  `json:"lag"`
+			} `json:"corpora"`
+		} `json:"replication"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		do(t, "GET", follower.URL+"/v1/healthz", nil, http.StatusOK, &health)
+		rep := health.Replication
+		if rep.Source == primary.URL && len(rep.Corpora) == 1 &&
+			rep.Corpora[0].Corpus == "demo" && rep.Corpora[0].Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz replication block never settled: %+v", health.Replication)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Failover: promote the follower, which fences and becomes writable.
+	oldGen := info.Generation
+	var promoted struct {
+		Corpus service.Info `json:"corpus"`
+	}
+	do(t, "POST", follower.URL+"/v1/corpora/demo/promote", nil, http.StatusOK, &promoted)
+	if promoted.Corpus.Replica {
+		t.Fatalf("promoted corpus still a replica: %+v", promoted.Corpus)
+	}
+	if promoted.Corpus.Generation != oldGen+1 {
+		t.Fatalf("promoted generation %d, want %d (fencing bump)", promoted.Corpus.Generation, oldGen+1)
+	}
+	do(t, "POST", follower.URL+"/v1/corpora/demo/append", map[string]any{"text": "01"}, http.StatusOK, nil)
+	// Promoting twice is a client error, not a crash.
+	do(t, "POST", follower.URL+"/v1/corpora/demo/promote", nil, http.StatusBadRequest, nil)
+}
+
+// TestListCorporaGeneration: the corpus listing carries the WAL generation
+// for durable live corpora and tracks compaction bumps.
+func TestListCorporaGeneration(t *testing.T) {
+	_, ts := replServer(t, serverConfig{dataDir: t.TempDir()})
+	do(t, "PUT", ts.URL+"/v1/corpora/demo", map[string]any{"text": demoText}, http.StatusOK, nil)
+	do(t, "POST", ts.URL+"/v1/corpora/demo/append", map[string]any{"text": "11"}, http.StatusOK, nil)
+
+	var l struct {
+		Corpora []service.Info `json:"corpora"`
+	}
+	do(t, "GET", ts.URL+"/v1/corpora", nil, http.StatusOK, &l)
+	if len(l.Corpora) != 1 || !l.Corpora[0].Live || l.Corpora[0].Generation != 0 || l.Corpora[0].Replica {
+		t.Fatalf("listing before compact: %+v", l.Corpora)
+	}
+	do(t, "POST", ts.URL+"/v1/corpora/demo/compact", nil, http.StatusOK, nil)
+	do(t, "GET", ts.URL+"/v1/corpora", nil, http.StatusOK, &l)
+	if len(l.Corpora) != 1 || l.Corpora[0].Generation != 1 {
+		t.Fatalf("listing after compact: %+v", l.Corpora)
+	}
+}
+
+// TestRetryAfterJitter: every Retry-After the daemon emits is spread over
+// the configured jitter window instead of telling the whole shed herd the
+// same second.
+func TestRetryAfterJitter(t *testing.T) {
+	srv, _ := replServer(t, serverConfig{retryJitter: 5 * time.Second})
+	seen := map[int]int{}
+	for i := 0; i < 200; i++ {
+		rec := httptest.NewRecorder()
+		srv.writeError(rec, errOverloaded)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", rec.Code)
+		}
+		secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("bad Retry-After %q: %v", rec.Header().Get("Retry-After"), err)
+		}
+		// Base 1s plus up to 5s of jitter, whole seconds rounded up.
+		if secs < 1 || secs > 6 {
+			t.Fatalf("Retry-After %ds outside the jitter window [1, 6]", secs)
+		}
+		seen[secs]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("200 shed responses used only %d distinct Retry-After values: %v", len(seen), seen)
+	}
+
+	// Jitter disabled: deterministic single value.
+	plain, _ := replServer(t, serverConfig{})
+	rec := httptest.NewRecorder()
+	plain.writeError(rec, errOverloaded)
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("unjittered Retry-After %q, want 1", got)
+	}
+}

@@ -82,6 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		appendURL  = fs.String("append-url", "", "mssd append endpoint to POST batches to in -stream mode (e.g. http://127.0.0.1:8765/v1/corpora/events/append); default: one batch per stdout line")
 		clients    = fs.Int("clients", 1, "concurrent append clients in -stream mode, sharing the -rate budget (> 1 requires -append-url)")
 		durability = fs.String("durability", "", `append durability sent with each batch: "fsync" (durable ack, the default) or "relaxed" (ack on write)`)
+		watchRepl  = fs.String("watch-replica", "", "follower mssd base URL to poll while streaming: its healthz replication lag is reported to stderr once a second (requires -stream and -append-url)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,9 +129,19 @@ func run(args []string, stdout io.Writer) error {
 		out = f
 	}
 	if *stream {
+		if *watchRepl != "" {
+			if *appendURL == "" {
+				return fmt.Errorf("-watch-replica requires -append-url")
+			}
+			stop := watchReplica(*watchRepl)
+			defer stop()
+		}
 		// -o applies to stream mode too: batches (or the append-mode
 		// summary lines) land in the file instead of stdout.
 		return streamOut(out, s, *batchSize, *rate, *appendURL, *durability, *clients)
+	}
+	if *watchRepl != "" {
+		return fmt.Errorf("-watch-replica requires -stream")
 	}
 
 	w := bufio.NewWriter(out)
@@ -299,6 +310,65 @@ func streamOut(out io.Writer, s []byte, batchSize int, rate float64, url, durabi
 	fmt.Fprintf(out, "streamed %d events to %s in %v (%.0f events/s)\n",
 		emitted, url, elapsed.Round(time.Millisecond), perSec)
 	return nil
+}
+
+// watchReplica polls a follower daemon's healthz once a second and reports
+// its per-corpus replication lag to stderr — the live view of how far the
+// follower trails the appends this run is producing. The returned stop
+// function prints one final sample and ends the poller.
+func watchReplica(base string) (stop func()) {
+	base = strings.TrimRight(base, "/")
+	sample := func() {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watch-replica: %v\n", err)
+			return
+		}
+		defer resp.Body.Close()
+		var health struct {
+			Replication struct {
+				Corpora []struct {
+					Corpus string `json:"corpus"`
+					State  string `json:"state"`
+					Gen    int    `json:"gen"`
+					Offset int64  `json:"offset"`
+					Lag    int64  `json:"lag"`
+				} `json:"corpora"`
+			} `json:"replication"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			fmt.Fprintf(os.Stderr, "watch-replica: decoding healthz: %v\n", err)
+			return
+		}
+		if len(health.Replication.Corpora) == 0 {
+			fmt.Fprintf(os.Stderr, "watch-replica: follower reports no replication sessions yet\n")
+			return
+		}
+		for _, c := range health.Replication.Corpora {
+			fmt.Fprintf(os.Stderr, "watch-replica: corpus=%s state=%s gen=%d offset=%d lag=%d\n",
+				c.Corpus, c.State, c.Gen, c.Offset, c.Lag)
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				sample()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		sample() // final post-stream lag
+	}
 }
 
 // postAppend sends one batch to an mssd append endpoint. durability rides

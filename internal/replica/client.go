@@ -1,0 +1,138 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// CorpusMeta is one row of a primary's replication listing: the corpus
+// name and its committed WAL position.
+type CorpusMeta struct {
+	Name   string `json:"name"`
+	Gen    int    `json:"gen"`
+	Offset int64  `json:"offset"`
+}
+
+// Source is a follower's view of a primary. The concrete implementation
+// is HTTPSource; tests substitute in-process sources and wrap either in
+// NetFaulty to inject wire faults.
+type Source interface {
+	// Corpora lists the primary's replicable live corpora with their
+	// committed positions.
+	Corpora(ctx context.Context) ([]CorpusMeta, error)
+	// Snapshot streams the sealed base snapshot of name and reports the
+	// generation it belongs to. The caller closes the reader.
+	Snapshot(ctx context.Context, name string) (gen int, rc io.ReadCloser, err error)
+	// TailWAL opens a frame stream of name's log from (gen, offset). With
+	// live=false the stream ends (io.EOF from Next) once the follower has
+	// been handed everything committed at open time — the deterministic
+	// catch-up mode. With live=true the stream stays open, emitting data
+	// frames as commits land and heartbeats when idle.
+	TailWAL(ctx context.Context, name string, gen int, offset int64, live bool) (FrameStream, error)
+}
+
+// FrameStream yields replication frames until error. Next returns io.EOF
+// only at a clean end of a catch-up stream; any other error means the
+// stream died and the session reconnects from its durable cursor.
+type FrameStream interface {
+	Next() (Frame, error)
+	Close() error
+}
+
+// HTTPSource speaks to a primary's replica.Server over HTTP.
+type HTTPSource struct {
+	// Base is the primary's root URL, e.g. "http://primary:7600".
+	Base string
+	// Client is the HTTP client to use; http.DefaultClient when nil. Leave
+	// the client timeout zero — live tail responses are unbounded; cancel
+	// via context instead.
+	Client *http.Client
+}
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+func (s *HTTPSource) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("replica: primary returned %s for %s: %s", resp.Status, path, body)
+	}
+	return resp, nil
+}
+
+func (s *HTTPSource) Corpora(ctx context.Context) ([]CorpusMeta, error) {
+	resp, err := s.get(ctx, "/v1/replica/corpora")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []CorpusMeta
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("replica: decoding corpus listing: %w", err)
+	}
+	return out, nil
+}
+
+func (s *HTTPSource) Snapshot(ctx context.Context, name string) (int, io.ReadCloser, error) {
+	resp, err := s.get(ctx, "/v1/replica/corpora/"+url.PathEscape(name)+"/snapshot")
+	if err != nil {
+		return 0, nil, err
+	}
+	gen, err := strconv.Atoi(resp.Header.Get("X-Replica-Generation"))
+	if err != nil {
+		resp.Body.Close()
+		return 0, nil, fmt.Errorf("replica: snapshot response missing generation header: %w", err)
+	}
+	return gen, resp.Body, nil
+}
+
+func (s *HTTPSource) TailWAL(ctx context.Context, name string, gen int, offset int64, live bool) (FrameStream, error) {
+	q := url.Values{}
+	q.Set("gen", strconv.Itoa(gen))
+	q.Set("offset", strconv.FormatInt(offset, 10))
+	if live {
+		q.Set("live", "1")
+	}
+	resp, err := s.get(ctx, "/v1/replica/corpora/"+url.PathEscape(name)+"/wal?"+q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return &httpFrameStream{body: resp.Body}, nil
+}
+
+type httpFrameStream struct {
+	body io.ReadCloser
+}
+
+func (s *httpFrameStream) Next() (Frame, error) {
+	f, err := ReadFrame(s.body)
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameCorrupt) {
+		// Transport errors (reset, timeout) all mean the same thing to the
+		// session: reconnect from the cursor.
+		err = fmt.Errorf("replica: stream read: %w", err)
+	}
+	return f, err
+}
+
+func (s *httpFrameStream) Close() error {
+	return s.body.Close()
+}

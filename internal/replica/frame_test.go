@@ -1,0 +1,57 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameData, Gen: 3, Offset: 1024, Payload: []byte("raw wal bytes")},
+		{Type: FrameHeartbeat, Gen: 3, Offset: 2048, Payload: []byte{}},
+		{Type: FrameReseed, Gen: 4, Payload: []byte{}},
+		{Type: FrameData, Gen: 0, Offset: 0, Payload: []byte{}},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Gen != want.Gen || got.Offset != want.Offset || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	good, err := AppendFrame(nil, Frame{Type: FrameData, Gen: 1, Offset: 7, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip is caught: type check or checksum.
+	for i := range good {
+		bad := bytes.Clone(good)
+		bad[i] ^= 0x01
+		if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("flip at byte %d: %v, want corruption or truncation", i, err)
+		}
+	}
+	// Every truncation is a mid-frame death, never a silent clean end.
+	for n := 1; n < len(good); n++ {
+		if _, err := ReadFrame(bytes.NewReader(good[:n])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d bytes: %v, want io.ErrUnexpectedEOF", n, err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Network fault injection for replication streams, mirroring internal/vfs:
+// a NetFaulty wraps a Source, counts wire operations in execution order,
+// and fires one planned fault — an injected error, a dropped frame, a
+// duplicated frame, a mid-stream sever, or an added delay — at the Nth
+// matching operation. A liftable Partition fails every operation (including
+// in-flight stream reads) until healed. Harness tests run once with an
+// empty plan to count operations, then re-run the scenario once per index.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetOp classifies wire operations for fault targeting.
+type NetOp uint32
+
+const (
+	// NetCorpora is a discovery listing call.
+	NetCorpora NetOp = 1 << iota
+	// NetSnapshot is a snapshot fetch.
+	NetSnapshot
+	// NetTail is a WAL stream open.
+	NetTail
+	// NetFrame is one frame delivery on an open stream.
+	NetFrame
+
+	// NetAll matches every wire operation.
+	NetAll = NetCorpora | NetSnapshot | NetTail | NetFrame
+)
+
+func (o NetOp) String() string {
+	names := []struct {
+		op   NetOp
+		name string
+	}{{NetCorpora, "corpora"}, {NetSnapshot, "snapshot"}, {NetTail, "tail"}, {NetFrame, "frame"}}
+	var parts []string
+	for _, n := range names {
+		if o&n.op != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// ErrInjectedNet is the default injected wire error.
+var ErrInjectedNet = errors.New("replica: injected network fault")
+
+// ErrPartitioned fails operations while an injected partition is up.
+var ErrPartitioned = errors.New("replica: network partitioned (injected)")
+
+// NetPlan schedules one fault. The zero plan injects nothing and just
+// counts operations.
+type NetPlan struct {
+	// Nth is the 1-indexed matching operation to fault; 0 disables
+	// injection (count-only mode).
+	Nth int
+	// Count is how many consecutive matching operations fault (default 1).
+	Count int
+	// Kinds selects which operations match (NetAll when 0).
+	Kinds NetOp
+	// Corpus, when non-empty, matches operations whose corpus name
+	// contains it (discovery listings always match).
+	Corpus string
+	// Err is the injected error (ErrInjectedNet when nil). Ignored when
+	// Drop, Dup, or Sever is set on a frame operation.
+	Err error
+	// Drop silently discards the faulted frame and delivers the next one —
+	// the follower sees a gap. Frame operations only.
+	Drop bool
+	// Dup delivers the faulted frame twice — the follower sees a
+	// duplicate. Frame operations only.
+	Dup bool
+	// Sever ends the stream with io.ErrUnexpectedEOF instead of the
+	// faulted frame — a connection dying mid-stream. Frame operations
+	// only.
+	Sever bool
+	// Delay sleeps before the operation proceeds (the operation then
+	// succeeds unless Err/Drop/Dup/Sever also apply).
+	Delay time.Duration
+}
+
+func (p NetPlan) kinds() NetOp {
+	if p.Kinds == 0 {
+		return NetAll
+	}
+	return p.Kinds
+}
+
+func (p NetPlan) count() int {
+	if p.Count <= 0 {
+		return 1
+	}
+	return p.Count
+}
+
+// NetFaulty wraps a Source with planned wire faults and a liftable
+// partition.
+type NetFaulty struct {
+	src  Source
+	plan NetPlan
+
+	mu          sync.Mutex
+	ops         int
+	fired       int
+	partitioned bool
+}
+
+// NewNetFaulty wraps src with plan.
+func NewNetFaulty(src Source, plan NetPlan) *NetFaulty {
+	return &NetFaulty{src: src, plan: plan}
+}
+
+// Ops returns how many matching operations have executed.
+func (n *NetFaulty) Ops() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ops
+}
+
+// Fired returns how many faults the plan has injected.
+func (n *NetFaulty) Fired() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fired
+}
+
+// Partition fails every subsequent operation — and every in-flight stream
+// read — with ErrPartitioned until Heal.
+func (n *NetFaulty) Partition() {
+	n.mu.Lock()
+	n.partitioned = true
+	n.mu.Unlock()
+}
+
+// Heal lifts the partition.
+func (n *NetFaulty) Heal() {
+	n.mu.Lock()
+	n.partitioned = false
+	n.mu.Unlock()
+}
+
+// gate counts one operation and decides whether it faults. It returns
+// (true, delay) when the plan fires; the caller applies the plan's effect.
+func (n *NetFaulty) gate(op NetOp, corpus string) (fault bool, partition bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitioned {
+		return false, true
+	}
+	if n.plan.kinds()&op == 0 {
+		return false, false
+	}
+	if n.plan.Corpus != "" && corpus != "" && !strings.Contains(corpus, n.plan.Corpus) {
+		return false, false
+	}
+	n.ops++
+	if n.plan.Nth <= 0 {
+		return false, false
+	}
+	if n.ops >= n.plan.Nth && n.ops < n.plan.Nth+n.plan.count() {
+		n.fired++
+		return true, false
+	}
+	return false, false
+}
+
+func (n *NetFaulty) err() error {
+	if n.plan.Err != nil {
+		return n.plan.Err
+	}
+	return ErrInjectedNet
+}
+
+func (n *NetFaulty) Corpora(ctx context.Context) ([]CorpusMeta, error) {
+	fault, part := n.gate(NetCorpora, "")
+	if part {
+		return nil, ErrPartitioned
+	}
+	if fault {
+		n.sleep(ctx)
+		if !n.delayOnly() {
+			return nil, n.err()
+		}
+	}
+	return n.src.Corpora(ctx)
+}
+
+func (n *NetFaulty) Snapshot(ctx context.Context, name string) (int, io.ReadCloser, error) {
+	fault, part := n.gate(NetSnapshot, name)
+	if part {
+		return 0, nil, ErrPartitioned
+	}
+	if fault {
+		n.sleep(ctx)
+		if !n.delayOnly() {
+			return 0, nil, n.err()
+		}
+	}
+	return n.src.Snapshot(ctx, name)
+}
+
+func (n *NetFaulty) TailWAL(ctx context.Context, name string, gen int, offset int64, live bool) (FrameStream, error) {
+	fault, part := n.gate(NetTail, name)
+	if part {
+		return nil, ErrPartitioned
+	}
+	if fault {
+		n.sleep(ctx)
+		if !n.delayOnly() {
+			return nil, n.err()
+		}
+	}
+	inner, err := n.src.TailWAL(ctx, name, gen, offset, live)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyStream{inner: inner, f: n, corpus: name, ctx: ctx}, nil
+}
+
+// delayOnly reports whether the plan's only effect is a delay.
+func (n *NetFaulty) delayOnly() bool {
+	return n.plan.Delay > 0 && n.plan.Err == nil && !n.plan.Drop && !n.plan.Dup && !n.plan.Sever
+}
+
+func (n *NetFaulty) sleep(ctx context.Context) {
+	if n.plan.Delay <= 0 {
+		return
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(n.plan.Delay):
+	}
+}
+
+// faultyStream applies frame-level faults to one open stream.
+type faultyStream struct {
+	inner   FrameStream
+	f       *NetFaulty
+	corpus  string
+	ctx     context.Context
+	pending *Frame // duplicate awaiting redelivery (not re-gated)
+	severed bool
+}
+
+func (s *faultyStream) Next() (Frame, error) {
+	for {
+		// A partition fails in-flight reads too — the stream is dead air.
+		s.f.mu.Lock()
+		partitioned := s.f.partitioned
+		s.f.mu.Unlock()
+		if partitioned {
+			return Frame{}, ErrPartitioned
+		}
+		if s.severed {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		if s.pending != nil {
+			f := *s.pending
+			s.pending = nil
+			return f, nil
+		}
+		f, err := s.inner.Next()
+		if err != nil {
+			return Frame{}, err
+		}
+		fault, part := s.f.gate(NetFrame, s.corpus)
+		if part {
+			return Frame{}, ErrPartitioned
+		}
+		if !fault {
+			return f, nil
+		}
+		s.f.sleep(s.ctx)
+		switch {
+		case s.f.plan.Sever:
+			s.severed = true
+			s.inner.Close()
+			return Frame{}, io.ErrUnexpectedEOF
+		case s.f.plan.Drop:
+			continue // discard; deliver the next frame instead
+		case s.f.plan.Dup:
+			dup := f
+			s.pending = &dup
+			return f, nil
+		case s.f.delayOnly():
+			return f, nil
+		default:
+			return Frame{}, s.f.err()
+		}
+	}
+}
+
+func (s *faultyStream) Close() error {
+	return s.inner.Close()
+}
+
+var _ Source = (*NetFaulty)(nil)
+
+// String describes the plan (for test failure messages).
+func (p NetPlan) String() string {
+	effect := "err"
+	switch {
+	case p.Drop:
+		effect = "drop"
+	case p.Dup:
+		effect = "dup"
+	case p.Sever:
+		effect = "sever"
+	}
+	return fmt.Sprintf("net fault {nth: %d, kinds: %s, effect: %s}", p.Nth, p.kinds(), effect)
+}

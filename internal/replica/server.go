@@ -1,0 +1,193 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Default server tuning. A chunk bounds one data frame's payload (a single
+// oversized WAL record still ships whole); the heartbeat keeps an idle live
+// stream visibly alive and carries the primary's position for lag
+// measurement; the write timeout bounds each frame write so a stalled
+// follower cannot pin a handler forever.
+const (
+	DefaultChunkBytes   = 1 << 20
+	DefaultHeartbeat    = time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// Server exposes a node's durable live corpora for replication: a listing
+// with committed positions, sealed base snapshots, and the WAL frame
+// stream followers tail.
+type Server struct {
+	Exec *service.Executor
+	// ChunkBytes caps one data frame's payload (DefaultChunkBytes when 0).
+	ChunkBytes int
+	// Heartbeat is the idle-stream heartbeat interval (DefaultHeartbeat
+	// when 0).
+	Heartbeat time.Duration
+	// WriteTimeout bounds each frame write (DefaultWriteTimeout when 0).
+	WriteTimeout time.Duration
+}
+
+func (s *Server) chunkBytes() int {
+	if s.ChunkBytes > 0 {
+		return s.ChunkBytes
+	}
+	return DefaultChunkBytes
+}
+
+func (s *Server) heartbeat() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return DefaultWriteTimeout
+}
+
+// Routes mounts the replication endpoints on mux.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/replica/corpora", s.handleCorpora)
+	mux.HandleFunc("GET /v1/replica/corpora/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/replica/corpora/{name}/wal", s.handleWAL)
+}
+
+// httpError maps service errors onto statuses for the pre-stream phase;
+// once frames are flowing the stream just ends and the follower retries.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		status = http.StatusNotFound
+	case service.IsValidation(err):
+		status = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
+	metas := []CorpusMeta{}
+	for _, info := range s.Exec.LiveInfos() {
+		lc := s.Exec.Live(info.Name)
+		if lc == nil || !lc.Durable() {
+			continue
+		}
+		p := lc.WALProgress()
+		metas = append(metas, CorpusMeta{Name: info.Name, Gen: p.Gen, Offset: p.Offset})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(metas)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	lc := s.Exec.Live(name)
+	if lc == nil {
+		http.Error(w, "corpus "+strconv.Quote(name)+" is not live", http.StatusNotFound)
+		return
+	}
+	f, gen, size, err := lc.ReplicaSnapshot()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("X-Replica-Generation", strconv.Itoa(gen))
+	io.CopyN(w, f, size)
+}
+
+// handleWAL streams name's log from (gen, offset) as data frames. When the
+// cursor's generation is gone (compaction) or unserveable, a reseed frame
+// tells the follower to fetch a fresh snapshot. In catch-up mode
+// (live unset) the stream ends once everything committed at read time has
+// shipped; in live mode it follows commits, heartbeating when idle.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	lc := s.Exec.Live(name)
+	if lc == nil {
+		http.Error(w, "corpus "+strconv.Quote(name)+" is not live", http.StatusNotFound)
+		return
+	}
+	gen, err := strconv.Atoi(r.URL.Query().Get("gen"))
+	if err != nil || gen < 0 {
+		http.Error(w, "bad gen parameter", http.StatusBadRequest)
+		return
+	}
+	off, err := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad offset parameter", http.StatusBadRequest)
+		return
+	}
+	live := r.URL.Query().Get("live") != ""
+
+	rc := http.NewResponseController(w)
+	emit := func(f Frame) error {
+		rc.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		if err := WriteFrame(w, f); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+
+	for {
+		chunk, cur, err := lc.ReadWALChunk(gen, off, s.chunkBytes())
+		switch {
+		case errors.Is(err, service.ErrReplicaDiverged):
+			// The cursor doesn't meet this log (offset past committed, or
+			// the chunk's file vanished under a compaction): the follower's
+			// recovery in both cases is a fresh seed.
+			emit(Frame{Type: FrameReseed, Gen: cur.Gen})
+			return
+		case err != nil:
+			httpError(w, err)
+			return
+		case len(chunk) > 0:
+			if emit(Frame{Type: FrameData, Gen: gen, Offset: off, Payload: chunk}) != nil {
+				return
+			}
+			off += int64(len(chunk))
+			continue
+		case cur.Gen != gen:
+			// Compaction moved the log to a new generation; the follower
+			// re-seeds from its sealed base.
+			emit(Frame{Type: FrameReseed, Gen: cur.Gen})
+			return
+		case cur.Closed:
+			return
+		}
+		// Caught up with the committed log.
+		if !live {
+			return
+		}
+		if emit(Frame{Type: FrameHeartbeat, Gen: gen, Offset: off}) != nil {
+			return
+		}
+		waitCtx, cancel := context.WithTimeout(r.Context(), s.heartbeat())
+		p, werr := lc.WaitWALProgress(waitCtx, gen, off)
+		cancel()
+		if werr != nil {
+			if r.Context().Err() != nil {
+				return // follower went away
+			}
+			continue // idle heartbeat tick
+		}
+		if p.Closed {
+			return
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Reconnect backoff bounds. Each failed attempt doubles the delay up to the
+// max, with ±50% jitter so a fleet of followers doesn't reconnect in
+// lockstep; any applied frame resets it.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffMax  = 10 * time.Second
+)
+
+// ErrLocalNotReplica stops a session permanently: the local corpus exists
+// but is not (or is no longer) a replica — it is local data or a promoted
+// ex-follower, and replicating over it would fork a writable history.
+var ErrLocalNotReplica = errors.New("replica: local corpus is not a replica; session stopped")
+
+// errRestart asks the attempt loop to reconnect from the durable cursor
+// immediately (after a dropped frame, a reseed, or a clean-looking gap) —
+// it is progress, not failure, so it doesn't back off.
+var errRestart = errors.New("replica: restart stream from cursor")
+
+// SessionStatus is one corpus's replication state for healthz.
+type SessionStatus struct {
+	Corpus string `json:"corpus"`
+	// State is "seeding", "streaming", "caught_up", "retrying", or
+	// "stopped".
+	State string `json:"state"`
+	// Gen and Offset are the follower's durable cursor.
+	Gen    int   `json:"gen"`
+	Offset int64 `json:"offset"`
+	// PrimaryGen and PrimaryOffset are the primary's last advertised
+	// committed position; Lag is the byte gap when the generations agree
+	// (-1 when they don't — lag is unmeasurable across a compaction).
+	PrimaryGen    int    `json:"primary_gen"`
+	PrimaryOffset int64  `json:"primary_offset"`
+	Lag           int64  `json:"lag"`
+	Retries       int    `json:"retries,omitempty"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// Session replicates one corpus from a Source into the local executor.
+type Session struct {
+	Exec *service.Executor
+	Src  Source
+	Name string
+	// BackoffBase and BackoffMax override the reconnect backoff bounds
+	// (backoffBase/backoffMax when zero); tests shrink them.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	mu      sync.Mutex
+	state   string
+	primary WALPoint
+	retries int
+	lastErr string
+}
+
+// WALPoint is a bare (generation, offset) pair.
+type WALPoint struct {
+	Gen    int
+	Offset int64
+}
+
+func (s *Session) setState(state string) {
+	s.mu.Lock()
+	s.state = state
+	s.mu.Unlock()
+}
+
+func (s *Session) notePrimary(gen int, off int64) {
+	s.mu.Lock()
+	if gen > s.primary.Gen || (gen == s.primary.Gen && off > s.primary.Offset) {
+		s.primary = WALPoint{Gen: gen, Offset: off}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) noteError(err error) {
+	s.mu.Lock()
+	s.retries++
+	s.lastErr = err.Error()
+	s.mu.Unlock()
+}
+
+// Status reports the session's current replication state.
+func (s *Session) Status() SessionStatus {
+	cursor, _, _ := s.Exec.ReplicaCursor(s.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStatus{
+		Corpus:        s.Name,
+		State:         s.state,
+		Gen:           cursor.Gen,
+		Offset:        cursor.Offset,
+		PrimaryGen:    s.primary.Gen,
+		PrimaryOffset: s.primary.Offset,
+		Lag:           -1,
+		Retries:       s.retries,
+		LastError:     s.lastErr,
+	}
+	if st.State == "" {
+		st.State = "idle"
+	}
+	if cursor.Gen == s.primary.Gen {
+		st.Lag = s.primary.Offset - cursor.Offset
+		if st.Lag < 0 {
+			st.Lag = 0
+		}
+	}
+	return st
+}
+
+// reseed replaces the local corpus with a fresh snapshot of the primary's
+// sealed base and an empty log.
+func (s *Session) reseed(ctx context.Context) error {
+	s.setState("seeding")
+	gen, rc, err := s.Src.Snapshot(ctx, s.Name)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if err := s.Exec.ReplicaSeed(s.Name, gen, rc); err != nil {
+		if service.IsValidation(err) {
+			// Seeding refused: the local corpus is writable data.
+			return fmt.Errorf("%w: %v", ErrLocalNotReplica, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// attempt runs one stream: resolve the cursor (seeding if the corpus is
+// missing), tail the WAL, and apply frames until the stream ends. It
+// returns nil when a catch-up stream (live=false) drains cleanly,
+// errRestart to reconnect immediately, ErrLocalNotReplica to stop, and any
+// other error to back off and retry.
+func (s *Session) attempt(ctx context.Context, live bool) error {
+	cursor, isReplica, exists := s.Exec.ReplicaCursor(s.Name)
+	if exists && !isReplica {
+		return ErrLocalNotReplica
+	}
+	if !exists {
+		if err := s.reseed(ctx); err != nil {
+			return err
+		}
+		if cursor, isReplica, exists = s.Exec.ReplicaCursor(s.Name); !exists || !isReplica {
+			return fmt.Errorf("replica: corpus %q did not come up as a replica after seeding", s.Name)
+		}
+	}
+
+	stream, err := s.Src.TailWAL(ctx, s.Name, cursor.Gen, cursor.Offset, live)
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	s.setState("streaming")
+
+	for {
+		f, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			if !live {
+				s.setState("caught_up")
+				return nil // clean end of catch-up
+			}
+			return fmt.Errorf("replica: live stream for %q ended", s.Name)
+		}
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FrameHeartbeat:
+			s.notePrimary(f.Gen, f.Offset)
+			s.setState("caught_up")
+		case FrameReseed:
+			if err := s.reseed(ctx); err != nil {
+				return err
+			}
+			return errRestart
+		case FrameData:
+			s.notePrimary(f.Gen, f.Offset+int64(len(f.Payload)))
+			p, err := s.Exec.ReplicaApply(s.Name, f.Gen, f.Offset, f.Payload)
+			switch {
+			case err == nil:
+				_ = p
+			case errors.Is(err, service.ErrReplicaDiverged):
+				local, _, _ := s.Exec.ReplicaCursor(s.Name)
+				if f.Gen > local.Gen {
+					// The primary compacted past our generation mid-stream.
+					if err := s.reseed(ctx); err != nil {
+						return err
+					}
+				}
+				// Same generation: a dropped frame left a gap; reconnect
+				// from the durable cursor and the primary refills it.
+				return errRestart
+			default:
+				if _, ro := service.IsReadOnly(err); ro {
+					return fmt.Errorf("%w: %v", ErrLocalNotReplica, err)
+				}
+				var stale *service.StaleGenerationError
+				if errors.As(err, &stale) {
+					// We are fenced ahead of this source — promoted locally.
+					return fmt.Errorf("%w: %v", ErrLocalNotReplica, err)
+				}
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame type %q", ErrFrameCorrupt, f.Type)
+		}
+	}
+}
+
+// SyncOnce replicates until the follower holds everything the primary had
+// committed when the final stream opened, reconnecting through reseeds and
+// gaps but never waiting for new commits — the deterministic catch-up used
+// by tests and one-shot mirroring. Transient errors are NOT retried; the
+// first non-restart failure surfaces.
+func (s *Session) SyncOnce(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := s.attempt(ctx, false)
+		if errors.Is(err, errRestart) {
+			continue
+		}
+		return err
+	}
+}
+
+// Run replicates continuously until the context ends or the session stops
+// permanently (ErrLocalNotReplica: the corpus was promoted or is local
+// data). Stream failures retry with exponential backoff and ±50% jitter;
+// restarts and applied progress reset the backoff.
+func (s *Session) Run(ctx context.Context) error {
+	base, max := s.BackoffBase, s.BackoffMax
+	if base <= 0 {
+		base = backoffBase
+	}
+	if max <= 0 {
+		max = backoffMax
+	}
+	delay := base
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		before, _, _ := s.Exec.ReplicaCursor(s.Name)
+		err := s.attempt(ctx, true)
+		switch {
+		case errors.Is(err, errRestart):
+			delay = base
+			continue
+		case errors.Is(err, ErrLocalNotReplica):
+			s.setState("stopped")
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		s.noteError(err)
+		s.setState("retrying")
+		if after, _, _ := s.Exec.ReplicaCursor(s.Name); after != before {
+			delay = base // the stream moved the cursor before dying
+		}
+		jittered := delay/2 + time.Duration(rand.Int64N(int64(delay)))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(jittered):
+		}
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+}
+
+// Manager discovers the primary's corpora and runs one Session per corpus.
+type Manager struct {
+	Exec *service.Executor
+	Src  Source
+	// Interval is the discovery poll period (2s when 0).
+	Interval time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	done     map[string]error // terminal sessions (promoted/local corpora)
+	wg       sync.WaitGroup
+}
+
+func (m *Manager) interval() time.Duration {
+	if m.Interval > 0 {
+		return m.Interval
+	}
+	return 2 * time.Second
+}
+
+// Run polls the source for corpora and keeps a replication session alive
+// for each until ctx ends. It returns after every session has exited.
+func (m *Manager) Run(ctx context.Context) {
+	ticker := time.NewTicker(m.interval())
+	defer ticker.Stop()
+	for {
+		m.discover(ctx)
+		select {
+		case <-ctx.Done():
+			m.wg.Wait()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (m *Manager) discover(ctx context.Context) {
+	metas, err := m.Src.Corpora(ctx)
+	if err != nil {
+		return // discovery is retried on the next tick
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sessions == nil {
+		m.sessions = make(map[string]*Session)
+		m.done = make(map[string]error)
+	}
+	for _, meta := range metas {
+		if _, ok := m.sessions[meta.Name]; ok {
+			continue
+		}
+		if _, ok := m.done[meta.Name]; ok {
+			continue // stopped permanently; don't resurrect
+		}
+		sess := &Session{Exec: m.Exec, Src: m.Src, Name: meta.Name}
+		m.sessions[meta.Name] = sess
+		m.wg.Add(1)
+		go func(name string) {
+			defer m.wg.Done()
+			err := sess.Run(ctx)
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			delete(m.sessions, name)
+			if errors.Is(err, ErrLocalNotReplica) {
+				m.done[name] = err
+			}
+		}(meta.Name)
+	}
+}
+
+// Status reports every active session's state, sorted by the caller.
+func (m *Manager) Status() []SessionStatus {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionStatus, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Status())
+	}
+	return out
+}

@@ -292,7 +292,7 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		sn.Close()
 		return nil, fmt.Errorf("service: seeking WAL of corpus %q: %w", name, err)
 	}
-	return &LiveCorpus{
+	lc := &LiveCorpus{
 		name:     name,
 		codec:    codec,
 		model:    sn.Model(),
@@ -304,7 +304,14 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		gen:      m.Gen,
 		wal:      wal,
 		walSize:  valid,
-	}, nil
+		durable:  true,
+	}
+	// The durable replica marker survives restarts: a follower's corpora
+	// stay read-only (and resumable at their manifest generation + replayed
+	// valid length — the replication cursor) until explicitly promoted.
+	lc.replica.Store(s.hasReplicaMarker(name))
+	lc.publishProgressLocked()
+	return lc, nil
 }
 
 // deleteLive removes a live corpus directory, reporting whether one
@@ -318,6 +325,46 @@ func (s *Store) deleteLive(name string) (bool, error) {
 		return false, fmt.Errorf("service: deleting live corpus %q: %w", name, err)
 	}
 	return true, nil
+}
+
+// replicaMarkerName flags a live directory as a follower replica: the
+// corpus opens read-only and a replication session may adopt it. Removed
+// durably by promotion.
+const replicaMarkerName = "REPLICA"
+
+// hasReplicaMarker reports whether name's live directory carries the
+// replica marker.
+func (s *Store) hasReplicaMarker(name string) bool {
+	_, err := s.fs.Stat(filepath.Join(s.liveDir(name), replicaMarkerName))
+	return err == nil
+}
+
+// writeReplicaMarker durably marks name's live directory as a replica.
+func (s *Store) writeReplicaMarker(name string) error {
+	dir := s.liveDir(name)
+	f, err := s.fs.OpenFile(filepath.Join(dir, replicaMarkerName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(dir)
+}
+
+// clearReplicaMarker durably removes the replica marker — the commit point
+// of a promotion: after the directory sync, no restart reopens the corpus
+// read-only and no replication session adopts it.
+func (s *Store) clearReplicaMarker(name string) error {
+	dir := s.liveDir(name)
+	if err := s.fs.Remove(filepath.Join(dir, replicaMarkerName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return s.fs.SyncDir(dir)
 }
 
 // Recovery backoff: the first self-heal attempt is immediate (most log
@@ -373,6 +420,20 @@ type LiveCorpus struct {
 	// with an UnavailableError until recovery re-establishes the invariant
 	// (log == acknowledged prefix). Read lock-free; written under mu.
 	degraded atomic.Pointer[degradedState]
+
+	// replica marks a follower corpus: scans serve, local mutations refuse
+	// with a ReadOnlyError, and ApplyReplicated is the only write path. Set
+	// from the durable replica marker at open; cleared by Promote.
+	replica atomic.Bool
+
+	// progress publishes the committed (gen, walSize) position lock-free —
+	// the replication tap's cursor and wait channel (see replicatap.go).
+	// Written under mu via publishProgressLocked.
+	progress atomic.Pointer[progressCell]
+
+	// durable is set once at construction: the corpus has a backing store
+	// and a WAL, so it can replicate. Read lock-free.
+	durable bool
 
 	mu      sync.Mutex
 	store   *Store   // nil for memory-only live corpora
@@ -432,7 +493,9 @@ func NewLiveCorpus(c *Corpus) (*LiveCorpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LiveCorpus{name: c.Name, codec: c.Codec, model: c.Model, modelStr: c.Model.String(), corpus: corpus}, nil
+	lc := &LiveCorpus{name: c.Name, codec: c.Codec, model: c.Model, modelStr: c.Model.String(), corpus: corpus}
+	lc.publishProgressLocked()
+	return lc, nil
 }
 
 // Name returns the corpus name.
@@ -472,15 +535,17 @@ func (lc *LiveCorpus) Degraded() *DegradedInfo {
 func (lc *LiveCorpus) Freeze() *Corpus {
 	view, epoch := lc.corpus.ViewEpoch()
 	c := &Corpus{
-		Name:     lc.name,
-		Codec:    lc.codec,
-		Model:    lc.model,
-		modelStr: lc.modelStr,
-		Scanner:  view,
-		symbols:  view.Symbols(),
-		epoch:    epoch,
-		live:     true,
-		degraded: lc.Degraded(),
+		Name:       lc.name,
+		Codec:      lc.codec,
+		Model:      lc.model,
+		modelStr:   lc.modelStr,
+		Scanner:    view,
+		symbols:    view.Symbols(),
+		epoch:      epoch,
+		live:       true,
+		degraded:   lc.Degraded(),
+		generation: lc.WALProgress().Gen,
+		replica:    lc.replica.Load(),
 	}
 	if lc.committer != nil {
 		stats := lc.commitStats.Stats()
@@ -516,6 +581,12 @@ func (lc *LiveCorpus) AppendMode(text string, mode Durability) (int, error) {
 	if lc.closed {
 		lc.mu.Unlock()
 		return 0, fmt.Errorf("service: corpus %q is closed", lc.name)
+	}
+	if lc.replica.Load() {
+		// A follower's only write path is ApplyReplicated; a local append
+		// would fork the replicated history.
+		lc.mu.Unlock()
+		return 0, &ReadOnlyError{Name: lc.name}
 	}
 	if d := lc.degraded.Load(); d != nil {
 		// Recovery truncates the log to the acknowledged prefix, which
@@ -567,6 +638,7 @@ func (lc *LiveCorpus) AppendMode(text string, mode Durability) (int, error) {
 			return 0, lc.rollbackWAL(err)
 		}
 		lc.walSize += snapshot.WALRecordSize(len(symbols))
+		lc.publishProgressLocked()
 		if err := lc.corpus.Append(symbols); err != nil {
 			return 0, fmt.Errorf("service: appending to corpus %q: %w", lc.name, err)
 		}
@@ -765,6 +837,7 @@ func (lc *LiveCorpus) applyBatchLocked(batch []*commitTicket, c *Committer) {
 			lc.failTicketsLocked(batch[i:], cause)
 			lc.failQueueLocked(cause)
 			lc.rollbackWAL(err)
+			lc.publishProgressLocked()
 			return
 		}
 		lc.walSize += t.size
@@ -781,6 +854,9 @@ func (lc *LiveCorpus) applyBatchLocked(batch []*commitTicket, c *Committer) {
 	if c != nil {
 		c.stats.observeBatch(len(batch))
 	}
+	// One covering fsync landed a whole batch: publish once, so the
+	// replication tap ships the batch as one frame.
+	lc.publishProgressLocked()
 }
 
 // failTicketsLocked fails tickets with cause. Fsync-mode waiters get the
@@ -996,6 +1072,13 @@ func (lc *LiveCorpus) Compact() error {
 	if lc.wal == nil {
 		return badRequest("corpus %q is not durable; nothing to compact", lc.name)
 	}
+	if lc.replica.Load() {
+		// A follower compacting locally would advance its generation past
+		// the primary's and desynchronize the cursor; compaction arrives via
+		// re-seed instead (Promote clears the flag before its fencing
+		// compact).
+		return &ReadOnlyError{Name: lc.name}
+	}
 	// Settle the commit pipeline first: every queued record is either
 	// applied (and thus sealed into the new base) or failed before the old
 	// log is superseded.
@@ -1047,6 +1130,9 @@ func (lc *LiveCorpus) Compact() error {
 	// the new base, superseding whatever a failed rollback left in the old
 	// log — the corpus is healthy again.
 	lc.degraded.Store(nil)
+	// Wake WAL tails blocked on the old generation: their next read sees
+	// the flip and re-seeds from the new base.
+	lc.publishProgressLocked()
 	oldWal.Close()
 	lc.fs.Remove(filepath.Join(lc.dir, baseName(oldGen)))
 	lc.fs.Remove(filepath.Join(lc.dir, walName(oldGen)))
@@ -1069,6 +1155,8 @@ func (lc *LiveCorpus) Close() error {
 		lc.drainLocked()
 	}
 	lc.closed = true
+	// Closure is terminal progress: blocked replication tails wake and end.
+	lc.publishProgressLocked()
 	if lc.wal == nil {
 		return nil
 	}

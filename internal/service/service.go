@@ -210,6 +210,10 @@ type Corpus struct {
 	epoch    uint64
 	live     bool
 	degraded *DegradedInfo
+	// generation is the live corpus's WAL generation at freeze time (0 for
+	// frozen corpora); replica marks a read-only follower corpus.
+	generation int
+	replica    bool
 	// commit carries the live corpus's commit-pipeline counters at freeze
 	// time (nil when the corpus has no group-commit pipeline).
 	commit *CommitStats
@@ -258,6 +262,12 @@ type Info struct {
 	// startup count, so a restart resumes at the persisted history's epoch).
 	Live  bool   `json:"live,omitempty"`
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Generation is a durable live corpus's WAL generation — the epoch half
+	// of the replication cursor; compaction bumps it.
+	Generation int `json:"generation"`
+	// Replica marks a read-only follower corpus: scans serve, local writes
+	// return 409 until the corpus is promoted.
+	Replica bool `json:"replica,omitempty"`
 	// Degraded, when present, reports a live corpus serving reads but
 	// refusing appends after an unrecovered log failure.
 	Degraded *DegradedInfo `json:"degraded,omitempty"`
@@ -282,6 +292,8 @@ func (c *Corpus) Info() Info {
 		MappedBytes: c.MappedBytes(),
 		Live:        c.live,
 		Epoch:       c.epoch,
+		Generation:  c.generation,
+		Replica:     c.replica,
 		Degraded:    c.degraded,
 		Commit:      c.commit,
 	}

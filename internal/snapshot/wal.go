@@ -40,6 +40,14 @@ const (
 // ErrWALRecordTooLarge reports an append exceeding MaxWALRecord.
 var ErrWALRecordTooLarge = errors.New("snapshot: WAL record exceeds the size cap")
 
+// ErrWALOffsetMidRecord reports a replay offset that is not a record
+// boundary: the requested byte position lands inside a record's frame. A
+// replication cursor must only ever name boundaries (it advances by whole
+// records), so a mid-record offset means the cursor and the log disagree —
+// the caller should re-seed rather than serve garbage from the middle of a
+// frame.
+var ErrWALOffsetMidRecord = errors.New("snapshot: WAL offset is not a record boundary")
+
 // AppendWALRecord writes one record for payload to w. Callers own
 // durability (fsync) and serialization.
 func AppendWALRecord(w io.Writer, payload []byte) error {
@@ -80,6 +88,28 @@ func WALRecordSize(n int) int64 { return int64(walHeaderSize + n + walTrailerSiz
 // record (which stops the replay with the offset of the records consumed so
 // far). The payload slice passed to visit is reused between records.
 func ReplayWAL(r io.Reader, visit func(payload []byte) error) (valid int64, err error) {
+	if visit == nil {
+		return ReplayWALFrom(r, 0, nil)
+	}
+	return ReplayWALFrom(r, 0, func(_ int64, payload []byte) error { return visit(payload) })
+}
+
+// ReplayWALFrom is ReplayWAL with a resumption cursor: records whose frames
+// end at or before `from` are decoded (their checksums still gate the valid
+// prefix) but not visited; every later record is passed to visit together
+// with the byte offset its frame starts at. This is the replication
+// primitive — a follower's durable cursor is a byte offset into the
+// primary's log, and the shipping path needs exactly "every record from
+// this boundary on, with its offset".
+//
+// `from` must be a record boundary: 0, the log's valid length, or the start
+// of some record. An offset inside a record's frame fails with
+// ErrWALOffsetMidRecord (wrapped with the offending offsets) the moment the
+// straddling record is decoded; an offset past the valid prefix is NOT an
+// error — the replay simply ends with valid < from, which the caller can
+// (and a replication server does) treat as a divergent cursor. A nil visit
+// replays for validation only.
+func ReplayWALFrom(r io.Reader, from int64, visit func(off int64, payload []byte) error) (valid int64, err error) {
 	br := newWALReader(r)
 	var hdr [walHeaderSize]byte
 	var trailer [walTrailerSize]byte
@@ -106,10 +136,42 @@ func ReplayWAL(r io.Reader, visit func(payload []byte) error) (valid int64, err 
 		if crc != binary.LittleEndian.Uint64(trailer[:]) {
 			return valid, nil // bit rot or torn rewrite: stop at the last good record
 		}
-		if err := visit(payload); err != nil {
-			return valid, err
+		start := valid
+		end := valid + WALRecordSize(int(l))
+		if from > start && from < end {
+			return valid, fmt.Errorf("%w: offset %d lands inside the record spanning [%d, %d)",
+				ErrWALOffsetMidRecord, from, start, end)
 		}
-		valid += WALRecordSize(int(l))
+		if start >= from && visit != nil {
+			if err := visit(start, payload); err != nil {
+				return valid, err
+			}
+		}
+		valid = end
+	}
+}
+
+// WALAlign returns the length of the longest prefix of data made of whole
+// record frames, walking length headers only (no checksum verification —
+// the caller is slicing its own already-verified log, not validating an
+// untrusted one). Replication uses it to trim a size-capped byte range to a
+// record boundary so every shipped frame replays standalone.
+func WALAlign(data []byte) int64 {
+	var n int64
+	for {
+		rest := data[n:]
+		if len(rest) < walHeaderSize {
+			return n
+		}
+		l := binary.LittleEndian.Uint32(rest)
+		if l > MaxWALRecord {
+			return n
+		}
+		size := WALRecordSize(int(l))
+		if int64(len(rest)) < size {
+			return n
+		}
+		n += size
 	}
 }
 

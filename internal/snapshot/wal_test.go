@@ -110,3 +110,159 @@ func TestWALRecordTooLarge(t *testing.T) {
 		t.Fatalf("err = %v, want ErrWALRecordTooLarge", err)
 	}
 }
+
+// TestReplayWALFromOffsets: replaying from every record boundary visits
+// exactly the records at or after it, each with its own start offset.
+func TestReplayWALFromOffsets(t *testing.T) {
+	batches := [][]byte{
+		{0, 1, 2, 3},
+		{},
+		bytes.Repeat([]byte{1}, 100),
+		{7},
+	}
+	var log bytes.Buffer
+	var bounds []int64 // start offset of each record, plus the total length
+	for _, b := range batches {
+		bounds = append(bounds, int64(log.Len()))
+		if err := AppendWALRecord(&log, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(log.Len())
+	bounds = append(bounds, total)
+	for i, from := range bounds {
+		var offs []int64
+		var got [][]byte
+		valid, err := ReplayWALFrom(bytes.NewReader(log.Bytes()), from, func(off int64, p []byte) error {
+			offs = append(offs, off)
+			got = append(got, append([]byte{}, p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if valid != total {
+			t.Fatalf("from=%d: valid=%d, want %d", from, valid, total)
+		}
+		if len(got) != len(batches)-i {
+			t.Fatalf("from=%d: %d records visited, want %d", from, len(got), len(batches)-i)
+		}
+		for j := range got {
+			if offs[j] != bounds[i+j] {
+				t.Fatalf("from=%d: record %d at offset %d, want %d", from, j, offs[j], bounds[i+j])
+			}
+			if !bytes.Equal(got[j], batches[i+j]) {
+				t.Fatalf("from=%d: record %d payload mismatch", from, j)
+			}
+		}
+	}
+}
+
+// TestReplayWALFromMidRecord: every offset strictly inside a record's frame
+// is rejected with ErrWALOffsetMidRecord — a replication cursor naming a
+// non-boundary means cursor and log disagree.
+func TestReplayWALFromMidRecord(t *testing.T) {
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, []byte{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	first := int64(log.Len())
+	if err := AppendWALRecord(&log, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(log.Len())
+	for from := int64(1); from < total; from++ {
+		if from == first {
+			continue // a real boundary
+		}
+		_, err := ReplayWALFrom(bytes.NewReader(log.Bytes()), from, func(int64, []byte) error {
+			t.Fatalf("from=%d: visit called for a mid-record offset", from)
+			return nil
+		})
+		if !errors.Is(err, ErrWALOffsetMidRecord) {
+			t.Fatalf("from=%d: err = %v, want ErrWALOffsetMidRecord", from, err)
+		}
+	}
+}
+
+// TestReplayWALFromEmptyAndPast: an empty log and a cursor at or past the
+// valid end both replay cleanly with zero visits — the caller detects a
+// divergent cursor by valid < from, not by an error.
+func TestReplayWALFromEmptyAndPast(t *testing.T) {
+	valid, err := ReplayWALFrom(bytes.NewReader(nil), 0, func(int64, []byte) error {
+		t.Fatal("visited a record in an empty log")
+		return nil
+	})
+	if err != nil || valid != 0 {
+		t.Fatalf("empty log: valid=%d err=%v, want 0, nil", valid, err)
+	}
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, []byte{1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(log.Len())
+	valid, err = ReplayWALFrom(bytes.NewReader(log.Bytes()), total+100, func(int64, []byte) error {
+		t.Fatal("visited a record past the requested cursor")
+		return nil
+	})
+	if err != nil || valid != total {
+		t.Fatalf("past-end cursor: valid=%d err=%v, want %d, nil", valid, err, total)
+	}
+}
+
+// TestWALAlign: every cut of a multi-record log aligns down to the last
+// whole frame.
+func TestWALAlign(t *testing.T) {
+	var log bytes.Buffer
+	var bounds []int64
+	for _, b := range [][]byte{{1}, {2, 2}, {}, {3, 3, 3}} {
+		bounds = append(bounds, int64(log.Len()))
+		if err := AppendWALRecord(&log, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounds = append(bounds, int64(log.Len()))
+	for cut := 0; cut <= log.Len(); cut++ {
+		want := int64(0)
+		for _, b := range bounds {
+			if b <= int64(cut) {
+				want = b
+			}
+		}
+		if got := WALAlign(log.Bytes()[:cut]); got != want {
+			t.Fatalf("cut %d: aligned to %d, want %d", cut, got, want)
+		}
+	}
+}
+
+// TestReplayWALFromTornTail: a cursor into the intact prefix of a torn log
+// still visits the surviving records after it.
+func TestReplayWALFromTornTail(t *testing.T) {
+	var log bytes.Buffer
+	if err := AppendWALRecord(&log, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	first := int64(log.Len())
+	if err := AppendWALRecord(&log, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	second := int64(log.Len())
+	if err := AppendWALRecord(&log, []byte{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	torn := log.Bytes()[:log.Len()-3] // tear the last record's trailer
+	count := 0
+	valid, err := ReplayWALFrom(bytes.NewReader(torn), first, func(off int64, p []byte) error {
+		count++
+		if off != first || !bytes.Equal(p, []byte{1, 1}) {
+			t.Fatalf("visited off=%d payload=%v, want off=%d payload=[1 1]", off, p, first)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != second || count != 1 {
+		t.Fatalf("valid=%d records=%d, want valid=%d records=1", valid, count, second)
+	}
+}
