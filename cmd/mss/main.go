@@ -44,6 +44,7 @@ import (
 
 	"repro"
 	"repro/internal/service"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -56,24 +57,25 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mss", flag.ContinueOnError)
 	var (
-		text    = fs.String("text", "", "input string (e.g. 01101000)")
-		file    = fs.String("file", "", "read the input string from a file (whitespace is stripped)")
-		probsCS = fs.String("probs", "", "comma-separated model probabilities in sorted character order")
-		mle     = fs.Bool("mle", false, "estimate the model from the input (overrides -probs)")
-		mode    = fs.String("mode", "mss", "mss | topt | disjoint | threshold | minlen | none (none: with -snapshot-out, build and write the index only)")
-		algName = fs.String("alg", "exact", "algorithm for mss mode: exact|trivial|trivial-incremental|heap-pruned|arlm|agmm")
-		tFlag   = fs.Int("t", 5, "number of results for topt/disjoint modes")
-		alpha   = fs.Float64("alpha", 10, "chi-square threshold for threshold mode")
-		gamma   = fs.Int("gamma", 0, "minimum length bound for minlen mode (strictly greater)")
-		minLen  = fs.Int("minlen", 1, "minimum substring length for disjoint mode")
-		stats   = fs.Bool("stats", false, "print evaluated/skipped substring counts")
-		calib   = fs.Int("calibrate", 0, "mss mode: simulate this many null strings and report the multiple-testing-corrected p-value of X²max")
-		workers = fs.Int("workers", 1, "parallel scan workers (0 = all CPUs)")
-		warm    = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
-		format  = fs.String("format", "text", "output format: text | json")
-		layout  = fs.String("layout", "checkpointed", "count index layout: checkpointed | interleaved | prefix (identical results; memory/speed tradeoff)")
-		snapOut = fs.String("snapshot-out", "", "write the built corpus (codec, model, symbols, count index) to this snapshot file — the offline index build mssd -data-dir serves directly")
-		snapIn  = fs.String("snapshot-in", "", "scan a corpus from a snapshot file (mmap-served) instead of -text/-file; the model and codec come from the snapshot")
+		text     = fs.String("text", "", "input string (e.g. 01101000)")
+		file     = fs.String("file", "", "read the input string from a file (whitespace is stripped)")
+		probsCS  = fs.String("probs", "", "comma-separated model probabilities in sorted character order")
+		mle      = fs.Bool("mle", false, "estimate the model from the input (overrides -probs)")
+		mode     = fs.String("mode", "mss", "mss | topt | disjoint | threshold | minlen | none (none: with -snapshot-out, build and write the index only)")
+		algName  = fs.String("alg", "exact", "algorithm for mss mode: exact|trivial|trivial-incremental|heap-pruned|arlm|agmm")
+		tFlag    = fs.Int("t", 5, "number of results for topt/disjoint modes")
+		alpha    = fs.Float64("alpha", 10, "chi-square threshold for threshold mode")
+		gamma    = fs.Int("gamma", 0, "minimum length bound for minlen mode (strictly greater)")
+		minLen   = fs.Int("minlen", 1, "minimum substring length for disjoint mode")
+		stats    = fs.Bool("stats", false, "print evaluated/skipped substring counts")
+		calib    = fs.Int("calibrate", 0, "mss mode: simulate this many null strings and report the multiple-testing-corrected p-value of X²max")
+		workers  = fs.Int("workers", 1, "parallel scan workers (0 = all CPUs)")
+		warm     = fs.Bool("warmstart", false, "seed the exact scan's skip budget from the fast heuristic pass")
+		format   = fs.String("format", "text", "output format: text | json")
+		layout   = fs.String("layout", "checkpointed", "count index layout: checkpointed | interleaved | prefix (identical results; memory/speed tradeoff)")
+		snapOut  = fs.String("snapshot-out", "", "write the built corpus (codec, model, symbols, count index) to this snapshot file — the offline index build mssd -data-dir serves directly")
+		snapIn   = fs.String("snapshot-in", "", "scan a corpus from a snapshot file (mmap-served) instead of -text/-file; the model and codec come from the snapshot")
+		segments = fs.Int("segments", 0, "with -snapshot-out: cut the corpus into this many suffix segments and write one snapshot plus .segment.json sidecar per shard (for mssd -shard-of serving) instead of a single file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,8 +160,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *segments > 1 && *snapOut == "" {
+		return fmt.Errorf("-segments requires -snapshot-out (segment builds are offline)")
+	}
 	if *snapOut != "" {
-		if err := writeSnapshotFile(*snapOut, sc, codec); err != nil {
+		if *segments > 1 {
+			if err := writeSegmentFiles(*snapOut, sc, codec, model, *segments); err != nil {
+				return err
+			}
+		} else if err := writeSnapshotFile(*snapOut, sc, codec); err != nil {
 			return err
 		}
 		if *mode == "none" {
@@ -334,6 +343,51 @@ func writeSnapshotFile(path string, sc *sigsub.Scanner, codec *sigsub.TextCodec)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	return nil
+}
+
+// writeSegmentFiles cuts the corpus into `count` suffix segments and writes
+// each as a self-contained snapshot (symbols [offset, n) with its own count
+// index) plus the .segment.json sidecar locating it in the parent corpus.
+// For -snapshot-out dir/name.snap, shard i lands in dir/name.seg<i>-of<count>.snap;
+// dropped into a peer daemon's -data-dir under the parent corpus's file
+// name, the sidecar is what registers it in that shard's catalog.
+func writeSegmentFiles(path string, sc *sigsub.Scanner, codec *sigsub.TextCodec, model *sigsub.Model, count int) error {
+	n := sc.Len()
+	if count > n {
+		return fmt.Errorf("-segments %d exceeds the corpus length %d", count, n)
+	}
+	base := strings.TrimSuffix(path, ".snap")
+	corpus := filepath.Base(base)
+	starts := sigsub.SegmentStarts(n, count)
+	for i, off := range starts {
+		seg, err := sigsub.NewScanner(sc.Symbols()[off:], model)
+		if err != nil {
+			return fmt.Errorf("building segment %d: %w", i, err)
+		}
+		segPath := fmt.Sprintf("%s.seg%d-of%d.snap", base, i, count)
+		if err := writeSnapshotFile(segPath, seg, codec); err != nil {
+			return fmt.Errorf("writing segment %d: %w", i, err)
+		}
+		meta := snapshot.SegmentMeta{
+			Version:  snapshot.SegmentVersion,
+			Corpus:   corpus,
+			Index:    i,
+			Count:    count,
+			Offset:   off,
+			TotalLen: n,
+		}
+		data, err := snapshot.MarshalSegmentMeta(meta)
+		if err != nil {
+			os.Remove(segPath)
+			return err
+		}
+		side := snapshot.SegmentSidecarPath(segPath)
+		if err := os.WriteFile(side, data, 0o644); err != nil {
+			os.Remove(segPath)
+			return fmt.Errorf("writing segment %d sidecar: %w", i, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/snapshot"
+)
+
+// TestMSSDClusterSmoke is the sharded-scan smoke check CI runs
+// (MSSD_SMOKE=1): a corpus cut into 3 suffix segments with `mss -segments`,
+// each served by its own real mssd process (-shard-of), a coordinator
+// (-peers) scattering a mixed batch across them over real HTTP — the merged
+// answer must match a single-node daemon holding the whole corpus
+// bit-for-bit (X² multiset for top-t). Then one shard is killed -9 and the
+// same batch must come back as a typed 503 partial-refusal naming the dead
+// shard, never a silently partial answer.
+func TestMSSDClusterSmoke(t *testing.T) {
+	if os.Getenv("MSSD_SMOKE") == "" {
+		t.Skip("set MSSD_SMOKE=1 to run the cluster smoke test")
+	}
+	tmp := t.TempDir()
+	mssdBin := filepath.Join(tmp, "mssd")
+	mssBin := filepath.Join(tmp, "mss")
+	for bin, pkg := range map[string]string{mssdBin: ".", mssBin: "../mss"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", pkg, err)
+		}
+	}
+
+	// Deterministic corpus with a planted run so every query kind has work.
+	const n = 3000
+	text := make([]byte, n)
+	state := uint64(99)
+	for i := range text {
+		state = state*6364136223846793005 + 1442695040888963407
+		text[i] = byte('a' + (state>>33)%3)
+	}
+	for i := n / 3; i < n/3+50; i++ {
+		text[i] = 'a'
+	}
+	textPath := filepath.Join(tmp, "corpus.txt")
+	if err := os.WriteFile(textPath, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline index builds: the full snapshot for the solo node, and the
+	// 3-segment cut (snapshots + sidecars) for the shard nodes.
+	const corpus = "smoke"
+	basePath := filepath.Join(tmp, corpus+".snap")
+	for _, args := range [][]string{
+		{"-file", textPath, "-mle", "-mode", "none", "-snapshot-out", basePath},
+		{"-file", textPath, "-mle", "-mode", "none", "-snapshot-out", basePath, "-segments", "3"},
+	} {
+		cmd := exec.Command(mssBin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("mss %v: %v", args, err)
+		}
+	}
+
+	// Deploy: each segment goes into its own daemon's data-dir under the
+	// parent corpus name (the store's base64url naming), sidecar alongside.
+	storeName := base64.RawURLEncoding.EncodeToString([]byte(corpus)) + ".snap"
+	copyFile := func(src, dst string) {
+		t.Helper()
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	soloDir := filepath.Join(tmp, "solo")
+	if err := os.MkdirAll(soloDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyFile(basePath, filepath.Join(soloDir, storeName))
+	shardDirs := make([]string, 3)
+	for i := range shardDirs {
+		shardDirs[i] = filepath.Join(tmp, fmt.Sprintf("shard%d", i))
+		if err := os.MkdirAll(shardDirs[i], 0o755); err != nil {
+			t.Fatal(err)
+		}
+		segPath := filepath.Join(tmp, fmt.Sprintf("%s.seg%d-of3.snap", corpus, i))
+		copyFile(segPath, filepath.Join(shardDirs[i], storeName))
+		copyFile(snapshot.SegmentSidecarPath(segPath), snapshot.SegmentSidecarPath(filepath.Join(shardDirs[i], storeName)))
+	}
+
+	freeAddr := func() string {
+		t.Helper()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	startDaemon := func(args ...string) *exec.Cmd {
+		t.Helper()
+		daemon := exec.Command(mssdBin, args...)
+		daemon.Stdout = os.Stderr
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		return daemon
+	}
+	waitHealthy := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon at %s never became healthy: %v", base, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	soloAddr := freeAddr()
+	soloBase := "http://" + soloAddr
+	solo := startDaemon("-addr", soloAddr, "-data-dir", soloDir)
+	defer func() { solo.Process.Kill(); solo.Wait() }()
+
+	shardBases := make([]string, 3)
+	shardProcs := make([]*exec.Cmd, 3)
+	for i := range shardBases {
+		addr := freeAddr()
+		shardBases[i] = "http://" + addr
+		shardProcs[i] = startDaemon("-addr", addr, "-data-dir", shardDirs[i],
+			"-shard-of", fmt.Sprintf("%d/3", i))
+	}
+	shard1Up := true
+	defer func() {
+		for i, p := range shardProcs {
+			if i == 1 && !shard1Up {
+				continue
+			}
+			p.Process.Kill()
+			p.Wait()
+		}
+	}()
+
+	coordAddr := freeAddr()
+	coordBase := "http://" + coordAddr
+	coord := startDaemon("-addr", coordAddr, "-peers", strings.Join(shardBases, ","))
+	defer func() { coord.Process.Kill(); coord.Wait() }()
+
+	waitHealthy(soloBase)
+	for _, base := range shardBases {
+		waitHealthy(base)
+	}
+	waitHealthy(coordBase)
+
+	// The mixed batch: every kind, ranges, an overflowing threshold limit
+	// (its per-slot error must match too), shared-budget top-t slots.
+	batchBody := fmt.Sprintf(`{"corpus": %q, "queries": [
+		{"kind": "mss"},
+		{"kind": "mss", "lo": %d, "hi": %d, "min_length": 3},
+		{"kind": "topt", "t": 7},
+		{"kind": "topt", "t": 4, "lo": %d, "hi": %d},
+		{"kind": "threshold", "alpha": 6},
+		{"kind": "threshold", "alpha": 2, "lo": %d, "hi": %d, "limit": 5},
+		{"kind": "disjoint", "t": 3, "min_length": 4}
+	], "workers": 2}`, corpus, n/5, 4*n/5, n/6, n/2, n/3, 2*n/3)
+
+	postBatch := func(base string) (service.BatchResponse, int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(batchBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var raw []byte
+		var out service.BatchResponse
+		dec := json.NewDecoder(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			if err := dec.Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var buf json.RawMessage
+			if err := dec.Decode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			raw = buf
+		}
+		return out, resp.StatusCode, raw
+	}
+
+	soloResp, soloStatus, _ := postBatch(soloBase)
+	if soloStatus != http.StatusOK {
+		t.Fatalf("solo batch status %d", soloStatus)
+	}
+	coordResp, coordStatus, coordRaw := postBatch(coordBase)
+	if coordStatus != http.StatusOK {
+		t.Fatalf("scattered batch status %d: %s", coordStatus, coordRaw)
+	}
+	if coordResp.Scatter == nil || coordResp.Scatter.Shards != 3 {
+		t.Fatalf("scattered response carries scatter info %+v, want 3 shards", coordResp.Scatter)
+	}
+	if len(coordResp.Results) != len(soloResp.Results) {
+		t.Fatalf("result counts differ: solo %d, scattered %d", len(soloResp.Results), len(coordResp.Results))
+	}
+	toptSlots := map[int]bool{2: true, 3: true}
+	for i := range soloResp.Results {
+		sr, cr := soloResp.Results[i], coordResp.Results[i]
+		if sr.Error != cr.Error {
+			t.Fatalf("query %d: solo error %q, scattered %q", i, sr.Error, cr.Error)
+		}
+		if toptSlots[i] {
+			if !sameX2(sr.Results, cr.Results) {
+				t.Fatalf("query %d: top-t X² multisets differ:\nsolo %+v\nscattered %+v", i, sr.Results, cr.Results)
+			}
+			continue
+		}
+		if len(sr.Results) != len(cr.Results) {
+			t.Fatalf("query %d: solo %d results, scattered %d", i, len(sr.Results), len(cr.Results))
+		}
+		for j := range sr.Results {
+			if sr.Results[j] != cr.Results[j] {
+				t.Fatalf("query %d result %d: solo %+v, scattered %+v", i, j, sr.Results[j], cr.Results[j])
+			}
+		}
+		if sr.Error == "" && sr.Stats.Evaluated+sr.Stats.Skipped != cr.Stats.Evaluated+cr.Stats.Skipped {
+			t.Fatalf("query %d: solo accounts %d windows, scattered %d", i,
+				sr.Stats.Evaluated+sr.Stats.Skipped, cr.Stats.Evaluated+cr.Stats.Skipped)
+		}
+	}
+
+	// Kill shard 1 with -9: the same batch must now refuse whole with the
+	// typed partial-refusal, naming the dead shard.
+	shardProcs[1].Process.Kill()
+	shardProcs[1].Wait()
+	shard1Up = false
+	t.Log("cluster smoke: shard 1 killed -9, expecting typed partial-refusal")
+	_, status, raw := postBatch(coordBase)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("batch with a dead shard returned status %d, want 503", status)
+	}
+	var refusal struct {
+		Error        string                 `json:"error"`
+		ShardsTotal  int                    `json:"shards_total"`
+		ShardsFailed []service.ShardFailure `json:"shards_failed"`
+	}
+	if err := json.Unmarshal(raw, &refusal); err != nil {
+		t.Fatalf("refusal body %s: %v", raw, err)
+	}
+	if refusal.ShardsTotal != 3 || len(refusal.ShardsFailed) == 0 {
+		t.Fatalf("refusal body %s: want 3 total shards and a non-empty failed list", raw)
+	}
+	for _, f := range refusal.ShardsFailed {
+		if f.Shard != 1 && f.Shard != -1 {
+			t.Fatalf("healthy shard %d reported failed: %s", f.Shard, raw)
+		}
+	}
+	fmt.Printf("mssd cluster smoke: 3-shard scatter matched the solo node bit-for-bit on %d queries; killing a shard produced a typed 503 naming it\n",
+		len(soloResp.Results))
+}
+
+func sameX2(a, b []service.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := make([]uint64, len(a)), make([]uint64, len(b))
+	for i := range a {
+		as[i], bs[i] = math.Float64bits(a[i].X2), math.Float64bits(b[i].X2)
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

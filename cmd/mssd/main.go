@@ -16,6 +16,16 @@
 //	DELETE /v1/corpora/{name}           evict a corpus
 //	POST   /v1/query                    one query: {"corpus": "x", "query": {"kind": "mss"}}
 //	POST   /v1/batch                    many queries: {"corpus": "x", "queries": [...]}
+//	GET    /v1/shards                   this node's shard catalog (segments + full corpora)
+//	POST   /v1/shards/exec              execute one shard subplan (coordinator-internal)
+//
+// A corpus cut into suffix segments with `mss -segments N` can be served by
+// N daemons (each started with -shard-of i/N on its own -data-dir); a
+// coordinator daemon started with -peers scatters corpus-named queries
+// across their catalogs and merges the partials deterministically — the
+// answer is bit-identical to one node holding the whole corpus, or a typed
+// 503 partial-refusal when a shard stays unreachable after retries. See the
+// README's "Sharded scans & cluster topology" section.
 //
 // Durable nodes also serve the replication endpoints followers tail
 // (GET /v1/replica/corpora, .../{name}/snapshot, .../{name}/wal); a daemon
@@ -106,6 +116,10 @@ func main() {
 		groupCommit = fs.Bool("group-commit", true, "batch WAL fsyncs across concurrent appends (one covering fsync per batch); false restores one fsync per append")
 		fsyncEvery  = fs.Duration("fsync-interval", service.DefaultFsyncInterval, "group-commit idle flush floor: the longest a relaxed-durability append waits for its covering fsync (also the relaxed-mode crash-loss window)")
 		replFrom    = fs.String("replicate-from", "", "run as a follower of the primary at this base URL (e.g. http://primary:8765): its live corpora are mirrored here as read-only replicas via WAL shipping; requires -data-dir")
+		autoCompact = fs.Int64("auto-compact-wal-bytes", 0, "auto-compact a live corpus in the background once its WAL passes this many bytes, bounding restart-replay time and log disk; 0 keeps compaction manual (the compact endpoint)")
+		walPrealloc = fs.Int64("wal-prealloc", 0, "preallocate each live-corpus WAL to this many bytes at creation: appends inside the region never grow the file, so each covering fsync flushes data only (no size-update journaling); 0 disables")
+		shardOf     = fs.String("shard-of", "", "declare this node a segment server, e.g. 1/3 (segment index/count): startup fails if any loaded segment corpus disagrees, and healthz reports the claim")
+		peers       = fs.String("peers", "", "comma-separated base URLs of segment-serving peers (e.g. http://a:8765,http://b:8765): corpus-named queries scatter across their shard catalogs and merge deterministically, falling back to local corpora the peers don't advertise")
 		advertise   = fs.String("advertise", "", "externally reachable base URL of this node, reported in healthz so operators can point followers (and failover tooling) at it")
 		retryJitter = fs.Duration("retry-jitter", 2*time.Second, "random extra delay added to every Retry-After the daemon emits (429/503/degraded), spreading a shed herd's retries over the window; 0 disables")
 	)
@@ -126,6 +140,10 @@ func main() {
 		replicateFrom: *replFrom,
 		advertise:     *advertise,
 		retryJitter:   *retryJitter,
+		shardOf:       *shardOf,
+		peers:         splitPeers(*peers),
+		autoCompact:   *autoCompact,
+		walPrealloc:   *walPrealloc,
 	}
 	srv, err := newServer(cfg)
 	if err != nil {
@@ -232,6 +250,25 @@ type serverConfig struct {
 	replicateFrom string
 	advertise     string
 	retryJitter   time.Duration
+	// shardOf declares this node a segment server ("index/count"); peers are
+	// the base URLs the scatter coordinator fans corpus queries out to.
+	shardOf string
+	peers   []string
+	// autoCompact triggers background live-corpus compaction past this WAL
+	// size; walPrealloc preallocates each WAL at creation (both 0: off).
+	autoCompact int64
+	walPrealloc int64
+}
+
+// splitPeers parses the -peers flag into trimmed, non-empty base URLs.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // server routes HTTP requests onto the service executor.
@@ -253,6 +290,11 @@ type server struct {
 	// the primary's live corpora into this node's executor.
 	replicateFrom string
 	mgr           *replica.Manager
+	// shardOf is this node's declared segment position ("index/count", "" for
+	// unsharded nodes); scatter is the coordinator fanning corpus queries out
+	// to -peers (nil when no peers are configured).
+	shardOf string
+	scatter *service.Scatter
 }
 
 // newServer wires the routes; it is the unit the tests drive via httptest.
@@ -264,6 +306,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.WALPrealloc = cfg.walPrealloc
 	}
 	maxScans := cfg.maxScans
 	if maxScans <= 0 {
@@ -282,12 +325,13 @@ func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
 		mux: http.NewServeMux(),
 		exec: &service.Executor{
-			Cache:      service.NewCache(cfg.cacheBytes),
-			Store:      store,
-			Commit:     committer,
-			MaxQueries: cfg.maxQueries,
-			MaxWorkers: cfg.maxWorkers,
-			MaxTextLen: cfg.maxText,
+			Cache:               service.NewCache(cfg.cacheBytes),
+			Store:               store,
+			Commit:              committer,
+			AutoCompactWALBytes: cfg.autoCompact,
+			MaxQueries:          cfg.maxQueries,
+			MaxWorkers:          cfg.maxWorkers,
+			MaxTextLen:          cfg.maxText,
 		},
 		scans:         make(chan struct{}, maxScans),
 		scanTimeout:   cfg.scanTimeout,
@@ -295,6 +339,14 @@ func newServer(cfg serverConfig) (*server, error) {
 		retryJitter:   cfg.retryJitter,
 		advertise:     cfg.advertise,
 		replicateFrom: cfg.replicateFrom,
+		shardOf:       cfg.shardOf,
+	}
+	if len(cfg.peers) > 0 {
+		s.scatter = &service.Scatter{
+			Peers:   cfg.peers,
+			Timeout: cfg.scanTimeout,
+			Retries: 1,
+		}
 	}
 	if cfg.replicateFrom != "" {
 		if store == nil {
@@ -323,6 +375,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleDeleteCorpus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	// Every node serves its shard catalog and executes subplans — full
+	// corpora advertise as single-shard entries, so a coordinator can mix
+	// sharded and unsharded peers.
+	(&service.ShardAPI{
+		Exec:    s.exec,
+		Timeout: cfg.scanTimeout,
+		Gate:    s.acquireScanCtx,
+	}).Routes(s.mux)
 	if store != nil {
 		// Any durable node can serve as a replication primary: mount the
 		// WAL-shipping endpoints (corpus listing, base snapshots, frame
@@ -334,7 +394,35 @@ func newServer(cfg serverConfig) (*server, error) {
 		loaded := s.exec.LoadCatalog(log.Printf)
 		log.Printf("mssd loaded %d persisted corpora from %s", loaded, store.Dir())
 	}
+	if cfg.shardOf != "" {
+		if err := s.checkShardOf(cfg.shardOf); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// checkShardOf validates the -shard-of claim ("index/count") against every
+// segment corpus this node loaded: serving a segment from the wrong
+// position would translate shard coordinates against the wrong cut, so the
+// daemon refuses to start instead.
+func (s *server) checkShardOf(claim string) error {
+	var idx, count int
+	if n, err := fmt.Sscanf(claim, "%d/%d", &idx, &count); n != 2 || err != nil {
+		return fmt.Errorf("mssd: -shard-of must look like 1/3 (segment index/count), got %q", claim)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return fmt.Errorf("mssd: -shard-of %q is out of range (need 0 <= index < count)", claim)
+	}
+	for _, si := range s.exec.ShardInfos() {
+		if si.Count == 1 {
+			continue // full corpora serve from any position
+		}
+		if si.Index != idx || si.Count != count {
+			return fmt.Errorf("mssd: -shard-of %s but corpus %q is segment %d of %d", claim, si.Corpus, si.Index, si.Count)
+		}
+	}
+	return nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -390,6 +478,19 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", s.retryAfter(time.Second))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "scan exceeded the server's deadline; narrow the query or retry when the server is less loaded"})
 	default:
+		if su, ok := service.IsShardUnavailable(err); ok {
+			// The typed partial-refusal: some shard stayed unreachable after
+			// retries, so the request is refused whole rather than answered
+			// from a subset. The failed shard list rides the body so clients
+			// (and the cluster smoke test) see which legs died.
+			w.Header().Set("Retry-After", s.retryAfter(time.Second))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":         su.Error(),
+				"shards_total":  su.Total,
+				"shards_failed": su.Failed,
+			})
+			return
+		}
 		if _, ok := service.IsReadOnly(err); ok {
 			// A replica refuses local writes until promoted; 409 tells the
 			// client this is a topology fact, not a transient failure.
@@ -433,6 +534,12 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // errOverloaded on queue timeout and the request's cancellation error if the
 // client gives up while queued.
 func (s *server) acquireScan(r *http.Request) (release func(), err error) {
+	return s.acquireScanCtx(r.Context())
+}
+
+// acquireScanCtx is acquireScan on a bare context — the form the shard-exec
+// API gates on.
+func (s *server) acquireScanCtx(ctx context.Context) (release func(), err error) {
 	select {
 	case s.scans <- struct{}{}:
 		return func() { <-s.scans }, nil
@@ -445,8 +552,8 @@ func (s *server) acquireScan(r *http.Request) (release func(), err error) {
 		return func() { <-s.scans }, nil
 	case <-timer.C:
 		return nil, errOverloaded
-	case <-r.Context().Done():
-		return nil, r.Context().Err()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -474,7 +581,7 @@ func (s *server) runScan(w http.ResponseWriter, r *http.Request, req service.Bat
 	defer release()
 	ctx, cancel := s.scanContext(r)
 	defer cancel()
-	resp, err := s.exec.ExecuteContext(ctx, req)
+	resp, err := s.execute(ctx, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			return service.BatchResponse{}, false
@@ -483,6 +590,25 @@ func (s *server) runScan(w http.ResponseWriter, r *http.Request, req service.Bat
 		return service.BatchResponse{}, false
 	}
 	return resp, true
+}
+
+// execute routes a batch: corpus-named requests on a coordinator node
+// scatter across the peers' shard catalogs; corpora no peer advertises —
+// and inline-text or snippet-bearing requests, which need local symbols —
+// execute locally as before.
+func (s *server) execute(ctx context.Context, req service.BatchRequest) (service.BatchResponse, error) {
+	if s.scatter != nil && req.Corpus != "" && req.Text == "" && !req.IncludeText {
+		resp, err := s.scatter.Execute(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, service.ErrNotFound) {
+			return service.BatchResponse{}, err
+		}
+		// The cluster doesn't know this corpus; fall through to whatever this
+		// node holds (which may also be nothing — then the local 404 stands).
+	}
+	return s.exec.ExecuteContext(ctx, req)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -536,6 +662,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		body["replication"] = map[string]any{
 			"source":  s.replicateFrom,
 			"corpora": s.mgr.Status(),
+		}
+	}
+	if shards := s.exec.ShardInfos(); len(shards) > 0 {
+		// The node's shard catalog: what /v1/shards advertises, inlined so a
+		// single healthz poll shows both liveness and topology.
+		body["shards"] = shards
+	}
+	if s.shardOf != "" {
+		body["shard_of"] = s.shardOf
+	}
+	if s.scatter != nil {
+		// Coordinator counters: scattered queries, shard calls (incl.
+		// retries), refused (partial-refusal) requests, cumulative merge time.
+		body["scatter"] = map[string]any{
+			"peers": s.scatter.Peers,
+			"stats": s.scatter.Stats(),
 		}
 	}
 	if s.exec.Commit != nil {

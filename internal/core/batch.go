@@ -10,9 +10,10 @@ import (
 	"repro/internal/topheap"
 )
 
-// This file implements the multi-query executor: a batch of Queries served
-// by ONE traversal of the chain-cover scan instead of one engine pass per
-// query. Three layers of sharing stack up:
+// This file implements the local shard executor: a set of ShardQueries (one
+// shard's subplan — possibly the trivial single-shard plan RunBatch cuts)
+// served by ONE traversal of the chain-cover scan instead of one engine
+// pass per query. Three layers of sharing stack up:
 //
 //  1. The prefix counts are built once per Scanner and read once per
 //     traversal, whatever the batch size.
@@ -42,34 +43,33 @@ import (
 // others one integer compare (a fused consume-and-find-minimum pass, which
 // profiling showed beats a heap at realistic batch widths).
 //
-// Per-query Stats stay exact in the accounting sense: Evaluated + Skipped
-// equals the query's candidate-substring count for every engine
-// configuration — the invariant the single-query engine maintains. A
-// query's Evaluated is the evaluation count of the scan that served it, so
-// it can exceed the query's solo figure (a subsumed threshold rides a
-// lower-α scan; a shared traversal wakes a cursor where another group
-// forced an evaluation it could not skip past).
+// Sharding: each group scans only the start rows [rowLo, rowHi] its
+// ShardQuery assigned it — the planner's clip of the query's start range
+// against the shard's StartRange — while windows still extend to the
+// query's own hi. Shard row ranges partition the candidate set, so
+// per-shard Stats sum to the solo totals and the merge layer (partial.go)
+// reassembles exact results. The executor returns Partials, not final
+// QueryResults: a shard cannot decide threshold overflow or cut a top-t
+// boundary on its own.
 //
-// Result equivalence with the single-query paths:
-//   - KindMSS: bit-identical interval, X², and p-value. A consumed superset
-//     of the solo scan's evaluations cannot change the first-discovered
-//     maximum (skipped substrings are provably ≤ the running budget, and
-//     the softened budget keeps exact ties evaluated).
-//   - KindThreshold: identical result set in identical (start desc, end
-//     asc) order — qualifying substrings are never skippable under a
-//     constant budget at or below the member's cutoff.
-//   - KindTopT: identical X² value multiset — any window beating a
-//     member's t-th best beats the group's t_max-th best, so it is never
-//     skipped and never displaced; intervals exactly tied at the boundary
-//     may resolve differently, as the problem statement permits (same
-//     contract as the parallel engine).
-//   - KindDisjoint and streaming (Visit) threshold queries cannot join a
-//     single shared pass (the peel re-scans segments; streaming needs its
-//     own delivery); RunBatch executes them as ordinary RunQuery calls over
-//     the same shared Scanner after the pass.
+// Per-query Stats stay exact in the accounting sense: Evaluated + Skipped
+// equals the query's candidate-substring count (summed across its shards)
+// for every engine configuration — the invariant the single-query engine
+// maintains. A query's Evaluated is the evaluation count of the scan that
+// served it, so it can exceed the query's solo figure (a subsumed threshold
+// rides a lower-α scan; a shared traversal wakes a cursor where another
+// group forced an evaluation it could not skip past).
+//
+// Result equivalence with the single-query paths is argued per kind in
+// partial.go (the merge layer); composite kinds (KindDisjoint and
+// streaming-Visit thresholds) cannot join a shared pass — the peel
+// re-scans segments; streaming needs its own delivery — so the executor
+// runs them as ordinary RunQuery calls over the same shared Scanner after
+// the pass, whole on their single assigned shard.
 
 // groupKey identifies the scan a query can ride: same kind, same segment,
-// same length floor.
+// same length floor. Every ShardQuery of one executor call shares the same
+// shard StartRange, so equal keys imply equal row clips.
 type groupKey struct {
 	kind   Kind
 	lo, hi int
@@ -86,10 +86,13 @@ type sink struct {
 // scanGroup is one cursor of the shared traversal: a scan that answers one
 // or more subsumable queries.
 type scanGroup struct {
-	kind    Kind
-	lo, hi  int
-	minLen  int
-	hiStart int // last start position: hi - minLen
+	kind   Kind
+	lo, hi int // the query's candidate range (windows extend to hi)
+	minLen int
+	// rowLo, rowHi bound the start rows this shard scans for the group
+	// (inclusive): the planner's clip of [lo, hi−minLen] against the
+	// shard's start range.
+	rowLo, rowHi int
 
 	// KindMSS: the single member's slot and the shared skip budget.
 	slot   int
@@ -107,67 +110,86 @@ type scanGroup struct {
 }
 
 // RunBatch executes every query against the scanner in as few engine passes
-// as possible: all MSS/top-t/threshold-collect queries merge into scan
-// groups sharing one chain-cover traversal of the union of their candidate
-// ranges; disjoint and streaming queries follow as individual passes over
-// the same shared prefix counts. The returned slice is parallel to qs:
-// Results[i] answers qs[i], with any per-query validation or overflow error
-// in its Err field, so one bad query never poisons the rest of the batch.
+// as possible. It is the planned query path specialised to one shard: plan
+// the batch over the full start range, execute the single subplan on the
+// local engine, merge the partials — all MSS/top-t/threshold-collect
+// queries merge into scan groups sharing one chain-cover traversal of the
+// union of their candidate ranges; disjoint and streaming queries follow as
+// individual passes over the same shared prefix counts. The returned slice
+// is parallel to qs: Results[i] answers qs[i], with any per-query
+// validation or overflow error in its Err field, so one bad query never
+// poisons the rest of the batch.
 func (sc *Scanner) RunBatch(e Engine, qs []Query) []QueryResult {
-	out := make([]QueryResult, len(qs))
+	plan, err := PlanBatch(len(sc.s), qs, nil)
+	if err != nil {
+		// Unreachable with the nil (single full shard) partition; fail every
+		// slot rather than panic if it ever becomes reachable.
+		out := make([]QueryResult, len(qs))
+		for i := range out {
+			out[i] = QueryResult{Err: err}
+		}
+		return out
+	}
+	parts := sc.execShard(e, plan.Shards[0], nil)
+	return plan.Merge([][]Partial{parts})
+}
+
+// execShard is the local executor's core: group one shard's subplan by
+// subsumption, run the shared traversal over the groups' row ranges, and
+// return the per-slot partials. Composite subqueries run as individual
+// RunQuery passes after the shared one. Coordinates are scanner-local;
+// LocalExec translates absolute plans through its segment offset.
+func (sc *Scanner) execShard(e Engine, sqs []ShardQuery, exch *Exchange) []Partial {
 	var groups []*scanGroup
 	index := make(map[groupKey]*scanGroup)
 	var allSinks []sink
-	var composite []int // slots executed as individual RunQuery passes
-	for i, q := range qs {
-		nq, err := sc.normalize(q)
-		if err != nil {
-			out[i] = QueryResult{Err: err}
+	var composite []ShardQuery
+	for _, sq := range sqs {
+		if sq.Composite {
+			composite = append(composite, sq)
 			continue
 		}
-		if nq.Kind == KindDisjoint || (nq.Kind == KindThreshold && nq.Visit != nil) {
-			composite = append(composite, i)
-			continue
-		}
-		key := groupKey{kind: nq.Kind, lo: nq.Lo, hi: nq.Hi, minLen: nq.MinLen}
+		q := sq.Q
+		key := groupKey{kind: q.Kind, lo: q.Lo, hi: q.Hi, minLen: q.MinLen}
 		g := index[key]
-		if g == nil || nq.Kind == KindMSS {
+		if g == nil || q.Kind == KindMSS {
 			// MSS queries never share a cursor: their first-discovered-max
 			// tie-breaking is per-query state. (Identical MSS queries could
 			// share; the scans are cheap enough not to special-case.)
-			g = &scanGroup{kind: nq.Kind, lo: nq.Lo, hi: nq.Hi, minLen: nq.MinLen, hiStart: nq.Hi - nq.MinLen, slot: i}
+			g = &scanGroup{kind: q.Kind, lo: q.Lo, hi: q.Hi, minLen: q.MinLen, rowLo: sq.RowLo, rowHi: sq.RowHi, slot: sq.Slot}
 			groups = append(groups, g)
-			if nq.Kind != KindMSS {
+			if q.Kind != KindMSS {
 				index[key] = g
 			}
 		}
-		switch nq.Kind {
+		switch q.Kind {
 		case KindTopT:
-			g.topts = append(g.topts, sink{slot: i, limit: nq.T})
+			g.topts = append(g.topts, sink{slot: sq.Slot, limit: q.T})
 		case KindThreshold:
-			if len(g.sinks) == 0 || nq.Alpha < g.alpha {
-				g.alpha = nq.Alpha
+			if len(g.sinks) == 0 || q.Alpha < g.alpha {
+				g.alpha = q.Alpha
 			}
 			g.sinks = append(g.sinks, len(allSinks))
-			allSinks = append(allSinks, sink{slot: i, alpha: nq.Alpha, limit: nq.Limit})
+			allSinks = append(allSinks, sink{slot: sq.Slot, alpha: q.Alpha, limit: q.Limit})
 		}
 	}
-	sc.runSharedPass(e, groups, allSinks, out)
-	for _, slot := range composite {
-		out[slot] = sc.RunQuery(e, qs[slot])
+	parts := sc.runSharedPass(e, groups, allSinks, exch)
+	for _, sq := range composite {
+		r := sc.RunQuery(e, sq.Q)
+		parts = append(parts, Partial{Slot: sq.Slot, Cands: r.Results, Stats: r.Stats, Err: r.Err})
 	}
-	return out
+	return parts
 }
 
-// mergedStartRanges returns the union of the groups' [lo, hiStart] start
+// mergedStartRanges returns the union of the groups' [rowLo, rowHi] start
 // intervals as {hi, lo} pairs ordered by descending start — the order the
 // sequential scan (and the chunk replay) visits rows in. Empty candidate
 // sets contribute nothing.
 func mergedStartRanges(groups []*scanGroup) [][2]int {
-	var spans [][2]int // {lo, hiStart}, ascending
+	var spans [][2]int // {rowLo, rowHi}, ascending
 	for _, g := range groups {
-		if g.hiStart >= g.lo {
-			spans = append(spans, [2]int{g.lo, g.hiStart})
+		if g.rowHi >= g.rowLo {
+			spans = append(spans, [2]int{g.rowLo, g.rowHi})
 		}
 	}
 	sort.Slice(spans, func(a, b int) bool { return spans[a][0] < spans[b][0] })
@@ -188,20 +210,47 @@ func mergedStartRanges(groups []*scanGroup) [][2]int {
 	return out
 }
 
-// runSharedPass runs the shared chain-cover traversal for the scan groups
-// and writes each member query's QueryResult into its slot.
-func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink, out []QueryResult) {
-	if len(groups) == 0 {
-		return
+// exchangeFold folds the batch-wide exchange into the groups' local budgets
+// and publishes the local high-water marks back — one round of the
+// two-level budget protocol, run at chunk-claim granularity. Every value
+// that crosses is the X² of an actual candidate substring, so folding can
+// only enlarge provably-sound skips.
+func exchangeFold(exch *Exchange, groups []*scanGroup) {
+	for _, g := range groups {
+		switch g.kind {
+		case KindMSS:
+			g.budget.raise(exch.Load(g.slot))
+			exch.Raise(g.slot, g.budget.load())
+		case KindTopT:
+			for _, m := range g.topts {
+				g.heap.skip.raise(exch.Load(m.slot))
+			}
+			if g.heap.full.Load() {
+				// Publish the heap's own running t-th best, not the folded
+				// skip boundary, so exchanged values always originate from
+				// some shard's actual heap.
+				b := g.heap.budget.load()
+				for _, m := range g.topts {
+					exch.Raise(m.slot, b)
+				}
+			}
+		}
 	}
-	// Union of the start ranges — not their bounding box, so a batch of
+}
+
+// runSharedPass runs the shared chain-cover traversal for the scan groups
+// and returns each member query's Partial.
+func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink, exch *Exchange) []Partial {
+	if len(groups) == 0 {
+		return nil
+	}
+	// Union of the row ranges — not their bounding box, so a batch of
 	// narrow queries at opposite ends of a large corpus never pays per-row
 	// scheduling over the uncovered middle. Rows outside every group are
-	// never visited; groups with empty candidate sets keep zero
-	// QueryResults.
+	// never visited.
 	ranges := mergedStartRanges(groups)
 	if len(ranges) == 0 {
-		return
+		return nil
 	}
 	totalStarts := 0
 	for _, r := range ranges {
@@ -209,6 +258,7 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 	}
 
 	// Per-group shared state: budgets (and heaps) visible to all workers.
+	var parts []Partial
 	for _, g := range groups {
 		switch g.kind {
 		case KindMSS:
@@ -227,12 +277,15 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 			h, err := topheap.New(tMax)
 			if err != nil {
 				for _, m := range g.topts {
-					out[m.slot] = QueryResult{Err: err}
+					parts = append(parts, Partial{Slot: m.slot, Err: err})
 				}
-				return // unreachable: normalize validated every t
+				return parts // unreachable: the planner validated every t
 			}
 			g.heap = &sharedHeap{h: h}
 		}
+	}
+	if exch != nil {
+		exchangeFold(exch, groups)
 	}
 
 	w := e.workerCount(totalStarts)
@@ -240,11 +293,11 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 	var chunks [][2]int
 	for _, r := range ranges {
 		size := r[0] - r[1] + 1
-		parts := targetParts * size / totalStarts
-		if parts < 1 {
-			parts = 1
+		pc := targetParts * size / totalStarts
+		if pc < 1 {
+			pc = 1
 		}
-		chunks = append(chunks, splitStarts(r[1], r[0], parts)...)
+		chunks = append(chunks, splitStarts(r[1], r[0], pc)...)
 	}
 	ng, ns := len(groups), len(allSinks)
 	// found[c][si] buffers chunk c's hits for threshold sink si; chunks
@@ -277,6 +330,9 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 				if c >= len(chunks) {
 					break
 				}
+				if exch != nil {
+					exchangeFold(exch, groups)
+				}
 				for i := chunks[c][0]; i >= chunks[c][1]; i-- {
 					if e.stopped() {
 						break claim
@@ -301,11 +357,13 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 	}
 	wg.Wait()
 
-	// Deterministic merge. Every member of a group reports the stats of
-	// the scan that served it; MSS candidates merge in the sequential
-	// scan's discovery order (better); each top-t member takes the leading
-	// t entries of the shared heap; each threshold sink replays its chunk
-	// buffers in order under its own limit.
+	// Per-shard fragment assembly. Every member of a group reports the
+	// stats of the scan that served it; MSS candidates fold in the
+	// sequential scan's discovery order (better); each top-t member takes
+	// the leading t entries of the shared heap; each threshold sink replays
+	// its chunk buffers in scan order, uncut — the merge layer owns limits
+	// and overflow. A final exchange publish hands the pass's high-water
+	// marks to shards still scanning.
 	for gi, g := range groups {
 		var st Stats
 		best := Scored{X2: -1}
@@ -320,11 +378,11 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 		}
 		switch g.kind {
 		case KindMSS:
-			res := QueryResult{Stats: st}
+			pt := Partial{Slot: g.slot, Stats: st}
 			if best.X2 >= 0 {
-				res.Results = []Scored{best}
+				pt.Cands = []Scored{best}
 			}
-			out[g.slot] = res
+			parts = append(parts, pt)
 		case KindTopT:
 			items := itemsToScored(g.heap.h.Items())
 			for _, m := range g.topts {
@@ -332,49 +390,33 @@ func (sc *Scanner) runSharedPass(e Engine, groups []*scanGroup, allSinks []sink,
 				if t > len(items) {
 					t = len(items)
 				}
-				res := QueryResult{Results: make([]Scored, t), Stats: st}
-				copy(res.Results, items[:t])
-				out[m.slot] = res
+				c := make([]Scored, t)
+				copy(c, items[:t])
+				parts = append(parts, Partial{Slot: m.slot, Cands: c, Stats: st})
 			}
 		case KindThreshold:
 			for _, si := range g.sinks {
 				m := allSinks[si]
-				res := QueryResult{Stats: st}
-				// Size the result buffer exactly before copying: append
-				// growth would roughly double the allocation for the large
-				// result sets low thresholds produce.
 				total := 0
 				for _, hits := range found {
 					if hits != nil {
 						total += len(hits[si])
 					}
 				}
-				overflow := m.limit > 0 && total > m.limit
-				if overflow {
-					total = m.limit
-				}
-				res.Results = make([]Scored, 0, total)
+				c := make([]Scored, 0, total)
 				for _, hits := range found {
-					if hits == nil {
-						continue
-					}
-					for _, r := range hits[si] {
-						if len(res.Results) == total {
-							break
-						}
-						res.Results = append(res.Results, r)
-					}
-					if len(res.Results) == total {
-						break
+					if hits != nil {
+						c = append(c, hits[si]...)
 					}
 				}
-				if overflow {
-					res.Err = overflowErr(m.limit, m.alpha)
-				}
-				out[m.slot] = res
+				parts = append(parts, Partial{Slot: m.slot, Cands: c, Stats: st})
 			}
 		}
 	}
+	if exch != nil {
+		exchangeFold(exch, groups)
+	}
+	return parts
 }
 
 // batchRow advances the shared traversal across one start row: every
@@ -395,7 +437,7 @@ func (sc *Scanner) batchRow(cur *chisq.Roll, i int, groups []*scanGroup, allSink
 	j := math.MaxInt
 	live := 0
 	for gi, g := range groups {
-		if i < g.lo || i > g.hiStart {
+		if i < g.rowLo || i > g.rowHi {
 			nextPos[gi] = math.MaxInt
 			continue
 		}
@@ -446,11 +488,12 @@ func (sc *Scanner) batchRow(cur *chisq.Roll, i int, groups []*scanGroup, allSink
 
 // groupBoundary is the decision boundary the guard band of a rolled value
 // must clear for the group: the running best for MSS, the mirrored t-th
-// best for top-t, the fixed cutoff for threshold.
+// best (folded with exchanged marks) for top-t, the fixed cutoff for
+// threshold.
 func groupBoundary(g *scanGroup, gi int, best []Scored) float64 {
 	switch g.kind {
 	case KindTopT:
-		return g.heap.budget.load()
+		return g.heap.skip.load()
 	case KindThreshold:
 		return g.alpha
 	default:
@@ -504,7 +547,7 @@ func (sc *Scanner) consumeAt(cur *chisq.Roll, g *scanGroup, gi, i, j int, x2 flo
 			g.heap.offer(topheap.Item{Start: i, End: j, Score: x2})
 		}
 		if j < g.hi {
-			d = cur.MaxSkip(g.heap.budget.load())
+			d = cur.MaxSkip(g.heap.skip.load())
 		}
 	case KindThreshold:
 		if exact {

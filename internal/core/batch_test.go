@@ -229,7 +229,7 @@ func TestRunBatchScatteredRanges(t *testing.T) {
 // TestMergedStartRanges pins the interval union used to lay out chunks.
 func TestMergedStartRanges(t *testing.T) {
 	mk := func(lo, hi, minLen int) *scanGroup {
-		return &scanGroup{lo: lo, hi: hi, minLen: minLen, hiStart: hi - minLen}
+		return &scanGroup{lo: lo, hi: hi, minLen: minLen, rowLo: lo, rowHi: hi - minLen}
 	}
 	got := mergedStartRanges([]*scanGroup{
 		mk(0, 100, 1),    // starts [0, 99]

@@ -294,11 +294,17 @@ func (sc *Scanner) engineMSSRange(e Engine, lo, hi, minLen int) (Scored, Stats) 
 // sharedHeap wraps the top-t min-heap for concurrent offers. The heap's
 // minimum (the running t-th best) is mirrored into an atomic so workers
 // read their skip budget without taking the lock; it only grows, so a stale
-// read under-prunes but never over-prunes.
+// read under-prunes but never over-prunes. skip is the boundary the batch
+// executor prunes against: the heap's own mirrored minimum folded with any
+// high-water marks exchanged from other shards (exec.go) — exchanged values
+// are some shard's actual running t-th best, which subsets of the candidate
+// set can only understate, so pruning on skip never loses a window that
+// could enter the merged global top-t.
 type sharedHeap struct {
 	mu     sync.Mutex
 	h      *topheap.Heap
-	budget atomicBudget
+	budget atomicBudget // mirror of the heap's own minimum when full
+	skip   atomicBudget // max(budget, exchanged marks): the prune boundary
 	full   atomic.Bool
 }
 
@@ -312,7 +318,9 @@ func (s *sharedHeap) offer(it topheap.Item) {
 	s.mu.Lock()
 	s.h.Offer(it)
 	if s.h.Full() {
-		s.budget.store(s.h.Budget())
+		b := s.h.Budget()
+		s.budget.store(b)
+		s.skip.raise(b)
 		s.full.Store(true)
 	}
 	s.mu.Unlock()

@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// This file is the planner of the three-layer query path (plan → execute →
+// merge). A Plan turns a batch of Queries into per-shard subplans over
+// chain-cover START ranges: the paper's traversal scans one row per start
+// position and a row's work is independent of every other row given a skip
+// budget, so partitioning the start positions partitions the candidate set
+// exactly — per-shard Stats sum to the solo scan's machine-independent
+// totals, and the merge layer (partial.go) reassembles per-kind results
+// deterministically. The executor interface the subplans feed is in exec.go;
+// RunBatch (batch.go) is now just the trivial plan: one shard covering every
+// start.
+//
+// Shard geometry: a shard owns the start positions [Lo, Hi) of its
+// StartRange, but a row's windows extend to the END of the query range —
+// which is why segment snapshots are suffixes of the corpus (shard i holds
+// symbols [cut_i, n)), not slices. Composite queries (KindDisjoint, and
+// streaming-Visit thresholds), whose traversal re-scans sub-segments, are
+// not split: the planner assigns each whole to the one shard owning its
+// lowest start, whose suffix covers the query's full range.
+
+// StartRange is a half-open range [Lo, Hi) of chain-cover start positions
+// owned by one shard.
+type StartRange struct {
+	Lo, Hi int
+}
+
+// FullRange returns the single-shard partition of an n-symbol corpus — the
+// degenerate plan RunBatch uses.
+func FullRange(n int) []StartRange { return []StartRange{{0, n}} }
+
+// EvenCuts partitions [0, n) into `count` contiguous start ranges of
+// near-equal width, the default segment geometry of offline builds. The
+// ranges tile [0, n) exactly; with count > n the trailing ranges are empty.
+func EvenCuts(n, count int) []StartRange {
+	if count < 1 {
+		count = 1
+	}
+	out := make([]StartRange, count)
+	per, rem := n/count, n%count
+	lo := 0
+	for i := range out {
+		size := per
+		if i < rem {
+			size++
+		}
+		out[i] = StartRange{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// ShardQuery is one slot's work on one shard: the normalized query plus the
+// inclusive row range [RowLo, RowHi] of start positions this shard scans
+// for it. All coordinates are absolute (corpus-wide); executors backed by a
+// suffix segment translate through their offset. Composite marks a query
+// that cannot split across shards and executes as a whole RunQuery pass on
+// its single assigned shard.
+type ShardQuery struct {
+	Slot      int
+	Q         Query
+	RowLo     int
+	RowHi     int
+	Composite bool
+}
+
+// Plan is a batch of queries partitioned across shards: the planner's
+// output and the merge layer's input. Shards[s] lists shard s's subqueries
+// in slot order; slots whose candidate range misses a shard simply do not
+// appear in it, and slots that failed validation appear nowhere (their
+// error is in Errs and surfaces at merge).
+type Plan struct {
+	// N is the corpus length the plan was made against.
+	N int
+	// Queries holds the normalized queries, parallel to the input batch.
+	Queries []Query
+	// Errs holds per-slot validation errors (nil for valid slots).
+	Errs []error
+	// Ranges is the shard partition the plan was cut against.
+	Ranges []StartRange
+	// Shards[s] is shard s's subplan.
+	Shards [][]ShardQuery
+}
+
+// PlanBatch partitions a batch of queries across the shard start ranges.
+// The ranges must tile [0, n) exactly (ascending, contiguous, first Lo 0,
+// last Hi n); nil or empty ranges plan a single full-corpus shard. Per-query
+// validation failures are recorded in Plan.Errs rather than failing the
+// plan, mirroring RunBatch's one-bad-query-never-poisons-the-batch
+// contract.
+func PlanBatch(n int, qs []Query, ranges []StartRange) (*Plan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: planning over negative corpus length %d", n)
+	}
+	if len(ranges) == 0 {
+		ranges = FullRange(n)
+	}
+	lo := 0
+	for s, r := range ranges {
+		if r.Lo != lo || r.Hi < r.Lo {
+			return nil, fmt.Errorf("core: shard ranges must tile [0, %d) contiguously; shard %d is [%d, %d) after position %d", n, s, r.Lo, r.Hi, lo)
+		}
+		lo = r.Hi
+	}
+	if lo != n {
+		return nil, fmt.Errorf("core: shard ranges cover [0, %d) but the corpus has %d positions", lo, n)
+	}
+	p := &Plan{
+		N:       n,
+		Queries: make([]Query, len(qs)),
+		Errs:    make([]error, len(qs)),
+		Ranges:  append([]StartRange(nil), ranges...),
+		Shards:  make([][]ShardQuery, len(ranges)),
+	}
+	for i, q := range qs {
+		nq, err := normalizeQuery(q, n)
+		p.Queries[i] = nq
+		if err != nil {
+			p.Errs[i] = err
+			continue
+		}
+		if nq.Kind == KindDisjoint || (nq.Kind == KindThreshold && nq.Visit != nil) {
+			// Composite: the whole query goes to the shard owning its lowest
+			// start (that shard's suffix covers [Lo, Hi)). Empty-range
+			// queries still get a home so their (empty) result is served.
+			s := shardOf(ranges, nq.Lo)
+			p.Shards[s] = append(p.Shards[s], ShardQuery{Slot: i, Q: nq, RowLo: nq.Lo, RowHi: nq.Hi - nq.MinLen, Composite: true})
+			continue
+		}
+		hiStart := nq.Hi - nq.MinLen
+		for s, r := range ranges {
+			rowLo, rowHi := nq.Lo, hiStart
+			if r.Lo > rowLo {
+				rowLo = r.Lo
+			}
+			if r.Hi-1 < rowHi {
+				rowHi = r.Hi - 1
+			}
+			if rowLo > rowHi {
+				continue
+			}
+			p.Shards[s] = append(p.Shards[s], ShardQuery{Slot: i, Q: nq, RowLo: rowLo, RowHi: rowHi})
+		}
+	}
+	return p, nil
+}
+
+// shardOf returns the index of the range owning start position pos, clamped
+// to the nearest non-empty neighbour for positions outside every range.
+func shardOf(ranges []StartRange, pos int) int {
+	last := 0
+	for s, r := range ranges {
+		if r.Hi > r.Lo {
+			last = s
+		}
+		if pos >= r.Lo && pos < r.Hi {
+			return s
+		}
+	}
+	return last
+}

@@ -91,6 +91,13 @@ func (r QueryResult) Best() Scored {
 // normalize validates the query and clamps its range against the scanned
 // string, returning the canonical plan the engine executes.
 func (sc *Scanner) normalize(q Query) (Query, error) {
+	return normalizeQuery(q, len(sc.s))
+}
+
+// normalizeQuery validates a query and clamps its range against a corpus of
+// n symbols — the scanner-free form the planner uses, so a coordinator can
+// cut shard subplans knowing only the corpus length.
+func normalizeQuery(q Query, n int) (Query, error) {
 	switch q.Kind {
 	case KindMSS, KindThreshold:
 	case KindTopT, KindDisjoint:
@@ -103,8 +110,8 @@ func (sc *Scanner) normalize(q Query) (Query, error) {
 	if q.Lo < 0 {
 		q.Lo = 0
 	}
-	if q.Hi > len(sc.s) {
-		q.Hi = len(sc.s)
+	if q.Hi > n {
+		q.Hi = n
 	}
 	if q.Hi < q.Lo {
 		q.Hi = q.Lo

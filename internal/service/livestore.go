@@ -201,6 +201,10 @@ func (s *Store) UpgradeToLive(name string) (*LiveCorpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
 	}
+	if err := preallocWAL(wal, s.WALPrealloc, 0); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
+	}
 	if err := wal.Sync(); err != nil {
 		wal.Close()
 		return nil, fmt.Errorf("service: upgrading corpus %q: %w", name, err)
@@ -212,6 +216,42 @@ func (s *Store) UpgradeToLive(name string) (*LiveCorpus, error) {
 	// The live directory is authoritative; the frozen file is now garbage.
 	s.fs.Remove(snapPath)
 	return s.OpenLive(name)
+}
+
+// preallocWAL extends a fresh or truncated WAL to the preallocation target
+// without moving the write offset. The extension is written as real zeros,
+// not a sparse Truncate: a sparse tail would leave every append allocating
+// extents on first touch, and the allocation is journaled metadata the
+// covering fsync must flush — exactly the cost the lever exists to remove.
+// Zeros read back as a torn tail, which replay already tolerates, so
+// preallocation never changes what a restart recovers; its payoff is that
+// appends within the target touch only allocated bytes of a fixed-size
+// file, making each covering fsync a data-only flush.
+func preallocWAL(f vfs.File, target, used int64) error {
+	if target <= used {
+		return nil
+	}
+	cur, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(used, io.SeekStart); err != nil {
+		return err
+	}
+	zeros := make([]byte, 256<<10)
+	for off := used; off < target; {
+		n := target - off
+		if n > int64(len(zeros)) {
+			n = int64(len(zeros))
+		}
+		m, err := f.Write(zeros[:n])
+		if err != nil {
+			return err
+		}
+		off += int64(m)
+	}
+	_, err = f.Seek(cur, io.SeekStart)
+	return err
 }
 
 // copyFileSync copies src to dst and fsyncs dst — the hardlink fallback.
@@ -281,11 +321,18 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		sn.Close()
 		return nil, fmt.Errorf("service: replaying WAL of corpus %q: %w", name, err)
 	}
-	// Drop any torn tail so new records append after the valid prefix.
+	// Drop any torn tail so new records append after the valid prefix, then
+	// re-extend to the preallocation target (zeros, so a crash before the
+	// next append replays identically).
 	if err := wal.Truncate(valid); err != nil {
 		wal.Close()
 		sn.Close()
 		return nil, fmt.Errorf("service: truncating torn WAL of corpus %q: %w", name, err)
+	}
+	if err := preallocWAL(wal, s.WALPrealloc, valid); err != nil {
+		wal.Close()
+		sn.Close()
+		return nil, fmt.Errorf("service: preallocating WAL of corpus %q: %w", name, err)
 	}
 	if _, err := wal.Seek(valid, io.SeekStart); err != nil {
 		wal.Close()
@@ -293,18 +340,19 @@ func (s *Store) OpenLive(name string) (*LiveCorpus, error) {
 		return nil, fmt.Errorf("service: seeking WAL of corpus %q: %w", name, err)
 	}
 	lc := &LiveCorpus{
-		name:     name,
-		codec:    codec,
-		model:    sn.Model(),
-		modelStr: sn.Model().String(),
-		corpus:   corpus,
-		store:    s,
-		fs:       s.fs,
-		dir:      dir,
-		gen:      m.Gen,
-		wal:      wal,
-		walSize:  valid,
-		durable:  true,
+		name:        name,
+		codec:       codec,
+		model:       sn.Model(),
+		modelStr:    sn.Model().String(),
+		corpus:      corpus,
+		store:       s,
+		fs:          s.fs,
+		dir:         dir,
+		gen:         m.Gen,
+		wal:         wal,
+		walSize:     valid,
+		walPrealloc: s.WALPrealloc,
+		durable:     true,
 	}
 	// The durable replica marker survives restarts: a follower's corpora
 	// stay read-only (and resumable at their manifest generation + replayed
@@ -435,6 +483,13 @@ type LiveCorpus struct {
 	// and a WAL, so it can replicate. Read lock-free.
 	durable bool
 
+	// autoCompactBytes, when positive, triggers a background Compact once
+	// the acknowledged WAL passes it (set before the corpus is reachable);
+	// autoCompacting is the CAS guard keeping at most one such compaction
+	// in flight per corpus.
+	autoCompactBytes int64
+	autoCompacting   atomic.Bool
+
 	mu      sync.Mutex
 	store   *Store   // nil for memory-only live corpora
 	fs      vfs.FS   // nil when memory-only
@@ -442,7 +497,10 @@ type LiveCorpus struct {
 	gen     int      // current generation
 	wal     vfs.File // nil when memory-only
 	walSize int64    // bytes of acknowledged (synced + applied) records
-	closed  bool
+	// walPrealloc mirrors the store's WALPrealloc for generations this
+	// corpus creates itself (Compact, recovery reopen).
+	walPrealloc int64
+	closed      bool
 
 	// Group-commit state (all under mu; nil/zero when no committer is
 	// attached, in which case Append syncs per record as before). queue
@@ -1029,6 +1087,10 @@ func (lc *LiveCorpus) recoverLocked() error {
 	if _, err := wal.Seek(lc.walSize, io.SeekStart); err != nil {
 		return fail(err)
 	}
+	// Best-effort: re-extend to the preallocation target. A failure here is
+	// not a recovery failure — the lever is a fsync-cost nicety, and the
+	// acknowledged prefix is already verified and sealed.
+	preallocWAL(wal, lc.walPrealloc, lc.walSize)
 	old := lc.wal
 	lc.wal = wal
 	if old != nil {
@@ -1114,6 +1176,10 @@ func (lc *LiveCorpus) Compact() error {
 	if err != nil {
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
 	}
+	if err := preallocWAL(newWal, lc.walPrealloc, 0); err != nil {
+		newWal.Close()
+		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
+	}
 	if err := newWal.Sync(); err != nil {
 		newWal.Close()
 		return fmt.Errorf("service: compacting corpus %q: %w", lc.name, err)
@@ -1137,6 +1203,27 @@ func (lc *LiveCorpus) Compact() error {
 	lc.fs.Remove(filepath.Join(lc.dir, baseName(oldGen)))
 	lc.fs.Remove(filepath.Join(lc.dir, walName(oldGen)))
 	return nil
+}
+
+// maybeAutoCompact kicks one background Compact once the acknowledged WAL
+// passes the configured threshold. CAS-guarded so at most one auto-compaction
+// is in flight per corpus; a compaction that fails (or loses the race with a
+// manual one) is simply retried at the next threshold crossing — the corpus
+// is correct either way, auto-compaction only bounds replay time and disk.
+func (lc *LiveCorpus) maybeAutoCompact() {
+	if lc.autoCompactBytes <= 0 || !lc.durable {
+		return
+	}
+	if lc.WALProgress().Offset < lc.autoCompactBytes {
+		return
+	}
+	if !lc.autoCompacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer lc.autoCompacting.Store(false)
+		lc.Compact()
+	}()
 }
 
 // Close fsyncs and releases the WAL handle — the graceful-shutdown path, so

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	sigsub "repro"
 	"repro/internal/vfs"
@@ -348,5 +349,147 @@ func TestLiveHalfUpgradeRecovery(t *testing.T) {
 	got3, info := execMSS(t, e3, "c")
 	if want3 := libraryMSS(t, "01011010101111"); got3 != want3 || !info.Live {
 		t.Fatalf("completed upgrade MSS %+v live=%v, want %+v live", got3, info.Live, want3)
+	}
+}
+
+// TestLiveAutoCompact covers the -auto-compact-wal-bytes trigger: once the
+// WAL crosses the threshold, a background compaction rolls the corpus to a
+// fresh generation without an explicit /compact call, serving stays exact
+// throughout, and a restart replays the compacted generation.
+func TestLiveAutoCompact(t *testing.T) {
+	base := "0101101010"
+	e, dir := liveFixture(t, base)
+	// Must be set before the first append: the threshold is copied onto the
+	// live corpus when the upgrade pins it.
+	e.AutoCompactWALBytes = 48
+
+	full := base
+	for _, a := range []string{"11110000", "00110011", "10101010"} {
+		if _, err := e.Append("c", a); err != nil {
+			t.Fatal(err)
+		}
+		full += a
+	}
+	// Each 8-symbol record is 20 bytes, so the third append crosses the
+	// 48-byte threshold. Compaction is asynchronous; wait for the
+	// generation flip and then for the worker itself to finish.
+	lc := e.liveGet("c")
+	deadline := time.Now().Add(10 * time.Second)
+	for lc.WALProgress().Gen == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-compaction never ran: %+v", lc.WALProgress())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for lc.autoCompacting.Load() {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	want := libraryMSS(t, full)
+	if got, _ := execMSS(t, e, "c"); got != want {
+		t.Fatalf("post-compaction MSS %+v, want %+v", got, want)
+	}
+
+	// Appends keep landing in the new generation.
+	if _, err := e.Append("c", "000111"); err != nil {
+		t.Fatal(err)
+	}
+	full += "000111"
+	want = libraryMSS(t, full)
+	if got, _ := execMSS(t, e, "c"); got != want {
+		t.Fatalf("post-compaction append MSS %+v, want %+v", got, want)
+	}
+
+	// Crash-consistency: a restart recovers the compacted generation plus
+	// the records appended after it.
+	e2 := reopen(t, dir)
+	got2, info2 := execMSS(t, e2, "c")
+	if got2 != want || !info2.Live {
+		t.Fatalf("post-restart MSS %+v live=%v, want %+v live", got2, info2.Live, want)
+	}
+	if info2.N != len(full) {
+		t.Fatalf("post-restart n=%d, want %d", info2.N, len(full))
+	}
+}
+
+// TestLiveWALPreallocRecovery covers the -wal-prealloc lever: the WAL file
+// is extended to the target size up front, the zero padding reads back as a
+// torn tail (full history still recovers), and a flipped byte inside a
+// record — the tear truncation can't simulate once zeros pad the tail —
+// cuts replay at the preceding record boundary.
+func TestLiveWALPreallocRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.WALPrealloc = 4096
+	e := &Executor{Cache: NewCache(0), Store: store}
+	base := "01011010101001010110"
+	if _, _, err := e.AddCorpus("c", base, ModelSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append("c", "11111111"); err != nil {
+		t.Fatal(err)
+	}
+	lc := e.liveGet("c")
+	off1 := lc.WALProgress().Offset
+	if _, err := e.Append("c", "00001111"); err != nil {
+		t.Fatal(err)
+	}
+	off2 := lc.WALProgress().Offset
+
+	walPath := filepath.Join(store.liveDir("c"), walName(0))
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 4096 {
+		t.Fatalf("preallocated WAL is %d bytes on disk, want 4096", fi.Size())
+	}
+	if off2 >= 4096 || off1 <= 0 || off2 <= off1 {
+		t.Fatalf("logical WAL offsets %d, %d outside the preallocated region", off1, off2)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the zero padding past off2 must read as a torn tail, not
+	// corrupt history.
+	e2 := reopen(t, dir)
+	full := base + "11111111" + "00001111"
+	want := libraryMSS(t, full)
+	got, info := execMSS(t, e2, "c")
+	if got != want || info.Epoch != 2 {
+		t.Fatalf("post-restart MSS %+v epoch %d, want %+v epoch 2", got, info.Epoch, want)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes inside the second record's frame: replay must stop at the
+	// end of record one and serve exactly the first append's history.
+	f, err := os.OpenFile(walPath, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, off1+2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e3 := reopen(t, dir)
+	want1 := libraryMSS(t, base+"11111111")
+	got3, info3 := execMSS(t, e3, "c")
+	if got3 != want1 || info3.Epoch != 1 {
+		t.Fatalf("post-corruption MSS %+v epoch %d, want %+v epoch 1", got3, info3.Epoch, want1)
+	}
+	if _, err := e3.Append("c", "0101"); err != nil {
+		t.Fatal(err)
+	}
+	want4 := libraryMSS(t, base+"11111111"+"0101")
+	if got4, _ := execMSS(t, e3, "c"); got4 != want4 {
+		t.Fatalf("append after truncated recovery MSS %+v, want %+v", got4, want4)
 	}
 }

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkWALPreallocAppend pairs the -wal-prealloc lever against the
+// growing-file base, under both commit disciplines. With preallocation the
+// WAL's appends land inside an already-sized file, so each covering fsync
+// flushes data without also journaling an i_size update — the fdatasync
+// lever BENCH_7 deferred. The off/on pairs share every other byte of the
+// path; BENCH_9.json records the measured ratios.
+func BenchmarkWALPreallocAppend(b *testing.B) {
+	const batchLen = 64
+	chunk := strings.Repeat("01101", batchLen/5+1)[:batchLen]
+	for _, bench := range []struct {
+		name    string
+		grp     bool
+		clients int
+	}{
+		{"commit=per-append/clients=1", false, 1},
+		{"commit=group/clients=16", true, 16},
+	} {
+		for _, prealloc := range []int64{0, 16 << 20} {
+			state := "off"
+			if prealloc > 0 {
+				state = "on"
+			}
+			b.Run(fmt.Sprintf("%s/prealloc=%s", bench.name, state), func(b *testing.B) {
+				store, err := NewStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				store.WALPrealloc = prealloc
+				e := &Executor{Cache: NewCache(0), Store: store}
+				if bench.grp {
+					e.Commit = NewCommitter(0)
+				}
+				defer e.Close()
+				if _, _, err := e.AddCorpus("bench", "0101101001", ModelSpec{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Append("bench", chunk); err != nil {
+					b.Fatal(err) // promote once, outside the timed loop
+				}
+				b.SetBytes(int64(batchLen))
+				b.ResetTimer()
+				var remaining atomic.Int64
+				remaining.Store(int64(b.N))
+				var wg sync.WaitGroup
+				for c := 0; c < bench.clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for remaining.Add(-1) >= 0 {
+							if _, err := e.Append("bench", chunk); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

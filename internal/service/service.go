@@ -20,6 +20,7 @@ import (
 	"time"
 
 	sigsub "repro"
+	"repro/internal/snapshot"
 )
 
 // ErrNotFound reports a corpus name absent from the cache.
@@ -198,6 +199,12 @@ type Corpus struct {
 	Scanner *sigsub.Scanner
 	symbols []byte
 
+	// Segment, when non-nil, marks this corpus as one suffix segment of a
+	// larger sharded corpus (loaded from the snapshot's .segment.json
+	// sidecar): the scanner holds symbols [Segment.Offset, Segment.TotalLen)
+	// and shard-exec requests translate absolute coordinates through it.
+	Segment *snapshot.SegmentMeta
+
 	// snap pins the snapshot mapping for mmap-backed corpora: the Scanner
 	// and symbols alias the mapped file, which stays valid exactly as long
 	// as the Corpus (and hence snap) is reachable.
@@ -275,6 +282,9 @@ type Info struct {
 	// counters (appends per fsync, fsyncs issued, max batch, max ticket
 	// wait, pending records, relaxed records lost).
 	Commit *CommitStats `json:"commit,omitempty"`
+	// Segment, when present, marks the corpus as one suffix segment of a
+	// sharded parent corpus (see the shard catalog endpoints).
+	Segment *SegmentInfo `json:"segment,omitempty"`
 }
 
 // Info returns the corpus summary.
@@ -283,7 +293,7 @@ func (c *Corpus) Info() Info {
 	if model == "" {
 		model = c.Model.String()
 	}
-	return Info{
+	info := Info{
 		Name:        c.Name,
 		N:           c.Scanner.Len(),
 		K:           c.Model.K(),
@@ -297,6 +307,15 @@ func (c *Corpus) Info() Info {
 		Degraded:    c.degraded,
 		Commit:      c.commit,
 	}
+	if c.Segment != nil {
+		info.Segment = &SegmentInfo{
+			Index:    c.Segment.Index,
+			Count:    c.Segment.Count,
+			Offset:   c.Segment.Offset,
+			TotalLen: c.Segment.TotalLen,
+		}
+	}
+	return info
 }
 
 // Snippet decodes the corpus characters of [start, end), for result
@@ -574,6 +593,9 @@ func (r SingleRequest) Batch() BatchRequest {
 type BatchResponse struct {
 	Corpus  Info          `json:"corpus"`
 	Results []QueryResult `json:"results"`
+	// Scatter, when present, reports how the request was fanned out across
+	// shard peers (coordinator nodes only; local execution leaves it nil).
+	Scatter *ScatterInfo `json:"scatter,omitempty"`
 }
 
 // Executor validates and runs requests against a cache. The limits guard a
@@ -602,6 +624,11 @@ type Executor struct {
 	// through it (one covering fsync per batch instead of one per append).
 	// Nil keeps the per-append-fsync path.
 	Commit *Committer
+	// AutoCompactWALBytes, when positive, auto-compacts a live corpus in the
+	// background once its acknowledged WAL passes this many bytes, bounding
+	// restart-replay time and log disk without an operator in the loop.
+	// Zero keeps compaction manual (the compact endpoint).
+	AutoCompactWALBytes int64
 	// MaxQueries bounds the queries per batch (default 64).
 	MaxQueries int
 	// MaxWorkers bounds the per-request engine parallelism (default 16).
@@ -713,6 +740,7 @@ func (e *Executor) liveGet(name string) *LiveCorpus {
 // registry is now authoritative for the name).
 func (e *Executor) liveAdd(lc *LiveCorpus) {
 	lc.attachCommitter(e.Commit)
+	lc.autoCompactBytes = e.AutoCompactWALBytes
 	e.liveMu.Lock()
 	if e.live == nil {
 		e.live = make(map[string]*LiveCorpus)
@@ -763,6 +791,10 @@ func (e *Executor) AppendMode(name, text string, mode Durability) (Info, error) 
 	if _, err := lc.AppendMode(text, mode); err != nil {
 		return Info{}, err
 	}
+	// The acknowledged append may have pushed the WAL past the
+	// auto-compaction threshold; the kick is async, so the ack never waits
+	// on a compaction.
+	lc.maybeAutoCompact()
 	return lc.Freeze().Info(), nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	sigsub "repro"
+	"repro/internal/snapshot"
 	"repro/internal/vfs"
 )
 
@@ -33,6 +34,16 @@ const snapExt = ".snap"
 type Store struct {
 	dir string
 	fs  vfs.FS
+
+	// WALPrealloc, when positive, extends every freshly created (or
+	// reopened) live-corpus WAL to this many bytes of materialized zeros up
+	// front. Zeros read back as a torn tail, so recovery semantics are
+	// unchanged — but appends landing inside the preallocated region touch
+	// only already-allocated bytes of a fixed-size file, so each covering
+	// fsync flushes data without journaling a size update or an extent
+	// allocation (the fdatasync lever; see BENCH_9.json for the paired
+	// numbers). Set before the store is shared.
+	WALPrealloc int64
 }
 
 // NewStore opens (creating if needed) a snapshot directory on the real
@@ -140,6 +151,9 @@ func (s *Store) Save(c *Corpus) error {
 		s.fs.Remove(tmp)
 		return fmt.Errorf("service: persisting corpus %q: %w", c.Name, err)
 	}
+	// An upload replaces whatever was under the name; a stale segment
+	// sidecar describing the old snapshot must not outlive it.
+	s.fs.Remove(snapshot.SegmentSidecarPath(s.path(c.Name)))
 	return nil
 }
 
@@ -161,6 +175,19 @@ func (s *Store) Load(name string) (*Corpus, error) {
 		sn.Close()
 		return nil, fmt.Errorf("service: snapshot of corpus %q carries no codec table", name)
 	}
+	seg, err := s.segmentMeta(name)
+	if err != nil {
+		sn.Close()
+		return nil, err
+	}
+	if seg != nil && seg.Offset+sn.Scanner().Len() != seg.TotalLen {
+		// A sidecar that disagrees with its snapshot means one of the pair
+		// was replaced without the other; serving it would translate shard
+		// coordinates wrongly.
+		sn.Close()
+		return nil, fmt.Errorf("service: corpus %q segment sidecar claims symbols [%d, %d) but the snapshot holds %d symbols",
+			name, seg.Offset, seg.TotalLen, sn.Scanner().Len())
+	}
 	return &Corpus{
 		Name:    name,
 		Codec:   codec,
@@ -168,7 +195,25 @@ func (s *Store) Load(name string) (*Corpus, error) {
 		Scanner: sn.Scanner(),
 		symbols: sn.Scanner().Symbols(),
 		snap:    sn,
+		Segment: seg,
 	}, nil
+}
+
+// segmentMeta reads and validates the corpus's segment sidecar, returning
+// nil when the corpus is not a segment (no sidecar file).
+func (s *Store) segmentMeta(name string) (*snapshot.SegmentMeta, error) {
+	data, err := s.fs.ReadFile(snapshot.SegmentSidecarPath(s.path(name)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading segment sidecar of corpus %q: %w", name, err)
+	}
+	meta, err := snapshot.ParseSegmentMeta(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: corpus %q: %w", name, err)
+	}
+	return &meta, nil
 }
 
 // Delete removes the persisted corpus — its snapshot file and, for live
@@ -181,6 +226,9 @@ func (s *Store) Delete(name string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	// The segment sidecar (if any) goes first: a snapshot without a sidecar
+	// is a valid full corpus, a sidecar without its snapshot is a stray.
+	s.fs.Remove(snapshot.SegmentSidecarPath(s.path(name)))
 	rmErr := s.fs.Remove(s.path(name))
 	if errors.Is(rmErr, os.ErrNotExist) {
 		return lived, nil

@@ -1,0 +1,91 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// A segment snapshot is an ordinary snapshot file holding the SUFFIX of a
+// larger corpus — symbols [offset, total) with its own count index — plus
+// this JSON sidecar describing where the suffix sits in the parent corpus.
+// The snapshot format itself is untouched (a segment opens and scans like
+// any corpus); the sidecar is what lets a daemon register the segment in
+// its shard catalog and a coordinator translate absolute coordinates. The
+// sidecar travels next to the .snap file under the suffix returned by
+// SegmentSidecarPath.
+
+// SegmentSidecarSuffix is appended to a segment snapshot's path to name
+// its sidecar.
+const SegmentSidecarSuffix = ".segment.json"
+
+// SegmentSidecarPath returns the sidecar path for a snapshot file path.
+func SegmentSidecarPath(snapPath string) string {
+	return snapPath + SegmentSidecarSuffix
+}
+
+// SegmentMeta locates one suffix segment inside its parent corpus.
+type SegmentMeta struct {
+	// Version is the sidecar schema version (currently 1).
+	Version int `json:"version"`
+	// Corpus names the parent corpus the segment belongs to.
+	Corpus string `json:"corpus"`
+	// Index is the segment's shard index, 0-based.
+	Index int `json:"index"`
+	// Count is the total number of segments the parent was cut into.
+	Count int `json:"count"`
+	// Offset is the absolute corpus position of the segment's first symbol
+	// — local position 0 of the segment's scanner.
+	Offset int `json:"offset"`
+	// TotalLen is the parent corpus length n. The segment holds symbols
+	// [Offset, TotalLen) and owns the start positions [Offset, next
+	// segment's Offset).
+	TotalLen int `json:"total_len"`
+}
+
+// SegmentVersion is the current sidecar schema version.
+const SegmentVersion = 1
+
+// Validate checks the sidecar's internal consistency.
+func (m SegmentMeta) Validate() error {
+	switch {
+	case m.Version != SegmentVersion:
+		return fmt.Errorf("snapshot: segment sidecar version %d, want %d", m.Version, SegmentVersion)
+	case m.Corpus == "":
+		return fmt.Errorf("snapshot: segment sidecar names no corpus")
+	case m.Count < 1:
+		return fmt.Errorf("snapshot: segment of %d shards", m.Count)
+	case m.Index < 0 || m.Index >= m.Count:
+		return fmt.Errorf("snapshot: segment index %d outside %d shards", m.Index, m.Count)
+	case m.TotalLen < 0:
+		return fmt.Errorf("snapshot: segment of a %d-symbol corpus", m.TotalLen)
+	case m.Offset < 0 || m.Offset > m.TotalLen:
+		return fmt.Errorf("snapshot: segment offset %d outside corpus [0, %d]", m.Offset, m.TotalLen)
+	case m.Index == 0 && m.Offset != 0:
+		return fmt.Errorf("snapshot: first segment starts at %d, want 0", m.Offset)
+	}
+	return nil
+}
+
+// MarshalSegmentMeta encodes the sidecar after validating it.
+func MarshalSegmentMeta(m SegmentMeta) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseSegmentMeta decodes and validates a sidecar.
+func ParseSegmentMeta(data []byte) (SegmentMeta, error) {
+	var m SegmentMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return SegmentMeta{}, fmt.Errorf("snapshot: segment sidecar: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return SegmentMeta{}, err
+	}
+	return m, nil
+}

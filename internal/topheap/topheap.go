@@ -94,6 +94,11 @@ func sortItemsDesc(a []Item) {
 	}
 }
 
+// LessDesc reports whether x precedes y in the canonical descending output
+// order — the order Items returns and the sharded merge layer sorts pooled
+// candidates in.
+func (x Item) LessDesc(y Item) bool { return lessDesc(x, y) }
+
 // lessDesc orders by higher score first, then by earlier start, then earlier
 // end.
 func lessDesc(x, y Item) bool {

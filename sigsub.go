@@ -514,22 +514,21 @@ type QueryResult struct {
 // lower translates a public Query to its core plan, resolving the Hi == 0
 // sentinel and the option-level threshold limit.
 func (s *Scanner) lower(q Query, o options) (core.Query, error) {
-	var kind core.Kind
-	switch q.Kind {
-	case QueryMSS:
-		kind = core.KindMSS
-	case QueryTopT:
-		kind = core.KindTopT
-	case QueryThreshold:
-		kind = core.KindThreshold
-	case QueryDisjoint:
-		kind = core.KindDisjoint
-	default:
-		return core.Query{}, fmt.Errorf("sigsub: unknown query kind %v", q.Kind)
+	return lowerQuery(q, s.sc.Len(), o)
+}
+
+// lowerQuery is the scanner-free form of lower: it resolves the Hi == 0
+// sentinel against an explicit corpus length, so a shard coordinator can
+// lower queries knowing only n (the catalog's corpus length), without
+// holding any symbols locally.
+func lowerQuery(q Query, n int, o options) (core.Query, error) {
+	kind, err := q.Kind.core()
+	if err != nil {
+		return core.Query{}, err
 	}
 	hi := q.Hi
 	if hi == 0 {
-		hi = s.sc.Len()
+		hi = n
 	}
 	limit := q.Limit
 	if q.Kind == QueryThreshold && limit == 0 {
@@ -544,6 +543,22 @@ func (s *Scanner) lower(q Query, o options) (core.Query, error) {
 		Hi:     hi,
 		Limit:  limit,
 	}, nil
+}
+
+// core maps the public kind to its core counterpart.
+func (k QueryKind) core() (core.Kind, error) {
+	switch k {
+	case QueryMSS:
+		return core.KindMSS, nil
+	case QueryTopT:
+		return core.KindTopT, nil
+	case QueryThreshold:
+		return core.KindThreshold, nil
+	case QueryDisjoint:
+		return core.KindDisjoint, nil
+	default:
+		return 0, fmt.Errorf("sigsub: unknown query kind %v", k)
+	}
 }
 
 // queryResult converts a core result to the public shape.
