@@ -39,6 +39,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -52,6 +53,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mss:", err)
 		os.Exit(1)
 	}
+}
+
+// buildVersion reports the module version stamped by the Go toolchain, or
+// "devel" for plain source builds.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 func run(args []string, out io.Writer) error {
@@ -76,9 +86,26 @@ func run(args []string, out io.Writer) error {
 		snapOut  = fs.String("snapshot-out", "", "write the built corpus (codec, model, symbols, count index) to this snapshot file — the offline index build mssd -data-dir serves directly")
 		snapIn   = fs.String("snapshot-in", "", "scan a corpus from a snapshot file (mmap-served) instead of -text/-file; the model and codec come from the snapshot")
 		segments = fs.Int("segments", 0, "with -snapshot-out: cut the corpus into this many suffix segments and write one snapshot plus .segment.json sidecar per shard (for mssd -shard-of serving) instead of a single file")
+		kernel   = fs.String("kernel", "", "reconstruct kernel tier: scalar | swar | avx2 (default: best supported; results are bit-identical across tiers)")
+		version  = fs.Bool("version", false, "print the version, active scan kernel, and detected CPU features")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kernel != "" {
+		kt, err := sigsub.ParseKernelTier(*kernel)
+		if err != nil {
+			return err
+		}
+		if err := sigsub.SetActiveKernel(kt); err != nil {
+			return err
+		}
+	}
+	if *version {
+		fmt.Fprintf(out, "mss %s\n", buildVersion())
+		fmt.Fprintf(out, "kernel: %s\n", sigsub.ActiveKernel())
+		fmt.Fprintf(out, "cpu: %s\n", sigsub.CPUFeatures())
+		return nil
 	}
 
 	var (

@@ -46,21 +46,31 @@ type Roll struct {
 	ilv     *counts.Interleaved
 	cp      *counts.Checkpointed
 	cpWords []uint32 // cp's packed blocks, held directly for the hot loop
-	cpLanes bool     // cp nibble group fits one two-word read (k ≤ 15)
+	cpLanes bool     // cp nibble group fits one two-word read (counts.GroupFits)
 	cpOne   bool     // cp nibble group always fits ONE word (k = 2, 4, 8)
-	// tailStart is the first position NOT servable from cpWords directly:
-	// an appender-published epoch keeps its final (partial) block outside
-	// the shared block array (see counts.Checkpointed.Storage), so probes
-	// landing there take the layout-generic slow path instead. Contiguous
-	// indexes — every frozen corpus — set it to MaxInt: the fast paths pay
-	// one never-taken comparison and are otherwise byte-for-byte the code
-	// they ran before live corpora existed. At most B−1 positions of a
-	// live epoch land in the tail, so the slow path is off every measured
-	// profile.
+	// Relocated-tail dispatch for the lanes fast path: a probe whose block
+	// base reaches cpTailBase is served from cpTail at relative base 0. For
+	// contiguous indexes — every frozen corpus — cpTail aliases cpWords at
+	// cpTailBase, so the redirect is semantically a no-op (one predictable
+	// comparison); for appender-published epochs it is what keeps the fast
+	// path off the appender's write frontier, kernels included.
+	cpTail     []uint32
+	cpTailBase int
+	// kf holds the reconstruct kernel entry points (scalar, SWAR, or AVX2 —
+	// see counts.Kernel) resolved once for this cursor's alphabet. Every
+	// tier is exact integer arithmetic, so the cursor's results do not
+	// depend on which tier is bound.
+	kf counts.KernelFuncs
+	// tailStart is the first position NOT servable from cpWords directly,
+	// consulted only by the NON-lanes checkpointed path (alphabets outside
+	// counts.GroupFits): probes landing there go through the dispatching
+	// accessor instead. Contiguous indexes set it to MaxInt. At most B−1
+	// positions of a live epoch land in the tail.
 	tailStart int
 
-	base []int // cumulative counts at the row start i
-	vec  []int // window count vector, always exact (integer updates)
+	base   []int   // cumulative counts at the row start i
+	base32 []int32 // base as int32 lanes — the shape the kernels subtract
+	vec    []int   // window count vector, always exact (integer updates)
 
 	sum   float64 // rolled S = Σ Y_c²/p_c (non-uniform models)
 	drift int     // incremental updates since the last exact re-sync
@@ -85,14 +95,27 @@ type Roll struct {
 }
 
 // NewRoll builds a cursor over the kernel's model, the count index, and the
-// raw symbol string the index was built from.
+// raw symbol string the index was built from, binding the process-wide
+// active reconstruct kernel.
 func NewRoll(kern *Kernel, pre counts.Layout, s []byte) *Roll {
+	return NewRollKernel(kern, pre, s, counts.Active())
+}
+
+// NewRollKernel is NewRoll with an explicit reconstruct-kernel tier — the
+// per-scanner override and paired-measurement entry point. A nil kt binds
+// the process-wide active kernel. Results are bit-identical across tiers;
+// only throughput differs.
+func NewRollKernel(kern *Kernel, pre counts.Layout, s []byte, kt *counts.Kernel) *Roll {
+	if kt == nil {
+		kt = counts.Active()
+	}
 	k := kern.K()
 	r := &Roll{
 		kern:      kern,
 		pre:       pre,
 		s:         s,
 		base:      make([]int, k),
+		base32:    make([]int32, k),
 		vec:       make([]int, k),
 		recost:    k + 4,
 		uniform:   kern.uniform,
@@ -104,16 +127,16 @@ func NewRoll(kern *Kernel, pre counts.Layout, s []byte) *Roll {
 		r.ilv = l
 	case *counts.Checkpointed:
 		r.cp = l
-		r.cpWords = l.Words()
+		r.cpWords, r.cpTail, r.cpTailBase = l.Storage()
 		if lo, relocated := l.RelocatedTailStart(); relocated {
 			r.tailStart = lo
 		}
 		// The single two-word group read needs the group's word offset plus
 		// its 4k bits to fit 64 bits for every block position: offsets are
 		// multiples of gcd(4k, 32), so the condition is 32−gcd+4k ≤ 64 —
-		// true for k ≤ 10 and k = 12; other alphabets take the per-nibble
-		// path.
-		r.cpLanes = k <= 10 || k == 12
+		// counts.GroupFits. Eligible alphabets bind the resolved kernel
+		// tier's entry points; the rest take the per-nibble path.
+		r.kf, r.cpLanes = kt.Funcs(k)
 		r.cpOne = 4*k <= 32 && 32%(4*k) == 0
 	}
 	return r
@@ -123,6 +146,14 @@ func NewRoll(kern *Kernel, pre counts.Layout, s []byte) *Roll {
 func (r *Roll) Begin(i, j int) {
 	r.i = i
 	r.pre.CumAt(i, r.base)
+	if r.cpLanes {
+		// Mirror the row base as the int32 lanes the reconstruct kernels
+		// subtract — cumulative counts are < 2³¹ by the corpus length cap,
+		// so the narrowing is exact. O(k), once per row.
+		for c, b := range r.base {
+			r.base32[c] = int32(b)
+		}
+	}
 	if j-i <= r.recost {
 		for c := range r.vec {
 			r.vec[c] = 0
@@ -190,24 +221,20 @@ func (r *Roll) Advance(to int) {
 }
 
 // reconstruct rebuilds the window counts [i, to) from the count index and
-// refreshes the sum in the same flat function — the index probe, the
-// base subtraction, the packed-text walk, and the two-accumulator sum are
-// all inlined here because each would otherwise be a call Go cannot inline
-// (they contain loops), and this runs once per chain-cover landing.
+// refreshes the sum in the same flat function — the index probe, the base
+// subtraction, and the sum rebuild fuse into one pass per chain-cover
+// landing. Group-eligible checkpointed alphabets run the bound reconstruct
+// kernel (scalar, SWAR, or AVX2 — exact integer arithmetic in every tier,
+// so the tier choice never shows in results); uniform models additionally
+// get Σ Y² and max Y fused into the same kernel call.
 //
-// The counts are exact; the sum is rebuilt with two independent
+// The counts are exact; the non-uniform sum is rebuilt with two independent
 // accumulators — about twice the throughput of the canonical left-to-right
 // summation on this latency-bound path — whose reassociation can differ
 // from Kernel.SumYsqOverP by a few ulps, so the cursor keeps one unit of
 // drift: decisions near a boundary re-sync via Exact exactly as they do for
 // rolled updates, and published values stay canonical.
 func (r *Roll) reconstruct(to int) {
-	if to >= r.tailStart {
-		// Relocated-tail epoch probe (live corpora only; MaxInt otherwise):
-		// serve it through the dispatching accessor off the fast paths.
-		r.reconstructTail(to)
-		return
-	}
 	vec := r.vec
 	switch {
 	case r.ilv != nil && r.uniform:
@@ -247,9 +274,14 @@ func (r *Roll) reconstruct(to int) {
 		r.drift = 1
 		return
 	case r.cpLanes && r.uniform:
+		// One block probe, then the bound reconstruct kernel with the
+		// uniform statistics fused: counts, Σ Y², and max Y in one call.
 		k := len(vec)
 		base, off := r.cp.BlockIndex(to)
 		words := r.cpWords
+		if base >= r.cpTailBase {
+			words, base = r.cpTail, 0
+		}
 		row := words[base : base+k]
 		bit := off * k * 4
 		di := base + k + bit>>5
@@ -260,112 +292,7 @@ func (r *Roll) reconstruct(to int) {
 		} else {
 			group = (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
 		}
-		switch k {
-		case 2:
-			rb := r.base
-			y0 := int(int32(row[0])) - rb[0] + int(group&15)
-			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
-			vec[0], vec[1] = y0, y1
-			s := int64(y0)*int64(y0) + int64(y1)*int64(y1)
-			if y1 > y0 {
-				y0 = y1
-			}
-			r.sumInt, r.maxY = s, y0
-			r.drift = 1
-			return
-		case 4:
-			// Fully unrolled with constant-shift nibble extraction: the four
-			// lanes are independent the moment the group word arrives, so the
-			// post-fetch dependency chain matches the dense layout's.
-			rb := r.base
-			y0 := int(int32(row[0])) - rb[0] + int(group&15)
-			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
-			y2 := int(int32(row[2])) - rb[2] + int(group>>8&15)
-			y3 := int(int32(row[3])) - rb[3] + int(group>>12&15)
-			vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
-			s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2)
-			s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3)
-			if y1 > y0 {
-				y0 = y1
-			}
-			if y3 > y2 {
-				y2 = y3
-			}
-			if y2 > y0 {
-				y0 = y2
-			}
-			r.sumInt, r.maxY = s0+s1, y0
-			r.drift = 1
-			return
-		case 8:
-			rb := r.base
-			y0 := int(int32(row[0])) - rb[0] + int(group&15)
-			y1 := int(int32(row[1])) - rb[1] + int(group>>4&15)
-			y2 := int(int32(row[2])) - rb[2] + int(group>>8&15)
-			y3 := int(int32(row[3])) - rb[3] + int(group>>12&15)
-			y4 := int(int32(row[4])) - rb[4] + int(group>>16&15)
-			y5 := int(int32(row[5])) - rb[5] + int(group>>20&15)
-			y6 := int(int32(row[6])) - rb[6] + int(group>>24&15)
-			y7 := int(int32(row[7])) - rb[7] + int(group>>28&15)
-			vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
-			vec[4], vec[5], vec[6], vec[7] = y4, y5, y6, y7
-			s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2) + int64(y4)*int64(y4) + int64(y6)*int64(y6)
-			s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3) + int64(y5)*int64(y5) + int64(y7)*int64(y7)
-			if y1 > y0 {
-				y0 = y1
-			}
-			if y3 > y2 {
-				y2 = y3
-			}
-			if y5 > y4 {
-				y4 = y5
-			}
-			if y7 > y6 {
-				y6 = y7
-			}
-			if y2 > y0 {
-				y0 = y2
-			}
-			if y6 > y4 {
-				y4 = y6
-			}
-			if y4 > y0 {
-				y0 = y4
-			}
-			r.sumInt, r.maxY = s0+s1, y0
-			r.drift = 1
-			return
-		}
-		var s0, s1 int64
-		m0, m1 := 0, 0
-		c := 0
-		for ; c+1 < k; c += 2 {
-			y0 := int(int32(row[c])) - r.base[c] + int(group&15)
-			y1 := int(int32(row[c+1])) - r.base[c+1] + int(group>>4&15)
-			group >>= 8
-			vec[c] = y0
-			vec[c+1] = y1
-			s0 += int64(y0) * int64(y0)
-			s1 += int64(y1) * int64(y1)
-			if y0 > m0 {
-				m0 = y0
-			}
-			if y1 > m1 {
-				m1 = y1
-			}
-		}
-		if c < k {
-			y := int(int32(row[c])) - r.base[c] + int(group&15)
-			vec[c] = y
-			s0 += int64(y) * int64(y)
-			if y > m0 {
-				m0 = y
-			}
-		}
-		if m1 > m0 {
-			m0 = m1
-		}
-		r.sumInt, r.maxY = s0+s1, m0
+		r.sumInt, r.maxY = r.kf.ReconstructUniform(row, group, r.base32, vec)
 		r.drift = 1
 		return
 	case r.ilv != nil:
@@ -376,43 +303,33 @@ func (r *Roll) reconstruct(to int) {
 		}
 	case r.cpLanes:
 		// One block probe, no walk: the checkpoint row plus the position's
-		// nibble-delta group, grabbed as a single two-word read (the group is
-		// at most k·4 ≤ 60 bits and the storage carries a padding word, so
-		// the read never straddles out of bounds). The common alphabets are
-		// unrolled with constant-shift extraction — see the uniform path.
+		// nibble-delta group, grabbed as a single two-word read (group
+		// eligibility — counts.GroupFits — plus the storage's padding word
+		// make the read safe at every offset), handed to the bound
+		// reconstruct kernel.
 		k := len(vec)
 		base, off := r.cp.BlockIndex(to)
 		words := r.cpWords
+		if base >= r.cpTailBase {
+			words, base = r.cpTail, 0
+		}
 		row := words[base : base+k]
 		bit := off * k * 4
 		di := base + k + bit>>5
-		group := (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
-		rb := r.base
-		switch k {
-		case 2:
-			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
-			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
-		case 4:
-			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
-			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
-			vec[2] = int(int32(row[2])) - rb[2] + int(group>>8&15)
-			vec[3] = int(int32(row[3])) - rb[3] + int(group>>12&15)
-		case 8:
-			vec[0] = int(int32(row[0])) - rb[0] + int(group&15)
-			vec[1] = int(int32(row[1])) - rb[1] + int(group>>4&15)
-			vec[2] = int(int32(row[2])) - rb[2] + int(group>>8&15)
-			vec[3] = int(int32(row[3])) - rb[3] + int(group>>12&15)
-			vec[4] = int(int32(row[4])) - rb[4] + int(group>>16&15)
-			vec[5] = int(int32(row[5])) - rb[5] + int(group>>20&15)
-			vec[6] = int(int32(row[6])) - rb[6] + int(group>>24&15)
-			vec[7] = int(int32(row[7])) - rb[7] + int(group>>28&15)
-		default:
-			for c, b := range rb {
-				vec[c] = int(int32(row[c])) - b + int(group&15)
-				group >>= 4
-			}
+		var group uint64
+		if r.cpOne {
+			group = uint64(words[di]) >> (bit & 31)
+		} else {
+			group = (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
 		}
+		r.kf.Reconstruct(row, group, r.base32, vec)
 	case r.cp != nil:
+		if to >= r.tailStart {
+			// Relocated-tail epoch probe on a non-group-eligible alphabet:
+			// serve it through the dispatching accessor off the fast path.
+			r.reconstructTail(to)
+			return
+		}
 		base, off := r.cp.BlockIndex(to)
 		words := r.cpWords
 		row := words[base : base+len(vec)]

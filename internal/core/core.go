@@ -92,13 +92,19 @@ func (l LayoutKind) String() string {
 }
 
 // Config tunes Scanner construction. The zero value selects the
-// checkpointed layout at the default checkpoint interval.
+// checkpointed layout at the default checkpoint interval and the
+// process-wide active reconstruct kernel.
 type Config struct {
 	// Layout selects the count-index layout.
 	Layout LayoutKind
 	// CheckpointInterval is the checkpoint spacing B for LayoutCheckpointed
 	// (< 1 selects counts.DefaultInterval). Other layouts ignore it.
 	CheckpointInterval int
+	// Kernel pins the reconstruct-kernel tier this scanner's probes run on
+	// (counts.KernelFor); nil binds the process-wide active kernel. Results
+	// are bit-identical across tiers — the override exists for paired
+	// measurement and for forcing the portable tiers.
+	Kernel *counts.Kernel
 }
 
 // Scanner binds a symbol string to a model and owns the count index shared
@@ -121,6 +127,7 @@ type Scanner struct {
 	k     int
 	pre   counts.Layout
 	kern  *chisq.Kernel
+	kt    *counts.Kernel // reconstruct-kernel override; nil = process active
 
 	// rollPool recycles scan cursors: a composite query (the disjoint peel)
 	// or a worker pool issues many scans on one Scanner, and each cursor
@@ -171,6 +178,16 @@ func NewScannerConfig(s []byte, m *alphabet.Model, cfg Config) (*Scanner, error)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Kernel != nil {
+		// The scanner owns this freshly built index, so the override may
+		// rebind the index's own probe dispatch (CumAt/Vector) too — shared
+		// indexes (NewScannerFromIndex) only switch the rolling cursors.
+		if cp, ok := pre.(*counts.Checkpointed); ok {
+			if err := cp.SetKernel(cfg.Kernel.Tier()); err != nil {
+				return nil, err
+			}
+		}
+	}
 	probs := m.Probs()
 	return &Scanner{
 		s:     s,
@@ -179,6 +196,7 @@ func NewScannerConfig(s []byte, m *alphabet.Model, cfg Config) (*Scanner, error)
 		k:     m.K(),
 		pre:   pre,
 		kern:  chisq.NewKernel(probs),
+		kt:    cfg.Kernel,
 	}, nil
 }
 
@@ -231,10 +249,25 @@ func (sc *Scanner) newRoll() *chisq.Roll {
 	if r, ok := sc.rollPool.Get().(*chisq.Roll); ok {
 		return r
 	}
-	return chisq.NewRoll(sc.kern, sc.pre, sc.s)
+	return chisq.NewRollKernel(sc.kern, sc.pre, sc.s, sc.kt)
 }
 
 func (sc *Scanner) putRoll(r *chisq.Roll) { sc.rollPool.Put(r) }
+
+// Kernel reports the reconstruct-kernel tier this scanner's scans run on:
+// the pinned override if one was configured, otherwise the process-wide
+// active tier — downgraded to scalar for alphabets outside the group-fetch
+// eligibility (counts.GroupFits), which always probe on the scalar path.
+func (sc *Scanner) Kernel() counts.Tier {
+	kt := sc.kt
+	if kt == nil {
+		kt = counts.Active()
+	}
+	if !counts.GroupFits(sc.k) {
+		return counts.TierScalar
+	}
+	return kt.Tier()
+}
 
 // IndexBytes returns the resident size of the count index in bytes
 // (including the text a checkpointed index references).

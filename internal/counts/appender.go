@@ -67,6 +67,15 @@ type Appender struct {
 	// syms is the full appended symbol string, append-only like buf.
 	syms []byte
 
+	// packed mirrors delta as the packed nibble group (nibble c = delta[c])
+	// for group-eligible alphabets (lanes): the hot append path then writes
+	// a position's whole group with one or two word ORs instead of k. The
+	// mirror is updated only while the block has room (off < b, so every
+	// nibble is ≤ 15 and the add can never carry into a neighbour lane) and
+	// resets with delta at each seal.
+	packed uint64
+	lanes  bool
+
 	copied int64 // bytes of committed data copied by growth or adoption
 }
 
@@ -96,6 +105,7 @@ func NewAppender(k, interval int) (*Appender, error) {
 		scratch: make([]uint32, stride+1),
 		cum:     make([]uint32, k),
 		delta:   make([]uint32, k),
+		lanes:   GroupFits(k),
 	}
 	return a, nil
 }
@@ -145,6 +155,11 @@ func AppendableFrom(cp *Checkpointed, s []byte) (*Appender, error) {
 		a.delta[sym]++
 		if off+1 < a.b {
 			a.writeGroup(a.scratch, off+1)
+		}
+	}
+	if a.lanes {
+		for c, d := range a.delta {
+			a.packed |= uint64(d) << (4 * c)
 		}
 	}
 	return a, nil
@@ -200,7 +215,21 @@ func (a *Appender) Append(batch []byte) error {
 		a.delta[sym]++
 		a.n++
 		if off := a.n - a.lo; off < a.b {
-			a.writeGroup(a.scratch, off)
+			if a.lanes {
+				// Whole-group write: the packed mirror gains this symbol's
+				// increment (no lane carry — at most b−1 increments have
+				// happened) and lands with one OR, spilling the straddle
+				// bits into the next word; group eligibility guarantees the
+				// shifted group never outgrows the two words.
+				a.packed += 1 << (4 * uint(sym))
+				bit := off * a.k * 4
+				di := a.k + bit>>5
+				g := a.packed << (bit & 31)
+				a.scratch[di] |= uint32(g)
+				a.scratch[di+1] |= uint32(g >> 32)
+			} else {
+				a.writeGroup(a.scratch, off)
+			}
 		} else {
 			a.seal()
 		}
@@ -221,6 +250,7 @@ func (a *Appender) seal() {
 	a.lo += a.b
 	copy(a.scratch, a.cum)
 	clear(a.scratch[a.k:])
+	a.packed = 0
 }
 
 // Snapshot publishes the current state as an immutable epoch: a
@@ -241,13 +271,15 @@ func (a *Appender) Snapshot() *Checkpointed {
 	for off := a.n - a.lo + 1; off < a.b; off++ {
 		a.writeGroup(tail, off)
 	}
-	return &Checkpointed{
+	p := &Checkpointed{
 		k: a.k, n: a.n, b: a.b, shift: a.shift, stride: a.stride,
 		blocks:   blocks,
 		tail:     tail,
 		tailBase: fb * a.stride,
 		contig:   false,
 	}
+	p.resolveKernel(Active())
+	return p
 }
 
 // appendWords appends src to buf, growing geometrically; growth is the only

@@ -59,6 +59,46 @@ type Checkpointed struct {
 	// (tail is an alias into it) — the representation Words and WriteTo can
 	// serve with no copying.
 	contig bool
+
+	// Probe kernel state, resolved once at construction (from the
+	// process-wide active kernel) or by SetKernel. lanes marks alphabets
+	// whose whole nibble group fits one uint64 fetch (GroupFits): their
+	// probes run through the resolved kernel entry points instead of a
+	// per-symbol nibble walk. oneWord additionally marks geometries whose
+	// groups never straddle a word boundary, saving the second word read.
+	lanes   bool
+	oneWord bool
+	kt      Tier
+	kf      KernelFuncs
+}
+
+// resolveKernel binds the index's probe entry points to a kernel table.
+func (p *Checkpointed) resolveKernel(kr *Kernel) {
+	p.kt = kr.Tier()
+	p.kf, p.lanes = kr.Funcs(p.k)
+	p.oneWord = 4*p.k <= 32 && 32%(4*p.k) == 0
+}
+
+// Kernel reports which kernel tier this index's probes resolve to. Alphabets
+// outside GroupFits always probe on the scalar path regardless of tier.
+func (p *Checkpointed) Kernel() Tier {
+	if !p.lanes {
+		return TierScalar
+	}
+	return p.kt
+}
+
+// SetKernel rebinds the index's probe kernels to an explicit tier, failing
+// if the tier cannot execute on this CPU/build. It mutates probe dispatch
+// state and must not race in-flight probes: call it before the index is
+// shared, or from the paired-measurement harnesses that own the index.
+func (p *Checkpointed) SetKernel(t Tier) error {
+	kr, err := KernelFor(t)
+	if err != nil {
+		return err
+	}
+	p.resolveKernel(kr)
+	return nil
 }
 
 // NewCheckpointed builds the block index for s over an alphabet of size k
@@ -121,13 +161,15 @@ func NewCheckpointed(s []byte, k, interval int) (*Checkpointed, error) {
 // block in place.
 func newContiguous(k, n, interval int, shift uint, stride int, blocks []uint32) *Checkpointed {
 	tailBase := (n >> shift) * stride
-	return &Checkpointed{
+	p := &Checkpointed{
 		k: k, n: n, b: interval, shift: shift, stride: stride,
 		blocks:   blocks,
 		tail:     blocks[tailBase:],
 		tailBase: tailBase,
 		contig:   true,
 	}
+	p.resolveKernel(Active())
+	return p
 }
 
 // CheckpointedWords returns the exact length of the packed block array of a
@@ -296,13 +338,35 @@ func (p *Checkpointed) nibble(words []uint32, base, off, c int) int {
 	return int(words[base+p.k+bit>>5] >> (bit & 31) & 15)
 }
 
+// groupAt fetches the whole nibble group of block offset off as one uint64.
+// Valid only for group-eligible alphabets (GroupFits); the trailing padding
+// word every block array and tail copy carries makes the two-word read safe
+// at any offset.
+func (p *Checkpointed) groupAt(words []uint32, base, off int) uint64 {
+	bit := off * p.k * 4
+	di := base + p.k + bit>>5
+	if p.oneWord {
+		return uint64(words[di] >> (bit & 31))
+	}
+	return (uint64(words[di]) | uint64(words[di+1])<<32) >> (bit & 31)
+}
+
 // CumAt fills dst (which must have length k) with the cumulative counts of
-// s[0:pos]: one block probe, no walk.
+// s[0:pos]: one block probe, no walk. Group-eligible alphabets run the
+// resolved reconstruct kernel over the whole group; the rest walk nibbles.
 func (p *Checkpointed) CumAt(pos int, dst []int) {
 	words, base, off := p.probe(pos)
+	if p.lanes {
+		p.kf.Reconstruct(words[base:base+p.k], p.groupAt(words, base, off), zeroBase[:p.k], dst[:p.k])
+		return
+	}
 	row := words[base : base+p.k]
+	dst = dst[:len(row)]
+	deltas := words[base+p.k:]
+	bit := off * p.k * 4
 	for c, v := range row {
-		dst[c] = int(int32(v)) + p.nibble(words, base, off, c)
+		dst[c] = int(int32(v)) + int(deltas[bit>>5]>>(bit&31)&15)
+		bit += 4
 	}
 }
 
@@ -316,13 +380,25 @@ func (p *Checkpointed) Count(c, i, j int) int {
 }
 
 // Vector fills dst (which must have length k) with the count vector of the
-// window s[i:j): two block probes.
+// window s[i:j): two block probes. On group-eligible alphabets the j probe
+// runs the reconstruct kernel and the i probe is folded in as its base.
 func (p *Checkpointed) Vector(i, j int, dst []int) []int {
 	if len(dst) != p.k {
 		panic(fmt.Sprintf("counts: Vector dst has length %d, want %d", len(dst), p.k))
 	}
 	wj, bj, oj := p.probe(j)
 	wi, bi, oi := p.probe(i)
+	if p.lanes {
+		p.kf.Reconstruct(wj[bj:bj+p.k], p.groupAt(wj, bj, oj), zeroBase[:p.k], dst)
+		gi := p.groupAt(wi, bi, oi)
+		row := wi[bi : bi+p.k]
+		dst = dst[:len(row)]
+		for c, v := range row {
+			dst[c] -= int(int32(v)) + int(gi&15)
+			gi >>= 4
+		}
+		return dst
+	}
 	for c := range dst {
 		dst[c] = int(int32(wj[bj+c])) + p.nibble(wj, bj, oj, c) -
 			int(int32(wi[bi+c])) - p.nibble(wi, bi, oi, c)

@@ -1,0 +1,528 @@
+package counts
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// This file implements the vectorized reconstruct kernels: the data-parallel
+// inner step of every checkpointed-index probe. A probe resolves a position
+// to (checkpoint row, nibble group); the kernel then rebuilds the k-lane
+// count vector
+//
+//	vec[c] = row[c] + nibble(group, c) − base[c]
+//
+// and, for uniform models, fuses the integer statistics the rolling scan
+// needs (Σ y² and max y) into the same pass. Three tiers implement the
+// identical integer contract:
+//
+//   - TierScalar: the unrolled scalar code the rolling scan has always run —
+//     the golden reference and the fallback for every build.
+//   - TierSWAR: portable pure-Go word tricks — paired 32-bit lanes in one
+//     64-bit word for the loads and adds, mask-and-shift nibble extraction
+//     with no per-symbol loop.
+//   - TierAVX2: go-assembly kernels (amd64, !noasm) that unpack the nibble
+//     group, add the checkpoint row, subtract the base, widen, and (for
+//     uniform models) square-and-sum in a handful of vector instructions.
+//
+// All tiers are exact integer arithmetic, so results are bit-identical by
+// construction; the differential fuzz target and the kernel-matrix tests
+// pin that down. Dispatch is resolved once per process at init (CPUID via
+// internal/cpufeat, overridable with MSS_KERNEL=scalar|swar|avx2) and may
+// be overridden per scanner for paired measurement.
+
+// Tier identifies a reconstruct-kernel implementation tier.
+type Tier uint8
+
+const (
+	// TierScalar is the unrolled scalar reference implementation.
+	TierScalar Tier = iota
+	// TierSWAR is the portable word-parallel (SIMD-within-a-register) tier.
+	TierSWAR
+	// TierAVX2 is the go-assembly AVX2 tier (amd64 without the noasm tag,
+	// on CPUs whose CPUID reports AVX2).
+	TierAVX2
+)
+
+// String names the tier as accepted by ParseTier and MSS_KERNEL.
+func (t Tier) String() string {
+	switch t {
+	case TierScalar:
+		return "scalar"
+	case TierSWAR:
+		return "swar"
+	case TierAVX2:
+		return "avx2"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// ParseTier resolves a tier name as printed by String.
+func ParseTier(name string) (Tier, error) {
+	for _, t := range []Tier{TierScalar, TierSWAR, TierAVX2} {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("counts: unknown kernel tier %q (want scalar, swar, or avx2)", name)
+}
+
+// TierSupported reports whether the tier can execute on this build and CPU.
+// Scalar and SWAR are always available; AVX2 requires an amd64 binary built
+// without the noasm tag on a CPU (and OS) that supports it.
+func TierSupported(t Tier) bool {
+	switch t {
+	case TierScalar, TierSWAR:
+		return true
+	case TierAVX2:
+		return haveAVX2Kernels
+	default:
+		return false
+	}
+}
+
+// BestTier returns the fastest supported tier — what dispatch selects when
+// MSS_KERNEL does not override it.
+func BestTier() Tier {
+	if haveAVX2Kernels {
+		return TierAVX2
+	}
+	return TierSWAR
+}
+
+// ReconstructFunc rebuilds the k-lane window count vector from one
+// checkpointed probe: vec[c] = int32(row[c]) + nibble c of group − base[c].
+// row and base must have length k == len(vec); group holds the position's
+// nibble-delta group in its low 4k bits (higher bits are ignored).
+type ReconstructFunc func(row []uint32, group uint64, base []int32, vec []int)
+
+// ReconstructUniformFunc is ReconstructFunc with the uniform-model integer
+// statistics fused into the same pass: it also returns Σ vec[c]² and
+// max vec[c] — exact integer results, identical across tiers.
+type ReconstructUniformFunc func(row []uint32, group uint64, base []int32, vec []int) (sumsq int64, maxY int)
+
+// KernelFuncs is the pair of kernel entry points resolved for one alphabet
+// size — what hot loops hold directly so no per-call tier or k dispatch
+// remains.
+type KernelFuncs struct {
+	Reconstruct        ReconstructFunc
+	ReconstructUniform ReconstructUniformFunc
+}
+
+// Kernel is a resolved kernel tier: a function table mapping an alphabet
+// size to its specialized entry points. Tiers specialize the alphabets the
+// scan engine cares about (k = 4, 8, 16) and inherit the next tier down for
+// the rest, so a Kernel always answers for every group-eligible k.
+type Kernel struct {
+	tier  Tier
+	funcs func(k int) (KernelFuncs, bool)
+}
+
+// Tier reports which tier this kernel resolves to.
+func (kr *Kernel) Tier() Tier { return kr.tier }
+
+// Funcs returns the kernel entry points specialized for alphabet size k.
+// The second result is false when k is not group-eligible (GroupFits):
+// such alphabets probe nibble-by-nibble outside the kernel table.
+func (kr *Kernel) Funcs(k int) (KernelFuncs, bool) {
+	if !GroupFits(k) {
+		return KernelFuncs{}, false
+	}
+	return kr.funcs(k)
+}
+
+// GroupFits reports whether a whole nibble group of alphabet size k can be
+// fetched as one uint64 from the packed block words at every in-block
+// offset: the group's word offset is a multiple of gcd(4k, 32) bits, so the
+// two-word read covers it iff 32 − gcd(4k, 32) + 4k ≤ 64 — true for k ≤ 10,
+// k = 12, and k = 16. Other alphabets (11, 13, 14, 15, and k > 16) extract
+// nibble-by-nibble on the scalar path.
+func GroupFits(k int) bool {
+	return k >= 2 && (k <= 10 || k == 12 || k == 16)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: the process-wide active kernel.
+
+// activeKernel holds the process-wide default kernel, selected at init from
+// CPUID and the MSS_KERNEL environment variable. It is stored atomically so
+// SetActiveTier (a startup-flag path) never races scanners resolving it.
+var activeKernel atomic.Pointer[Kernel]
+
+func init() {
+	tier := BestTier()
+	if name := os.Getenv("MSS_KERNEL"); name != "" {
+		if t, err := ParseTier(name); err == nil && TierSupported(t) {
+			// An unsupported or misspelled request keeps the best supported
+			// tier: the env override exists so CI lanes can force a tier
+			// where it exists, not to break startup where it doesn't.
+			tier = t
+		}
+	}
+	activeKernel.Store(kernelFor(tier))
+}
+
+// Active returns the process-wide kernel new indexes and scanners resolve
+// by default.
+func Active() *Kernel { return activeKernel.Load() }
+
+// ActiveTier returns the tier of the process-wide kernel — what
+// observability endpoints report.
+func ActiveTier() Tier { return Active().tier }
+
+// SetActiveTier overrides the process-wide kernel tier (the -kernel flag
+// path). It fails if the tier is not supported on this build and CPU;
+// already-built indexes and scanners keep the kernel they resolved.
+func SetActiveTier(t Tier) error {
+	if !TierSupported(t) {
+		return fmt.Errorf("counts: kernel tier %s is not supported on this CPU/build", t)
+	}
+	activeKernel.Store(kernelFor(t))
+	return nil
+}
+
+// KernelFor returns the kernel table for an explicit tier, for paired
+// measurement and differential testing. It fails if the tier cannot execute
+// here.
+func KernelFor(t Tier) (*Kernel, error) {
+	if !TierSupported(t) {
+		return nil, fmt.Errorf("counts: kernel tier %s is not supported on this CPU/build", t)
+	}
+	return kernelFor(t), nil
+}
+
+var (
+	scalarKernel = &Kernel{tier: TierScalar, funcs: scalarFuncs}
+	swarKernel   = &Kernel{tier: TierSWAR, funcs: swarFuncs}
+)
+
+func kernelFor(t Tier) *Kernel {
+	switch t {
+	case TierAVX2:
+		return avx2Kernel
+	case TierSWAR:
+		return swarKernel
+	default:
+		return scalarKernel
+	}
+}
+
+// zeroBase is the shared all-zero base vector CumAt-style probes pass to
+// the reconstruct kernels (cum[pos][c] = row[c] + nibble(c) − 0). Read-only.
+var zeroBase [16]int32
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the unrolled reference implementation. These bodies are the
+// code the rolling scan ran before kernel dispatch existed, reshaped to the
+// kernel signature; they are the golden reference every other tier is
+// differentially tested against, and the noasm/unsupported-CPU fallback.
+
+func scalarFuncs(k int) (KernelFuncs, bool) {
+	switch k {
+	case 2:
+		return KernelFuncs{scalarRecK2, scalarUniK2}, true
+	case 4:
+		return KernelFuncs{scalarRecK4, scalarUniK4}, true
+	case 8:
+		return KernelFuncs{scalarRecK8, scalarUniK8}, true
+	default:
+		return KernelFuncs{scalarRecGeneric, scalarUniGeneric}, true
+	}
+}
+
+func scalarRecK2(row []uint32, group uint64, base []int32, vec []int) {
+	_, _, _ = row[1], base[1], vec[1]
+	vec[0] = int(int32(row[0])) - int(base[0]) + int(group&15)
+	vec[1] = int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+}
+
+func scalarUniK2(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	_, _, _ = row[1], base[1], vec[1]
+	y0 := int(int32(row[0])) - int(base[0]) + int(group&15)
+	y1 := int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+	vec[0], vec[1] = y0, y1
+	s := int64(y0)*int64(y0) + int64(y1)*int64(y1)
+	if y1 > y0 {
+		y0 = y1
+	}
+	return s, y0
+}
+
+func scalarRecK4(row []uint32, group uint64, base []int32, vec []int) {
+	_, _, _ = row[3], base[3], vec[3]
+	vec[0] = int(int32(row[0])) - int(base[0]) + int(group&15)
+	vec[1] = int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+	vec[2] = int(int32(row[2])) - int(base[2]) + int(group>>8&15)
+	vec[3] = int(int32(row[3])) - int(base[3]) + int(group>>12&15)
+}
+
+func scalarUniK4(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	// Fully unrolled with constant-shift nibble extraction: the four lanes
+	// are independent the moment the group word arrives.
+	_, _, _ = row[3], base[3], vec[3]
+	y0 := int(int32(row[0])) - int(base[0]) + int(group&15)
+	y1 := int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+	y2 := int(int32(row[2])) - int(base[2]) + int(group>>8&15)
+	y3 := int(int32(row[3])) - int(base[3]) + int(group>>12&15)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+	s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2)
+	s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3)
+	if y1 > y0 {
+		y0 = y1
+	}
+	if y3 > y2 {
+		y2 = y3
+	}
+	if y2 > y0 {
+		y0 = y2
+	}
+	return s0 + s1, y0
+}
+
+func scalarRecK8(row []uint32, group uint64, base []int32, vec []int) {
+	_, _, _ = row[7], base[7], vec[7]
+	vec[0] = int(int32(row[0])) - int(base[0]) + int(group&15)
+	vec[1] = int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+	vec[2] = int(int32(row[2])) - int(base[2]) + int(group>>8&15)
+	vec[3] = int(int32(row[3])) - int(base[3]) + int(group>>12&15)
+	vec[4] = int(int32(row[4])) - int(base[4]) + int(group>>16&15)
+	vec[5] = int(int32(row[5])) - int(base[5]) + int(group>>20&15)
+	vec[6] = int(int32(row[6])) - int(base[6]) + int(group>>24&15)
+	vec[7] = int(int32(row[7])) - int(base[7]) + int(group>>28&15)
+}
+
+func scalarUniK8(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	_, _, _ = row[7], base[7], vec[7]
+	y0 := int(int32(row[0])) - int(base[0]) + int(group&15)
+	y1 := int(int32(row[1])) - int(base[1]) + int(group>>4&15)
+	y2 := int(int32(row[2])) - int(base[2]) + int(group>>8&15)
+	y3 := int(int32(row[3])) - int(base[3]) + int(group>>12&15)
+	y4 := int(int32(row[4])) - int(base[4]) + int(group>>16&15)
+	y5 := int(int32(row[5])) - int(base[5]) + int(group>>20&15)
+	y6 := int(int32(row[6])) - int(base[6]) + int(group>>24&15)
+	y7 := int(int32(row[7])) - int(base[7]) + int(group>>28&15)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+	vec[4], vec[5], vec[6], vec[7] = y4, y5, y6, y7
+	s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2) + int64(y4)*int64(y4) + int64(y6)*int64(y6)
+	s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3) + int64(y5)*int64(y5) + int64(y7)*int64(y7)
+	if y1 > y0 {
+		y0 = y1
+	}
+	if y3 > y2 {
+		y2 = y3
+	}
+	if y5 > y4 {
+		y4 = y5
+	}
+	if y7 > y6 {
+		y6 = y7
+	}
+	if y2 > y0 {
+		y0 = y2
+	}
+	if y6 > y4 {
+		y4 = y6
+	}
+	if y4 > y0 {
+		y0 = y4
+	}
+	return s0 + s1, y0
+}
+
+func scalarRecGeneric(row []uint32, group uint64, base []int32, vec []int) {
+	row = row[:len(vec)]
+	base = base[:len(vec)]
+	for c := range vec {
+		vec[c] = int(int32(row[c])) - int(base[c]) + int(group&15)
+		group >>= 4
+	}
+}
+
+func scalarUniGeneric(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	// Two sum lanes and two max lanes keep the latency chains half as deep
+	// as a naive accumulation (integer sums are associativity-free, so the
+	// pairing cannot change the result).
+	var s0, s1 int64
+	m0, m1 := 0, 0
+	c := 0
+	k := len(vec)
+	row = row[:k]
+	base = base[:k]
+	for ; c+1 < k; c += 2 {
+		y0 := int(int32(row[c])) - int(base[c]) + int(group&15)
+		y1 := int(int32(row[c+1])) - int(base[c+1]) + int(group>>4&15)
+		group >>= 8
+		vec[c] = y0
+		vec[c+1] = y1
+		s0 += int64(y0) * int64(y0)
+		s1 += int64(y1) * int64(y1)
+		if y0 > m0 {
+			m0 = y0
+		}
+		if y1 > m1 {
+			m1 = y1
+		}
+	}
+	if c < k {
+		y := int(int32(row[c])) - int(base[c]) + int(group&15)
+		vec[c] = y
+		s0 += int64(y) * int64(y)
+		if y > m0 {
+			m0 = y
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	return s0 + s1, m0
+}
+
+// ---------------------------------------------------------------------------
+// SWAR tier: pure-Go word-parallel kernels. Two 32-bit lanes ride in each
+// 64-bit word: the checkpoint row, the nibble pair, and the base are each
+// combined as lane pairs, then one 64-bit add and one subtract advance both
+// lanes at once. No lane can carry into its neighbour: every intermediate
+// (row[c] + nibble) is a cumulative count ≤ n < 2³¹, and every final lane
+// (a window count) lies in [0, 2³¹), so bit 31 never overflows into bit 32
+// and bit 63 falls off harmlessly. The nibble pairs come from mask-and-shift
+// spreading of the group word — no per-symbol loop anywhere.
+
+func swarFuncs(k int) (KernelFuncs, bool) {
+	switch k {
+	case 4:
+		return KernelFuncs{swarRecK4, swarUniK4}, true
+	case 8:
+		return KernelFuncs{swarRecK8, swarUniK8}, true
+	case 16:
+		return KernelFuncs{swarRecK16, swarUniK16}, true
+	default:
+		// The SWAR pair trick needs at least four lanes to pay for the
+		// packing; the remaining alphabets inherit the scalar tier, which is
+		// bit-identical by contract.
+		return scalarFuncs(k)
+	}
+}
+
+// swarLanes2 rebuilds lanes c and c+1 in one 64-bit word: lo holds lane c,
+// the high half lane c+1. nib must hold the two nibbles at bits 0 and 32.
+func swarLanes2(r0, r1 uint32, b0, b1 int32, nib uint64) (int, int) {
+	rw := uint64(r0) | uint64(r1)<<32
+	bw := uint64(uint32(b0)) | uint64(uint32(b1))<<32
+	s := rw + nib - bw
+	return int(int32(uint32(s))), int(int32(uint32(s >> 32)))
+}
+
+func swarRecK4(row []uint32, group uint64, base []int32, vec []int) {
+	_ = row[3]
+	_ = base[3]
+	_ = vec[3]
+	y0, y1 := swarLanes2(row[0], row[1], base[0], base[1], group&15|group>>4&15<<32)
+	y2, y3 := swarLanes2(row[2], row[3], base[2], base[3], group>>8&15|group>>12&15<<32)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+}
+
+func swarUniK4(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	_ = row[3]
+	_ = base[3]
+	_ = vec[3]
+	y0, y1 := swarLanes2(row[0], row[1], base[0], base[1], group&15|group>>4&15<<32)
+	y2, y3 := swarLanes2(row[2], row[3], base[2], base[3], group>>8&15|group>>12&15<<32)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+	s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2)
+	s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3)
+	if y1 > y0 {
+		y0 = y1
+	}
+	if y3 > y2 {
+		y2 = y3
+	}
+	if y2 > y0 {
+		y0 = y2
+	}
+	return s0 + s1, y0
+}
+
+// swarSpread8 positions the eight nibbles of a 32-bit group as four
+// two-lane words: result[i] holds nibble 2i at bit 0 and nibble 2i+1 at
+// bit 32 — the shape swarLanes2 consumes. One shifted copy serves all four
+// pairs, so the extraction is four masks and four shifts for eight lanes.
+func swarSpread8(g uint64) (p0, p1, p2, p3 uint64) {
+	hi := g << 28 // nibble 2i+1 of pair i now at bit 32 + 8i
+	p0 = g&15 | hi&(15<<32)
+	p1 = g>>8&15 | hi>>8&(15<<32)
+	p2 = g>>16&15 | hi>>16&(15<<32)
+	p3 = g>>24&15 | hi>>24&(15<<32)
+	return
+}
+
+func swarRecK8(row []uint32, group uint64, base []int32, vec []int) {
+	_ = row[7]
+	_ = base[7]
+	_ = vec[7]
+	p0, p1, p2, p3 := swarSpread8(group & 0xFFFFFFFF)
+	y0, y1 := swarLanes2(row[0], row[1], base[0], base[1], p0)
+	y2, y3 := swarLanes2(row[2], row[3], base[2], base[3], p1)
+	y4, y5 := swarLanes2(row[4], row[5], base[4], base[5], p2)
+	y6, y7 := swarLanes2(row[6], row[7], base[6], base[7], p3)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+	vec[4], vec[5], vec[6], vec[7] = y4, y5, y6, y7
+}
+
+func swarUniK8(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	_ = row[7]
+	_ = base[7]
+	_ = vec[7]
+	p0, p1, p2, p3 := swarSpread8(group & 0xFFFFFFFF)
+	y0, y1 := swarLanes2(row[0], row[1], base[0], base[1], p0)
+	y2, y3 := swarLanes2(row[2], row[3], base[2], base[3], p1)
+	y4, y5 := swarLanes2(row[4], row[5], base[4], base[5], p2)
+	y6, y7 := swarLanes2(row[6], row[7], base[6], base[7], p3)
+	vec[0], vec[1], vec[2], vec[3] = y0, y1, y2, y3
+	vec[4], vec[5], vec[6], vec[7] = y4, y5, y6, y7
+	s0 := int64(y0)*int64(y0) + int64(y2)*int64(y2) + int64(y4)*int64(y4) + int64(y6)*int64(y6)
+	s1 := int64(y1)*int64(y1) + int64(y3)*int64(y3) + int64(y5)*int64(y5) + int64(y7)*int64(y7)
+	if y1 > y0 {
+		y0 = y1
+	}
+	if y3 > y2 {
+		y2 = y3
+	}
+	if y5 > y4 {
+		y4 = y5
+	}
+	if y7 > y6 {
+		y6 = y7
+	}
+	if y2 > y0 {
+		y0 = y2
+	}
+	if y6 > y4 {
+		y4 = y6
+	}
+	if y4 > y0 {
+		y0 = y4
+	}
+	return s0 + s1, y0
+}
+
+func swarRecK16(row []uint32, group uint64, base []int32, vec []int) {
+	_ = row[15]
+	_ = base[15]
+	_ = vec[15]
+	swarRecK8(row[:8], group&0xFFFFFFFF, base[:8], vec[:8])
+	swarRecK8(row[8:16], group>>32, base[8:16], vec[8:16])
+}
+
+func swarUniK16(row []uint32, group uint64, base []int32, vec []int) (int64, int) {
+	_ = row[15]
+	_ = base[15]
+	_ = vec[15]
+	sLo, mLo := swarUniK8(row[:8], group&0xFFFFFFFF, base[:8], vec[:8])
+	sHi, mHi := swarUniK8(row[8:16], group>>32, base[8:16], vec[8:16])
+	if mHi > mLo {
+		mLo = mHi
+	}
+	return sLo + sHi, mLo
+}

@@ -1,0 +1,104 @@
+package counts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKernelTiersAgree drives every tier's reconstruct kernels with random
+// rows, groups, and bases over all group-eligible alphabets and asserts
+// bit-identical vectors and fused statistics against the scalar reference.
+func TestKernelTiersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tiers := []Tier{TierSWAR, TierAVX2}
+	for _, k := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16} {
+		if !GroupFits(k) {
+			t.Fatalf("k=%d should be group-eligible", k)
+		}
+		ref, ok := scalarKernel.Funcs(k)
+		if !ok {
+			t.Fatalf("k=%d: scalar kernel missing", k)
+		}
+		for trial := 0; trial < 2000; trial++ {
+			row := make([]uint32, k)
+			base := make([]int32, k)
+			var group uint64
+			for c := 0; c < k; c++ {
+				nib := uint64(rng.Intn(16))
+				group |= nib << (4 * c)
+				// Window counts must be nonnegative and cumulative counts
+				// bounded by 2^31-1: pick base <= row+nib, with occasional
+				// extreme magnitudes to probe lane-overflow hazards.
+				max := uint32(1 << 20)
+				if trial%7 == 0 {
+					max = 1<<31 - 20
+				}
+				row[c] = uint32(rng.Intn(int(max)))
+				base[c] = int32(rng.Intn(int(row[c]) + int(nib) + 1))
+			}
+			if k <= 15 {
+				// Garbage above the 4k live bits must be ignored.
+				group |= uint64(rng.Uint32()) << (4 * k)
+			}
+			want := make([]int, k)
+			ref.Reconstruct(row, group, base, want)
+			wantSq, wantMax := ref.ReconstructUniform(row, group, base, make([]int, k))
+			for _, tier := range tiers {
+				if !TierSupported(tier) {
+					continue
+				}
+				kr, err := KernelFor(tier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fns, ok := kr.Funcs(k)
+				if !ok {
+					t.Fatalf("k=%d: %s kernel missing", k, tier)
+				}
+				got := make([]int, k)
+				fns.Reconstruct(row, group, base, got)
+				for c := range want {
+					if got[c] != want[c] {
+						t.Fatalf("k=%d %s trial=%d lane %d: got %d want %d (row=%v group=%#x base=%v)",
+							k, tier, trial, c, got[c], want[c], row, group, base)
+					}
+				}
+				got2 := make([]int, k)
+				gotSq, gotMax := fns.ReconstructUniform(row, group, base, got2)
+				for c := range want {
+					if got2[c] != want[c] {
+						t.Fatalf("k=%d %s trial=%d uniform lane %d: got %d want %d",
+							k, tier, trial, c, got2[c], want[c])
+					}
+				}
+				if gotSq != wantSq || gotMax != wantMax {
+					t.Fatalf("k=%d %s trial=%d: stats got (%d,%d) want (%d,%d) vec=%v",
+						k, tier, trial, gotSq, gotMax, wantSq, wantMax, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTierParseAndSupport(t *testing.T) {
+	for _, tier := range []Tier{TierScalar, TierSWAR, TierAVX2} {
+		back, err := ParseTier(tier.String())
+		if err != nil || back != tier {
+			t.Fatalf("round-trip %v: got %v, %v", tier, back, err)
+		}
+	}
+	if _, err := ParseTier("sse9"); err == nil {
+		t.Fatal("expected error for unknown tier")
+	}
+	if !TierSupported(TierScalar) || !TierSupported(TierSWAR) {
+		t.Fatal("portable tiers must always be supported")
+	}
+	best := BestTier()
+	if !TierSupported(best) {
+		t.Fatalf("best tier %v not supported", best)
+	}
+	if Active() == nil || Active().Tier() != ActiveTier() {
+		t.Fatal("active kernel inconsistent")
+	}
+	t.Logf("best tier: %v, active: %v", best, ActiveTier())
+}

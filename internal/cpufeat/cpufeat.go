@@ -1,0 +1,43 @@
+// Package cpufeat detects the CPU features the vectorized scan kernels
+// dispatch on. Detection is hand-rolled (a CPUID leaf walk on amd64, with
+// the OS-support XGETBV check the AVX family requires) so the module takes
+// no dependency for it; on other architectures, or under the noasm build
+// tag, every feature reports false and the dispatcher falls back to the
+// portable tiers.
+package cpufeat
+
+import "strings"
+
+// Features reports the instruction-set extensions relevant to the scan
+// kernels. A feature is reported only when both the CPU advertises it and
+// the operating system saves the matching register state across context
+// switches (the XGETBV check), so "true" always means "safe to execute".
+type Features struct {
+	SSE42 bool
+	AVX   bool
+	AVX2  bool
+}
+
+// X86 holds the detected features of this processor. It is populated once
+// at package init and never written afterwards, so concurrent readers need
+// no synchronization. On non-amd64 builds every field is false.
+var X86 Features
+
+// Summary renders the detected features as a short comma-separated list
+// for version strings and health endpoints, e.g. "sse4.2,avx,avx2".
+func Summary() string {
+	var fs []string
+	if X86.SSE42 {
+		fs = append(fs, "sse4.2")
+	}
+	if X86.AVX {
+		fs = append(fs, "avx")
+	}
+	if X86.AVX2 {
+		fs = append(fs, "avx2")
+	}
+	if len(fs) == 0 {
+		return "none"
+	}
+	return strings.Join(fs, ",")
+}

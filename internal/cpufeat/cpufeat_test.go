@@ -1,0 +1,20 @@
+package cpufeat
+
+import "testing"
+
+// TestSummaryRenders pins the summary format and, on amd64 hosts, sanity-
+// checks the implication chain: AVX2 implies AVX (the OS-support gate is
+// shared), and a non-empty feature set never renders as "none".
+func TestSummaryRenders(t *testing.T) {
+	s := Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+	if X86.AVX2 && !X86.AVX {
+		t.Fatal("AVX2 reported without AVX")
+	}
+	if (X86.SSE42 || X86.AVX || X86.AVX2) && s == "none" {
+		t.Fatalf("features detected but summary is %q", s)
+	}
+	t.Logf("detected: %s", s)
+}

@@ -1,0 +1,35 @@
+//go:build amd64 && !noasm
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which encodes the
+// register state the OS saves on context switch. Only valid when CPUID
+// reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	X86.SSE42 = ecx1&(1<<20) != 0
+	// AVX needs the CPU bit, OSXSAVE, and the OS actually saving the
+	// XMM+YMM state (XCR0 bits 1 and 2) — a kernel that does not save YMM
+	// would silently corrupt vector registers across context switches.
+	osxsave := ecx1&(1<<27) != 0
+	avxCPU := ecx1&(1<<28) != 0
+	ymmOS := false
+	if osxsave {
+		xcr0, _ := xgetbv()
+		ymmOS = xcr0&0x6 == 0x6
+	}
+	X86.AVX = avxCPU && ymmOS
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		X86.AVX2 = X86.AVX && ebx7&(1<<5) != 0
+	}
+}

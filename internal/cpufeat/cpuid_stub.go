@@ -1,0 +1,6 @@
+//go:build !amd64 || noasm
+
+package cpufeat
+
+// Non-amd64 architectures and noasm builds report no vector extensions:
+// the kernel dispatcher selects only the portable tiers.

@@ -285,6 +285,9 @@ type Info struct {
 	// Segment, when present, marks the corpus as one suffix segment of a
 	// sharded parent corpus (see the shard catalog endpoints).
 	Segment *SegmentInfo `json:"segment,omitempty"`
+	// Kernel is the reconstruct-kernel tier this corpus's scans run on
+	// (scalar, swar, or avx2 — bit-identical results, different speed).
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Info returns the corpus summary.
@@ -306,6 +309,7 @@ func (c *Corpus) Info() Info {
 		Replica:     c.replica,
 		Degraded:    c.degraded,
 		Commit:      c.commit,
+		Kernel:      c.Scanner.Kernel().String(),
 	}
 	if c.Segment != nil {
 		info.Segment = &SegmentInfo{

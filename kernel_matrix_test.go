@@ -1,0 +1,217 @@
+package sigsub_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	sigsub "repro"
+)
+
+// matrixTiers returns every kernel tier executable on this host, scalar
+// first (the golden reference).
+func matrixTiers() []sigsub.KernelTier {
+	tiers := []sigsub.KernelTier{sigsub.KernelScalar, sigsub.KernelSWAR}
+	if sigsub.KernelSupported(sigsub.KernelAVX2) {
+		tiers = append(tiers, sigsub.KernelAVX2)
+	}
+	return tiers
+}
+
+// matrixAnswers runs the Problems 1–4 query suite plus composed range and
+// min-length queries, with thresholds anchored to the scan's own maximum X²
+// so random inputs of any skew produce bounded (but non-empty) result sets.
+func matrixAnswers(t *testing.T, sc *sigsub.Scanner, maxX2 float64) [][]sigsub.Result {
+	t.Helper()
+	n := sc.Len()
+	qs := []sigsub.Query{
+		sigsub.MSSQuery(),                                    // Problem 1
+		sigsub.TopTQuery(10),                                 // Problem 2
+		sigsub.ThresholdQuery(maxX2 * 0.8),                   // Problem 3
+		sigsub.MSSQuery().WithMinLength(20),                  // Problem 4
+		sigsub.TopTQuery(5).WithRange(n/20, n-n/20),          // composed range query
+		sigsub.ThresholdQuery(maxX2 * 0.6).WithMinLength(15), // composed threshold
+	}
+	out := make([][]sigsub.Result, len(qs))
+	for i, q := range qs {
+		qr, err := sc.Run(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if qr.Err != nil {
+			t.Fatalf("query %d: %v", i, qr.Err)
+		}
+		out[i] = qr.Results
+	}
+	return out
+}
+
+func matrixModel(t *testing.T, k int, skewed bool) *sigsub.Model {
+	t.Helper()
+	if !skewed {
+		m, err := sigsub.UniformModel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	probs := make([]float64, k)
+	rest := 1.0
+	for c := 0; c < k-1; c++ {
+		probs[c] = rest / 3
+		rest -= probs[c]
+	}
+	probs[k-1] = rest
+	m, err := sigsub.NewModel(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestKernelMatrixGolden pins the bit-identity contract across kernel
+// tiers: the Problems 1–4 query suite (plus composed range and min-length
+// queries) returns byte-for-byte identical results whichever reconstruct
+// kernel a scanner is pinned to, sequential and with 8 workers, on uniform
+// and skewed models over the alphabets the kernels specialize (4, 8, 16)
+// and one that only the scalar path serves (k = 11).
+func TestKernelMatrixGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, k := range []int{4, 8, 11, 16} {
+		for _, skewed := range []bool{false, true} {
+			if skewed && k != 4 && k != 8 {
+				continue
+			}
+			m := matrixModel(t, k, skewed)
+			s := make([]byte, 2000)
+			for i := range s {
+				s[i] = byte(rng.Intn(k))
+			}
+			ref, err := sigsub.NewScanner(s, m, sigsub.WithKernel(sigsub.KernelScalar))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ref.Kernel(); got != sigsub.KernelScalar {
+				t.Fatalf("pinned scalar scanner reports kernel %v", got)
+			}
+			refMSS, err := ref.MSS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := matrixAnswers(t, ref, refMSS.X2)
+			for _, tier := range matrixTiers()[1:] {
+				sc, err := sigsub.NewScanner(s, m, sigsub.WithKernel(tier))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := matrixAnswers(t, sc, refMSS.X2); !reflect.DeepEqual(got, want) {
+					t.Fatalf("k=%d skewed=%v: %v results differ from scalar", k, skewed, tier)
+				}
+				for _, workers := range []int{1, 8} {
+					wantMSS, err := ref.MSS(sigsub.WithWorkers(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotMSS, err := sc.MSS(sigsub.WithWorkers(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotMSS != wantMSS {
+						t.Fatalf("k=%d skewed=%v %v w=%d: MSS %+v want %+v", k, skewed, tier, workers, gotMSS, wantMSS)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelMatrixLiveEpochs sweeps the kernel tiers over a live corpus at
+// EVERY append epoch: one corpus per tier receives identical batches (cut
+// so most epochs end mid-block, making the published views serve probes
+// from relocated tail copies), and each epoch's view must answer the query
+// suite bit-identically to a scalar-pinned scanner over the same prefix.
+func TestKernelMatrixLiveEpochs(t *testing.T) {
+	orig := sigsub.ActiveKernel()
+	defer func() {
+		if err := sigsub.SetActiveKernel(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rng := rand.New(rand.NewSource(99))
+	for _, k := range []int{4, 8} {
+		m := matrixModel(t, k, k == 8)
+		s := make([]byte, 600)
+		for i := range s {
+			s[i] = byte(rng.Intn(k))
+		}
+		tiers := matrixTiers()
+		corpora := make(map[sigsub.KernelTier]*sigsub.Corpus, len(tiers))
+		for _, tier := range tiers {
+			if err := sigsub.SetActiveKernel(tier); err != nil {
+				t.Fatal(err)
+			}
+			c, err := sigsub.NewCorpus(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpora[tier] = c
+		}
+		for done := 0; done < len(s); {
+			// Odd batch sizes keep most epoch boundaries off block
+			// boundaries, so the views' tails are usually relocated.
+			batch := 1 + rng.Intn(37)
+			if done+batch > len(s) {
+				batch = len(s) - done
+			}
+			prefix := s[:done+batch]
+			for _, tier := range tiers {
+				if err := sigsub.SetActiveKernel(tier); err != nil {
+					t.Fatal(err)
+				}
+				if err := corpora[tier].Append(s[done : done+batch]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			done += batch
+			ref, err := sigsub.NewScanner(prefix, m, sigsub.WithKernel(sigsub.KernelScalar))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMSS, err := ref.MSS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTop, err := ref.TopT(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tier := range tiers {
+				if err := sigsub.SetActiveKernel(tier); err != nil {
+					t.Fatal(err)
+				}
+				view := corpora[tier].View()
+				gotMSS, err := view.MSS()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMSS != wantMSS {
+					t.Fatalf("k=%d epoch n=%d %v: MSS %+v want %+v", k, done, tier, gotMSS, wantMSS)
+				}
+				gotTop, err := view.TopT(5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotTop, wantTop) {
+					t.Fatalf("k=%d epoch n=%d %v: TopT differs", k, done, tier)
+				}
+				gotPar, err := view.MSS(sigsub.WithWorkers(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotPar != wantMSS {
+					t.Fatalf("k=%d epoch n=%d %v w=8: MSS %+v want %+v", k, done, tier, gotPar, wantMSS)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/counts"
 	"repro/internal/strgen"
 )
 
@@ -59,5 +60,84 @@ func TestPairedLayoutPenalty(t *testing.T) {
 		penalty := float64(minCP)/float64(minILV) - 1
 		fmt.Printf("paired/n=100k/k=%d checkpointed=%dms interleaved=%dms penalty=%+.1f%%\n",
 			k, minCP.Milliseconds(), minILV.Milliseconds(), 100*penalty)
+	}
+}
+
+// TestPairedKernelPenalty sweeps the reconstruct kernel tiers through the
+// same paired harness: per round it scans the interleaved baseline once and
+// one checkpointed scanner per tier, all inside one process, and compares
+// minima. The k=8 row is the gap this PR closes; BENCH_10.json records a
+// run.
+//
+// Run with:
+//
+//	MSS_PAIRED_BENCH=1 go test -run TestPairedKernelPenalty -v .
+func TestPairedKernelPenalty(t *testing.T) {
+	if os.Getenv("MSS_PAIRED_BENCH") == "" {
+		t.Skip("set MSS_PAIRED_BENCH=1 to run the paired kernel measurement")
+	}
+	const n = 100_000
+	const rounds = 8
+	tiers := []counts.Tier{counts.TierScalar, counts.TierSWAR}
+	if counts.TierSupported(counts.TierAVX2) {
+		tiers = append(tiers, counts.TierAVX2)
+	}
+	for _, k := range []int{4, 8} {
+		gens := []*strgen.Multinomial{strgen.MustNull(k)}
+		if g, err := strgen.NewGeometric(k); err == nil {
+			gens = append(gens, g)
+		}
+		for _, g := range gens {
+			rng := rand.New(rand.NewSource(1))
+			s := g.Generate(n, rng)
+			ilv, err := core.NewScannerConfig(s, g.Model(), core.Config{Layout: core.LayoutInterleaved})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cps := make([]*core.Scanner, len(tiers))
+			for ti, tier := range tiers {
+				kr, err := counts.KernelFor(tier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cps[ti], err = core.NewScannerConfig(s, g.Model(), core.Config{
+					Layout: core.LayoutCheckpointed, Kernel: kr,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			scan := func(sc *core.Scanner) time.Duration {
+				start := time.Now()
+				sc.MSSWith(core.Engine{Workers: 1})
+				return time.Since(start)
+			}
+			scan(ilv)
+			for _, cp := range cps {
+				scan(cp)
+			}
+			minILV := time.Duration(1 << 62)
+			minCP := make([]time.Duration, len(tiers))
+			for ti := range minCP {
+				minCP[ti] = 1 << 62
+			}
+			for r := 0; r < rounds; r++ {
+				if d := scan(ilv); d < minILV {
+					minILV = d
+				}
+				for ti, cp := range cps {
+					if d := scan(cp); d < minCP[ti] {
+						minCP[ti] = d
+					}
+				}
+			}
+			for ti, tier := range tiers {
+				penalty := float64(minCP[ti])/float64(minILV) - 1
+				fmt.Printf("paired/n=100k/k=%d/%s/%v checkpointed=%.1fms interleaved=%.1fms penalty=%+.1f%%\n",
+					k, g.Name(), tier,
+					float64(minCP[ti].Microseconds())/1000,
+					float64(minILV.Microseconds())/1000, 100*penalty)
+			}
+		}
 	}
 }

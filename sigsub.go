@@ -33,6 +33,8 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/core"
+	"repro/internal/counts"
+	"repro/internal/cpufeat"
 	"repro/internal/dist"
 )
 
@@ -288,12 +290,63 @@ func ParseCountsLayout(name string) (CountsLayout, error) {
 	return 0, fmt.Errorf("sigsub: unknown counts layout %q", name)
 }
 
+// KernelTier selects a reconstruct-kernel implementation for the scan hot
+// path: the data-parallel rebuild of a window's count vector from the
+// checkpointed index's nibble groups. Every tier computes exact integer
+// arithmetic, so results are bit-identical — tiers differ only in speed.
+type KernelTier int
+
+const (
+	// KernelScalar is the unrolled scalar reference implementation —
+	// available everywhere, and the automatic fallback for alphabets whose
+	// nibble group cannot be fetched as a single machine word.
+	KernelScalar KernelTier = iota
+	// KernelSWAR is the portable pure-Go word-parallel tier: two 32-bit
+	// count lanes per 64-bit operation. Available everywhere.
+	KernelSWAR
+	// KernelAVX2 is the assembly tier for amd64 CPUs with AVX2 (and binaries
+	// built without the noasm tag): whole-group nibble unpacking and fused
+	// statistics in a handful of vector instructions.
+	KernelAVX2
+)
+
+// String names the tier as accepted by ParseKernelTier and the MSS_KERNEL
+// environment variable.
+func (t KernelTier) String() string { return counts.Tier(t).String() }
+
+// ParseKernelTier resolves a tier name as printed by String.
+func ParseKernelTier(name string) (KernelTier, error) {
+	t, err := counts.ParseTier(name)
+	return KernelTier(t), err
+}
+
+// KernelSupported reports whether the tier can execute on this CPU and
+// build. The portable tiers always can.
+func KernelSupported(t KernelTier) bool { return counts.TierSupported(counts.Tier(t)) }
+
+// ActiveKernel reports the process-wide kernel tier scans run on by default:
+// the fastest supported tier, unless overridden by the MSS_KERNEL
+// environment variable at startup or SetActiveKernel.
+func ActiveKernel() KernelTier { return KernelTier(counts.ActiveTier()) }
+
+// SetActiveKernel overrides the process-wide kernel tier (what the CLI and
+// daemon -kernel flags call at startup). It fails if the tier is not
+// supported on this CPU/build. Scanners built before the call keep the
+// kernel they resolved.
+func SetActiveKernel(t KernelTier) error { return counts.SetActiveTier(counts.Tier(t)) }
+
+// CPUFeatures renders the detected CPU features the kernel dispatcher
+// considered, e.g. "sse4.2,avx,avx2" — surfaced by mss -version and the
+// daemon's healthz endpoint.
+func CPUFeatures() string { return cpufeat.Summary() }
+
 // ScannerOption configures Scanner construction.
 type ScannerOption func(*scannerOptions)
 
 type scannerOptions struct {
 	layout   CountsLayout
 	interval int
+	kernel   *KernelTier
 }
 
 // WithCountsLayout selects the count-index layout (default
@@ -309,6 +362,16 @@ func WithCountsLayout(l CountsLayout) ScannerOption {
 // the default is the maximum.
 func WithCheckpointInterval(b int) ScannerOption {
 	return func(o *scannerOptions) { o.interval = b }
+}
+
+// WithKernel pins the reconstruct-kernel tier this scanner runs on instead
+// of the process-wide active one. Unlike the MSS_KERNEL environment
+// variable (which silently falls back to the best supported tier), an
+// explicitly pinned tier that cannot execute on this CPU/build makes
+// NewScanner fail — the option exists for paired measurement, where a
+// silent substitution would invalidate the comparison.
+func WithKernel(t KernelTier) ScannerOption {
+	return func(o *scannerOptions) { o.kernel = &t }
 }
 
 // Scanner binds a symbol string to a model for repeated queries. Building a
@@ -348,12 +411,25 @@ func NewScanner(s []byte, m *Model, opts ...ScannerOption) (*Scanner, error) {
 	default:
 		return nil, fmt.Errorf("sigsub: unknown counts layout %v", o.layout)
 	}
+	if o.kernel != nil {
+		kt, err := counts.KernelFor(counts.Tier(*o.kernel))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Kernel = kt
+	}
 	sc, err := core.NewScannerConfig(s, m.m, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Scanner{sc: sc, k: m.K()}, nil
 }
+
+// Kernel reports the reconstruct-kernel tier this scanner's scans run on —
+// the pinned override if WithKernel was used, otherwise the process-wide
+// active tier (downgraded to scalar for alphabets the group-fetch kernels
+// cannot serve).
+func (s *Scanner) Kernel() KernelTier { return KernelTier(s.sc.Kernel()) }
 
 // IndexBytes returns the resident size of the scanner's count index in
 // bytes — what the daemon's byte-budgeted corpus cache charges a corpus
